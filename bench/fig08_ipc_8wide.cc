@@ -1,0 +1,11 @@
+/**
+ * @file
+ * Figure 8: normalized IPC on the 8-wide / 256-entry-ROB core. The
+ * wider pipeline amplifies the misprediction cost, so PBS gains grow
+ * (paper: +13.8% tournament+PBS, +10.8% TAGE-SC-L+PBS).
+ *
+ * Implementation shared with fig07 (PBS_FIG_WIDE selects the core).
+ */
+
+#define PBS_FIG_WIDE 1
+#include "fig07_ipc_4wide.cc"

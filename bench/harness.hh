@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark harnesses.
+ *
+ * Every harness accepts an optional first argument: an integer divisor
+ * applied to the workload scales (default 1 = the full evaluation
+ * scale), so `fig07_ipc_4wide 10` gives a quick look.
+ */
+
+#ifndef PBS_BENCH_HARNESS_HH
+#define PBS_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+#include "workloads/common.hh"
+
+namespace pbs::bench {
+
+/** Result of one simulated run. */
+struct RunResult
+{
+    cpu::CoreStats stats;
+    core::PbsStats pbs;
+    std::vector<double> outputs;
+    std::vector<cpu::ProbTraceEntry> trace;
+};
+
+/** Parse the scale divisor from argv. */
+inline unsigned
+scaleDivisor(int argc, char **argv)
+{
+    if (argc > 1) {
+        int d = std::atoi(argv[1]);
+        if (d >= 1)
+            return static_cast<unsigned>(d);
+    }
+    return 1;
+}
+
+/** Workload parameters at the harness scale. */
+inline workloads::WorkloadParams
+paramsFor(const workloads::BenchmarkDesc &b, unsigned divisor,
+          uint64_t seed = 12345)
+{
+    workloads::WorkloadParams p;
+    p.seed = seed;
+    p.scale = std::max<uint64_t>(1, b.defaultScale / divisor);
+    return p;
+}
+
+/** Run one benchmark under one configuration. */
+inline RunResult
+runSim(const workloads::BenchmarkDesc &b,
+       const workloads::WorkloadParams &p, const cpu::CoreConfig &cfg,
+       workloads::Variant variant = workloads::Variant::Marked)
+{
+    cpu::Core core(b.build(p, variant), cfg);
+    core.run();
+    RunResult r;
+    r.stats = core.stats();
+    r.pbs = core.pbs().stats();
+    r.outputs = b.simOutput(core);
+    r.trace = core.probTrace();
+    return r;
+}
+
+/** Timing config matching the paper's setup. */
+inline cpu::CoreConfig
+timingConfig(const std::string &predictor, bool pbs, bool wide = false)
+{
+    cpu::CoreConfig cfg =
+        wide ? cpu::CoreConfig::eightWide() : cpu::CoreConfig::fourWide();
+    cfg.predictor = predictor;
+    cfg.pbsEnabled = pbs;
+    return cfg;
+}
+
+/** Fast functional config (MPKI-only experiments). */
+inline cpu::CoreConfig
+functionalConfig(const std::string &predictor, bool pbs)
+{
+    cpu::CoreConfig cfg;
+    cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = predictor;
+    cfg.pbsEnabled = pbs;
+    return cfg;
+}
+
+/** Print a standard harness banner. */
+inline void
+banner(const std::string &title, unsigned divisor)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    if (divisor != 1)
+        std::printf("(workload scales divided by %u)\n", divisor);
+    std::printf("\n");
+}
+
+}  // namespace pbs::bench
+
+#endif  // PBS_BENCH_HARNESS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): PBS engine and end-to-end
+ * simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pbs_engine.hh"
+#include "cpu/core.hh"
+#include "workloads/common.hh"
+
+namespace {
+
+using namespace pbs;
+
+/** Steady-state cost of one steered PBS instance. */
+void
+engineInstance(benchmark::State &state)
+{
+    core::PbsEngine engine;
+    uint64_t cycle = 0;
+    // Warm up: bootstrap the branch.
+    for (int i = 0; i < 4; i++) {
+        auto inst = engine.onProbCmpFetch(0x100, cycle);
+        engine.onProbCmpExec(inst.token, i, 7, cycle + 40);
+        engine.onProbJmpExec(inst.token, i & 1, std::nullopt, 0x101,
+                             cycle + 40, i);
+        cycle += 100;
+    }
+    uint64_t seq = 4;
+    for (auto _ : state) {
+        auto inst = engine.onProbCmpFetch(0x100, cycle);
+        benchmark::DoNotOptimize(inst.steered);
+        engine.onProbCmpExec(inst.token, seq, 7, cycle + 40);
+        engine.onProbJmpExec(inst.token, seq & 1, std::nullopt, 0x101,
+                             cycle + 40, seq);
+        cycle += 100;
+        seq++;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** Simulator throughput, instructions per second, per mode. */
+void
+simulatorThroughput(benchmark::State &state)
+{
+    const auto &b = workloads::benchmarkByName("pi");
+    workloads::WorkloadParams p;
+    p.scale = 50000;
+    cpu::CoreConfig cfg = cpu::CoreConfig::fourWide();
+    cfg.predictor = "tage-sc-l";
+    cfg.pbsEnabled = state.range(0) != 0;
+    if (state.range(1) == 0)
+        cfg.mode = cpu::SimMode::Functional;
+    isa::Program prog = b.build(p, workloads::Variant::Marked);
+
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        cpu::Core core(prog, cfg);
+        core.run();
+        instructions += core.stats().instructions;
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+
+}  // namespace
+
+BENCHMARK(engineInstance);
+BENCHMARK(simulatorThroughput)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"pbs", "timing"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): predict+update throughput of
+ * every direction predictor on a synthetic mixed branch stream.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/factory.hh"
+#include "rng/rng.hh"
+
+namespace {
+
+using namespace pbs;
+
+void
+predictorThroughput(benchmark::State &state, const std::string &name)
+{
+    auto pred = bpred::makePredictor(name);
+    rng::XorShift64Star rng(7);
+    // Pre-generate a mixed stream: biased, loopy and random branches.
+    constexpr size_t kN = 1 << 14;
+    std::vector<std::pair<uint64_t, bool>> stream;
+    stream.reserve(kN);
+    unsigned trip = 0;
+    for (size_t i = 0; i < kN; i++) {
+        switch (i % 3) {
+          case 0:
+            stream.emplace_back(0x10, rng.nextDouble() < 0.9);
+            break;
+          case 1:
+            stream.emplace_back(0x20, ++trip % 8 != 0);
+            break;
+          default:
+            stream.emplace_back(0x30, rng.nextDouble() < 0.5);
+            break;
+        }
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[pc, taken] = stream[i];
+        benchmark::DoNotOptimize(pred->predict(pc));
+        pred->update(pc, taken);
+        i = (i + 1) % kN;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["storage_bytes"] =
+        static_cast<double>(pred->storageBits() / 8);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(predictorThroughput, bimodal, "bimodal");
+BENCHMARK_CAPTURE(predictorThroughput, gshare, "gshare");
+BENCHMARK_CAPTURE(predictorThroughput, local, "local");
+BENCHMARK_CAPTURE(predictorThroughput, loop, "loop");
+BENCHMARK_CAPTURE(predictorThroughput, tournament, "tournament");
+BENCHMARK_CAPTURE(predictorThroughput, tage, "tage");
+BENCHMARK_CAPTURE(predictorThroughput, tage_sc_l, "tage-sc-l");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Predictor exploration: run one benchmark across the whole predictor
+ * suite, with and without PBS — the "return on investment" view from
+ * the paper's conclusion (a 1 KB tournament + 193 B of PBS beats an
+ * 8 KB TAGE-SC-L on probabilistic code).
+ *
+ * Usage:  ./build/examples/explore_predictors [benchmark] [scale-div]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/core.hh"
+#include "stats/table.hh"
+#include "workloads/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pbs;
+
+    std::string name = argc > 1 ? argv[1] : "photon";
+    unsigned div = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
+
+    const auto &b = workloads::benchmarkByName(name);
+    workloads::WorkloadParams p;
+    p.scale = std::max<uint64_t>(1, b.defaultScale / div);
+
+    std::printf("benchmark %s, %lu-iteration input\n\n", name.c_str(),
+                p.scale);
+
+    stats::TextTable table;
+    table.header({"predictor", "bytes", "mpki", "ipc", "mpki+pbs",
+                  "ipc+pbs"});
+    for (const char *pred :
+         {"always-taken", "bimodal", "gshare", "local", "tournament",
+          "tage", "tage-sc-l"}) {
+        std::vector<std::string> row{pred};
+        size_t bytes = 0;
+        std::vector<double> cells;
+        for (bool pbs : {false, true}) {
+            cpu::CoreConfig cfg = cpu::CoreConfig::fourWide();
+            cfg.predictor = pred;
+            cfg.pbsEnabled = pbs;
+            cpu::Core core(b.build(p, workloads::Variant::Marked), cfg);
+            core.run();
+            bytes = core.predictor().storageBits() / 8;
+            cells.push_back(core.stats().mpki());
+            cells.push_back(core.stats().ipc());
+        }
+        row.push_back(std::to_string(bytes));
+        row.push_back(stats::TextTable::num(cells[0], 2));
+        row.push_back(stats::TextTable::num(cells[1], 3));
+        row.push_back(stats::TextTable::num(cells[2], 2));
+        row.push_back(stats::TextTable::num(cells[3], 3));
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("193 bytes of PBS state usually buys more than "
+                "kilobytes of predictor here.\n");
+    return 0;
+}

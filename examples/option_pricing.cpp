@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Financial scenario: digital option pricing (DOP) and Monte-Carlo
+ * Greeks — the paper's motivating financial workloads — using the
+ * bundled benchmark programs. Shows the Category-2 value swap at work:
+ * terminal prices consumed after each probabilistic branch are replayed
+ * from the previous execution, yet the price estimates stay faithful.
+ *
+ * Build tree:  ./build/examples/option_pricing
+ */
+
+#include <cstdio>
+
+#include "cpu/core.hh"
+#include "stats/stats.hh"
+#include "workloads/common.hh"
+
+int
+main()
+{
+    using namespace pbs;
+
+    for (const char *name : {"dop", "greeks"}) {
+        const auto &b = workloads::benchmarkByName(name);
+        workloads::WorkloadParams p;
+        p.seed = 2026;
+        p.scale = b.defaultScale;
+
+        std::vector<double> reference = b.nativeOutput(p);
+
+        std::printf("=== %s (category %d, %u probabilistic "
+                    "branches) ===\n",
+                    b.name.c_str(), b.category, b.numProbBranches);
+        for (bool pbs : {false, true}) {
+            cpu::CoreConfig cfg = cpu::CoreConfig::fourWide();
+            cfg.predictor = "tage-sc-l";
+            cfg.pbsEnabled = pbs;
+            cpu::Core core(b.build(p, workloads::Variant::Marked), cfg);
+            core.run();
+
+            const auto &s = core.stats();
+            double max_err = 0.0;
+            auto out = b.simOutput(core);
+            for (size_t i = 0; i < out.size(); i++) {
+                max_err = std::max(max_err, stats::relativeError(
+                    out[i], reference[i]));
+            }
+            std::printf("  PBS %-3s | price=%.6f IPC=%.3f MPKI=%.2f "
+                        "rel.err=%.4f%%\n",
+                        pbs ? "on" : "off", out[0], s.ipc(), s.mpki(),
+                        max_err * 100.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("Both pricers keep their estimates within the "
+                "bootstrap-induced bound while\nthe probabilistic-branch "
+                "misprediction penalty disappears (paper Sec. VII).\n");
+    return 0;
+}

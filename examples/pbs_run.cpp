@@ -1,0 +1,158 @@
+/**
+ * @file
+ * pbs_run: command-line driver for the simulator — run any bundled
+ * benchmark under any configuration and dump the full statistics.
+ *
+ * Usage:
+ *   pbs_run <benchmark> [options]
+ *   pbs_run --list
+ *
+ * Options:
+ *   --predictor=<name>   tournament | tage-sc-l | ... (default tage-sc-l)
+ *   --pbs                enable Probabilistic Branch Support
+ *   --no-stall           fall back to prediction under in-flight pressure
+ *   --no-context         disable the Context-Table
+ *   --no-guard           disable the Const-Val guard
+ *   --wide               8-wide / 256-entry-ROB core
+ *   --functional         architectural simulation only (fast)
+ *   --variant=<v>        marked | predicated | cfd
+ *   --scale=<n>          iteration count (0 = benchmark default)
+ *   --seed=<n>           RNG seed (default 12345)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cpu/core.hh"
+#include "workloads/common.hh"
+
+namespace {
+
+using namespace pbs;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: pbs_run <benchmark|--list> [--predictor=P] "
+                 "[--pbs] [--no-stall]\n"
+                 "       [--no-context] [--no-guard] [--wide] "
+                 "[--functional]\n"
+                 "       [--variant=marked|predicated|cfd] [--scale=N] "
+                 "[--seed=N]\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    if (std::strcmp(argv[1], "--list") == 0) {
+        std::printf("benchmark  category  prob-branches  predication  "
+                    "cfd\n");
+        for (const auto &b : workloads::allBenchmarks()) {
+            std::printf("%-10s %-9d %-14u %-12s %s\n", b.name.c_str(),
+                        b.category, b.numProbBranches,
+                        b.predicationOk ? "yes" : "no",
+                        b.cfdOk ? "yes" : "no");
+        }
+        return 0;
+    }
+
+    std::string name = argv[1];
+    cpu::CoreConfig cfg = cpu::CoreConfig::fourWide();
+    cfg.predictor = "tage-sc-l";
+    workloads::WorkloadParams params;
+    workloads::Variant variant = workloads::Variant::Marked;
+
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--predictor=")) {
+            cfg.predictor = v;
+        } else if (arg == "--pbs") {
+            cfg.pbsEnabled = true;
+        } else if (arg == "--no-stall") {
+            cfg.pbs.stallOnBusy = false;
+        } else if (arg == "--no-context") {
+            cfg.pbs.contextSupport = false;
+        } else if (arg == "--no-guard") {
+            cfg.pbs.constValGuard = false;
+        } else if (arg == "--wide") {
+            bool pbs = cfg.pbsEnabled;
+            auto pbs_cfg = cfg.pbs;
+            auto pred = cfg.predictor;
+            cfg = cpu::CoreConfig::eightWide();
+            cfg.pbsEnabled = pbs;
+            cfg.pbs = pbs_cfg;
+            cfg.predictor = pred;
+        } else if (arg == "--functional") {
+            cfg.mode = cpu::SimMode::Functional;
+        } else if (const char *v2 = value("--variant=")) {
+            std::string s = v2;
+            if (s == "marked")
+                variant = workloads::Variant::Marked;
+            else if (s == "predicated")
+                variant = workloads::Variant::Predicated;
+            else if (s == "cfd")
+                variant = workloads::Variant::Cfd;
+            else
+                return usage();
+        } else if (const char *v3 = value("--scale=")) {
+            params.scale = std::strtoull(v3, nullptr, 10);
+        } else if (const char *v4 = value("--seed=")) {
+            params.seed = std::strtoull(v4, nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        const auto &b = workloads::benchmarkByName(name);
+        cpu::Core core(b.build(params, variant), cfg);
+        core.run();
+
+        const auto &s = core.stats();
+        std::printf("benchmark      %s (%s)\n", b.name.c_str(),
+                    cfg.pbsEnabled ? "PBS on" : "PBS off");
+        std::printf("instructions   %lu\n", s.instructions);
+        std::printf("cycles         %lu\n", s.cycles);
+        std::printf("ipc            %.4f\n", s.ipc());
+        std::printf("branches       %lu (%lu probabilistic)\n",
+                    s.branches, s.probBranches);
+        std::printf("mispredicts    %lu (%lu prob, %lu regular)\n",
+                    s.mispredicts, s.probMispredicts,
+                    s.regularMispredicts);
+        std::printf("mpki           %.3f\n", s.mpki());
+        if (cfg.pbsEnabled) {
+            const auto &ps = core.pbs().stats();
+            std::printf("pbs steered    %lu (stalled %lu, %lu cycles)\n",
+                        s.steeredBranches, ps.fetchStalled,
+                        ps.stallCycles);
+            std::printf("pbs bootstrap  %lu, drops %lu, flushes %lu, "
+                        "ctx clears %lu\n",
+                        ps.fetchBootstrap, ps.recordsDropped,
+                        ps.constValFlushes, ps.contextClears);
+            std::printf("pbs storage    %zu bytes\n",
+                        core.pbs().storageBytes());
+        }
+        std::printf("outputs       ");
+        for (double v : b.simOutput(core))
+            std::printf(" %.6g", v);
+        std::printf("\n");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

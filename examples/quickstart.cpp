@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a tiny probabilistic-branch kernel with the
+ * assembler, run it on the simulated 4-wide core with and without
+ * Probabilistic Branch Support, and compare branch behavior.
+ *
+ * Build tree:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "rng/isa_emit.hh"
+
+int
+main()
+{
+    using namespace pbs;
+    using isa::CmpOp;
+    using isa::REG_ZERO;
+
+    // --- 1. Write a program: count how often u < 0.5 over 200k draws.
+    isa::Assembler as;
+    rng::XorShiftEmitter rng(/*state*/ 3, /*mult*/ 4, /*scale*/ 5,
+                             /*tmp*/ 6);
+    rng.setup(as, /*seed*/ 42);
+    as.ldf(8, 0.5);        // threshold
+    as.ldi(9, 0);          // counter
+    as.ldi(10, 200000);    // iterations
+
+    as.label("loop");
+    rng.emitNextDouble(as, 7);                  // u = uniform()
+    as.probCmp(CmpOp::FGE, 11, 7, 8);           // marked: u >= 0.5?
+    as.probJmp(REG_ZERO, 11, "skip");           // probabilistic jump
+    as.addi(9, 9, 1);                           // count u < 0.5
+    as.label("skip");
+    as.addi(10, 10, -1);
+    as.jnz(10, "loop");
+    as.halt();
+    isa::Program prog = as.finish();
+
+    std::printf("program: %zu instructions, %zu probabilistic branch\n\n",
+                prog.insts.size(), prog.staticProbBranchCount());
+
+    // --- 2. Run on the paper's 4-wide core, PBS off vs on.
+    for (bool pbs : {false, true}) {
+        cpu::CoreConfig cfg = cpu::CoreConfig::fourWide();
+        cfg.predictor = "tage-sc-l";
+        cfg.pbsEnabled = pbs;
+
+        cpu::Core core(prog, cfg);
+        core.run();
+        const auto &s = core.stats();
+        std::printf("PBS %-3s | count=%-6lu IPC=%.3f MPKI=%.2f "
+                    "mispredicts=%lu steered=%lu\n",
+                    pbs ? "on" : "off", core.reg(9), s.ipc(), s.mpki(),
+                    s.mispredicts, s.steeredBranches);
+        if (pbs) {
+            std::printf("         | PBS state: %zu bytes "
+                        "(paper: 193)\n",
+                        core.pbs().storageBytes());
+        }
+    }
+
+    std::printf("\nThe probabilistic branch is ~50%% taken and defeats "
+                "TAGE-SC-L; PBS steers\nit from recorded outcomes, so "
+                "its mispredictions disappear while the count\nstays "
+                "statistically equivalent.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+#include "bpred/factory.hh"
+
+#include <stdexcept>
+
+#include "bpred/loop.hh"
+#include "bpred/simple.hh"
+#include "bpred/tage.hh"
+#include "bpred/tage_scl.hh"
+#include "bpred/tournament.hh"
+
+namespace pbs::bpred {
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "local")
+        return std::make_unique<LocalPredictor>();
+    if (name == "loop")
+        return std::make_unique<LoopPredictor>();
+    if (name == "tournament")
+        return std::make_unique<TournamentPredictor>();
+    if (name == "tage")
+        return std::make_unique<TagePredictor>();
+    if (name == "tage-sc-l")
+        return std::make_unique<TageSclPredictor>();
+    if (name == "always-taken")
+        return std::make_unique<StaticPredictor>(true);
+    if (name == "always-not-taken")
+        return std::make_unique<StaticPredictor>(false);
+    if (name == "random")
+        return std::make_unique<RandomPredictor>();
+    if (name == "perfect")
+        return std::make_unique<PerfectPredictor>();
+    throw std::invalid_argument("unknown predictor: " + name);
+}
+
+}  // namespace pbs::bpred

@@ -1,0 +1,94 @@
+#include "bpred/loop.hh"
+
+namespace pbs::bpred {
+
+LoopPredictor::LoopPredictor(unsigned log2Entries, unsigned tagBits,
+                             unsigned iterBits)
+    : entries_(size_t(1) << log2Entries), tagBits_(tagBits),
+      iterBits_(iterBits)
+{
+}
+
+uint16_t
+LoopPredictor::tagOf(uint64_t pc) const
+{
+    uint64_t shifted = pc >> 6;
+    return static_cast<uint16_t>((pc ^ shifted) &
+                                 ((uint64_t(1) << tagBits_) - 1));
+}
+
+bool
+LoopPredictor::hit(uint64_t pc) const
+{
+    const Entry &e = entries_[index(pc)];
+    return e.valid && e.tag == tagOf(pc);
+}
+
+bool
+LoopPredictor::confident(uint64_t pc) const
+{
+    const Entry &e = entries_[index(pc)];
+    return e.valid && e.tag == tagOf(pc) &&
+           e.confidence >= kConfThreshold && e.pastTrip > 0;
+}
+
+bool
+LoopPredictor::predict(uint64_t pc)
+{
+    const Entry &e = entries_[index(pc)];
+    if (!e.valid || e.tag != tagOf(pc) || e.confidence < kConfThreshold)
+        return true;  // fall back: loop branches are mostly taken
+    // Predict not-taken exactly when the current run has reached the
+    // learned trip count.
+    return e.currentTrip < e.pastTrip;
+}
+
+void
+LoopPredictor::update(uint64_t pc, bool taken)
+{
+    Entry &e = entries_[index(pc)];
+    uint16_t tag = tagOf(pc);
+    if (!e.valid || e.tag != tag) {
+        // Allocate only on a not-taken outcome (run boundary), so the
+        // trip counter starts aligned.
+        if (!taken) {
+            e.valid = true;
+            e.tag = tag;
+            e.pastTrip = 0;
+            e.currentTrip = 0;
+            e.confidence = 0;
+        }
+        return;
+    }
+
+    uint32_t iterMax = (uint32_t(1) << iterBits_) - 1;
+    if (taken) {
+        if (e.currentTrip < iterMax) {
+            e.currentTrip++;
+        } else {
+            // Trip count does not fit: invalidate.
+            e.valid = false;
+        }
+        return;
+    }
+
+    // Not-taken: end of a run.
+    if (e.currentTrip == e.pastTrip && e.pastTrip > 0) {
+        if (e.confidence < kConfThreshold)
+            e.confidence++;
+    } else {
+        e.confidence = 0;
+        e.pastTrip = e.currentTrip;
+    }
+    e.currentTrip = 0;
+}
+
+size_t
+LoopPredictor::storageBits() const
+{
+    // valid + tag + past + current + confidence
+    size_t per = 1 + tagBits_ + 2 * iterBits_ + 2;
+    return entries_.size() * per;
+}
+
+}  // namespace pbs::bpred

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Loop predictor: perfectly predicts branches with a constant trip count
+ * once confidence is established (the "L" in TAGE-SC-L; also a component
+ * of the Pentium-M-style tournament predictor).
+ */
+
+#ifndef PBS_BPRED_LOOP_HH
+#define PBS_BPRED_LOOP_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace pbs::bpred {
+
+/**
+ * Tagged loop-termination predictor.
+ *
+ * Each entry learns the number of consecutive "taken" outcomes between
+ * "not-taken" outcomes of one branch. Once the same count repeats
+ * kConfThreshold times, the predictor is confident and predicts taken
+ * for the body iterations and not-taken exactly at the exit.
+ */
+class LoopPredictor : public BranchPredictor
+{
+  public:
+    static constexpr unsigned kConfThreshold = 3;
+
+    /**
+     * @param log2Entries log2 of the entry count
+     * @param tagBits tag width
+     * @param iterBits trip-count field width
+     */
+    explicit LoopPredictor(unsigned log2Entries = 6, unsigned tagBits = 10,
+                           unsigned iterBits = 12);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "loop"; }
+
+    /** @return true if the entry for @p pc is confident. */
+    bool confident(uint64_t pc) const;
+
+    /** @return true if the entry for @p pc exists (tag match). */
+    bool hit(uint64_t pc) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint16_t tag = 0;
+        uint32_t pastTrip = 0;    ///< learned taken-run length
+        uint32_t currentTrip = 0; ///< takens seen in the current run
+        uint8_t confidence = 0;
+    };
+
+    size_t index(uint64_t pc) const { return pc & (entries_.size() - 1); }
+    uint16_t tagOf(uint64_t pc) const;
+
+    std::vector<Entry> entries_;
+    unsigned tagBits_;
+    unsigned iterBits_;
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_LOOP_HH

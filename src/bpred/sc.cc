@@ -1,0 +1,117 @@
+#include "bpred/sc.hh"
+
+#include <cmath>
+
+namespace pbs::bpred {
+
+StatisticalCorrector::StatisticalCorrector(const ScConfig &cfg)
+    : cfg_(cfg), bias_(size_t(1) << cfg.log2Bias),
+      threshold_(cfg.initialThreshold)
+{
+    gehl_.assign(cfg_.histLengths.size(),
+                 std::vector<SignedSatCounter<8>>(
+                     size_t(1) << cfg_.log2Gehl));
+}
+
+size_t
+StatisticalCorrector::biasIndex(uint64_t pc, bool pred) const
+{
+    return ((pc << 1) | (pred ? 1 : 0)) & (bias_.size() - 1);
+}
+
+size_t
+StatisticalCorrector::gehlIndex(unsigned t, uint64_t pc) const
+{
+    uint64_t len = cfg_.histLengths[t];
+    uint64_t hist = len >= 64 ? ghist_
+                              : (ghist_ & ((uint64_t(1) << len) - 1));
+    uint64_t h = pc ^ (hist * 0x9e3779b97f4a7c15ull >> 40) ^ (hist << 3);
+    return h & (gehl_[t].size() - 1);
+}
+
+int
+StatisticalCorrector::sum(uint64_t pc, bool primaryPred) const
+{
+    int s = 2 * bias_[biasIndex(pc, primaryPred)].raw() + 1;
+    for (unsigned t = 0; t < gehl_.size(); t++)
+        s += 2 * gehl_[t][gehlIndex(t, pc)].raw() + 1;
+    // Bias the sum toward the primary prediction so the corrector only
+    // overrides on clear statistical evidence.
+    s += primaryPred ? 2 : -2;
+    return s;
+}
+
+bool
+StatisticalCorrector::refine(uint64_t pc, bool primaryPred,
+                             unsigned primaryConf)
+{
+    int s = sum(pc, primaryPred);
+    bool sc_pred = s >= 0;
+    lastOverrode_ = false;
+
+    if (sc_pred == primaryPred)
+        return primaryPred;
+
+    // Override threshold scales with the primary confidence.
+    int needed = threshold_ * (1 + static_cast<int>(primaryConf));
+    if (std::abs(s) >= needed) {
+        lastOverrode_ = true;
+        return sc_pred;
+    }
+    return primaryPred;
+}
+
+void
+StatisticalCorrector::update(uint64_t pc, bool primaryPred, bool taken)
+{
+    int s = sum(pc, primaryPred);
+    bool sc_pred = s >= 0;
+
+    // Dynamic threshold adaptation (Seznec): tune so that overrides are
+    // profitable on balance.
+    if (sc_pred != primaryPred) {
+        bool override_correct = sc_pred == taken;
+        thresholdCtr_.train(!override_correct);
+        if (thresholdCtr_.raw() >= SignedSatCounter<6>::kMax) {
+            threshold_++;
+            thresholdCtr_.set(0);
+        } else if (thresholdCtr_.raw() <= SignedSatCounter<6>::kMin) {
+            if (threshold_ > 2)
+                threshold_--;
+            thresholdCtr_.set(0);
+        }
+    }
+
+    // Train counters while the sum is not saturated away.
+    if (std::abs(s) < 8 * threshold_ || sc_pred != taken) {
+        int max = (1 << (cfg_.ctrBits - 1)) - 1;
+        int min = -(1 << (cfg_.ctrBits - 1));
+        auto train = [&](SignedSatCounter<8> &c) {
+            int v = c.raw();
+            if (taken && v < max)
+                v++;
+            else if (!taken && v > min)
+                v--;
+            c.set(v);
+        };
+        train(bias_[biasIndex(pc, primaryPred)]);
+        for (unsigned t = 0; t < gehl_.size(); t++)
+            train(gehl_[t][gehlIndex(t, pc)]);
+    }
+
+    ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+}
+
+size_t
+StatisticalCorrector::storageBits() const
+{
+    size_t bits = bias_.size() * cfg_.ctrBits;
+    for (const auto &t : gehl_)
+        bits += t.size() * cfg_.ctrBits;
+    size_t max_hist = 0;
+    for (unsigned l : cfg_.histLengths)
+        max_hist = std::max<size_t>(max_hist, l);
+    return bits + max_hist + 6 /* threshold ctr */ + 8 /* threshold */;
+}
+
+}  // namespace pbs::bpred

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Statistical corrector (the "SC" in TAGE-SC-L): a small GEHL-style
+ * perceptron-sum predictor that can override TAGE when the statistical
+ * bias of a branch disagrees strongly with the TAGE prediction (catches
+ * statistically biased but history-resistant branches).
+ */
+
+#ifndef PBS_BPRED_SC_HH
+#define PBS_BPRED_SC_HH
+
+#include <vector>
+
+#include "bpred/counters.hh"
+#include "bpred/predictor.hh"
+
+namespace pbs::bpred {
+
+/** Configuration for @ref StatisticalCorrector. */
+struct ScConfig
+{
+    unsigned log2Bias = 10;     ///< bias table entries (indexed pc+pred)
+    unsigned log2Gehl = 9;      ///< entries per history table
+    std::vector<unsigned> histLengths{4, 10, 25};
+    unsigned ctrBits = 6;
+    int initialThreshold = 6;
+};
+
+/**
+ * Statistical corrector. Not a standalone predictor: it refines a
+ * primary prediction. See TageSclPredictor for composition.
+ */
+class StatisticalCorrector
+{
+  public:
+    explicit StatisticalCorrector(const ScConfig &cfg = {});
+
+    /**
+     * @param pc branch address
+     * @param primaryPred prediction of the primary (TAGE) predictor
+     * @param primaryConf primary confidence (0 low .. 2 high)
+     * @return the possibly-overridden prediction
+     */
+    bool refine(uint64_t pc, bool primaryPred, unsigned primaryConf);
+
+    /** Train with the outcome. Call once per branch, after refine(). */
+    void update(uint64_t pc, bool primaryPred, bool taken);
+
+    size_t storageBits() const;
+
+    /** @return true if the last refine() call overrode the primary. */
+    bool lastOverrode() const { return lastOverrode_; }
+
+  private:
+    int sum(uint64_t pc, bool primaryPred) const;
+    size_t biasIndex(uint64_t pc, bool pred) const;
+    size_t gehlIndex(unsigned t, uint64_t pc) const;
+
+    ScConfig cfg_;
+    std::vector<SignedSatCounter<8>> bias_;
+    std::vector<std::vector<SignedSatCounter<8>>> gehl_;
+    uint64_t ghist_ = 0;
+    int threshold_;
+    SignedSatCounter<6> thresholdCtr_;
+    bool lastOverrode_ = false;
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_SC_HH

@@ -1,0 +1,90 @@
+#include "bpred/simple.hh"
+
+namespace pbs::bpred {
+
+BimodalPredictor::BimodalPredictor(unsigned log2Entries)
+    : table_(size_t(1) << log2Entries)
+{
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc)
+{
+    return table_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    table_[index(pc)].train(taken);
+}
+
+GsharePredictor::GsharePredictor(unsigned log2Entries, unsigned historyLen)
+    : table_(size_t(1) << log2Entries), historyLen_(historyLen)
+{
+}
+
+size_t
+GsharePredictor::index(uint64_t pc) const
+{
+    uint64_t hist = ghr_ & ((uint64_t(1) << historyLen_) - 1);
+    return (pc ^ hist) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(uint64_t pc)
+{
+    return table_[index(pc)].taken();
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    table_[index(pc)].train(taken);
+    ghr_ = (ghr_ << 1) | (taken ? 1 : 0);
+}
+
+size_t
+GsharePredictor::storageBits() const
+{
+    return table_.size() * 2 + historyLen_;
+}
+
+LocalPredictor::LocalPredictor(unsigned log2HistEntries,
+                               unsigned historyLen,
+                               unsigned log2PatternEntries)
+    : histories_(size_t(1) << log2HistEntries),
+      patterns_(size_t(1) << log2PatternEntries),
+      historyLen_(historyLen)
+{
+}
+
+size_t
+LocalPredictor::patternIndex(uint64_t pc) const
+{
+    uint16_t hist = histories_[histIndex(pc)] &
+                    ((uint16_t(1) << historyLen_) - 1);
+    return hist & (patterns_.size() - 1);
+}
+
+bool
+LocalPredictor::predict(uint64_t pc)
+{
+    return patterns_[patternIndex(pc)].taken();
+}
+
+void
+LocalPredictor::update(uint64_t pc, bool taken)
+{
+    patterns_[patternIndex(pc)].train(taken);
+    uint16_t &hist = histories_[histIndex(pc)];
+    hist = static_cast<uint16_t>((hist << 1) | (taken ? 1 : 0));
+}
+
+size_t
+LocalPredictor::storageBits() const
+{
+    return histories_.size() * historyLen_ + patterns_.size() * 2;
+}
+
+}  // namespace pbs::bpred

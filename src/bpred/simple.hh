@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simple table-based predictors: bimodal, gshare, and two-level local.
+ */
+
+#ifndef PBS_BPRED_SIMPLE_HH
+#define PBS_BPRED_SIMPLE_HH
+
+#include <vector>
+
+#include "bpred/counters.hh"
+#include "bpred/predictor.hh"
+
+namespace pbs::bpred {
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param log2Entries log2 of the number of counters. */
+    explicit BimodalPredictor(unsigned log2Entries = 12);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override { return table_.size() * 2; }
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    size_t index(uint64_t pc) const { return pc & (table_.size() - 1); }
+    std::vector<SatCounter<2>> table_;
+};
+
+/** Global-history predictor: (GHR xor PC)-indexed 2-bit counters. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    GsharePredictor(unsigned log2Entries = 12, unsigned historyLen = 12);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "gshare"; }
+
+    uint64_t history() const { return ghr_; }
+
+  private:
+    size_t index(uint64_t pc) const;
+    std::vector<SatCounter<2>> table_;
+    unsigned historyLen_;
+    uint64_t ghr_ = 0;
+};
+
+/** Two-level local-history predictor (per-branch pattern tables). */
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    LocalPredictor(unsigned log2HistEntries = 10, unsigned historyLen = 10,
+                   unsigned log2PatternEntries = 10);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "local"; }
+
+  private:
+    size_t histIndex(uint64_t pc) const
+    {
+        return pc & (histories_.size() - 1);
+    }
+    size_t patternIndex(uint64_t pc) const;
+
+    std::vector<uint16_t> histories_;
+    std::vector<SatCounter<2>> patterns_;
+    unsigned historyLen_;
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_SIMPLE_HH

@@ -1,0 +1,219 @@
+#include "bpred/tage.hh"
+
+#include <cmath>
+
+namespace pbs::bpred {
+
+TagePredictor::TagePredictor(const TageConfig &cfg)
+    : cfg_(cfg), ghist_(cfg.maxHistory + 8),
+      bimodal_(size_t(1) << cfg.log2Bimodal)
+{
+    // Geometric history-length series between minHistory and maxHistory.
+    histLen_.resize(cfg_.numTables);
+    double ratio = cfg_.numTables > 1
+        ? std::pow(double(cfg_.maxHistory) / cfg_.minHistory,
+                   1.0 / (cfg_.numTables - 1))
+        : 1.0;
+    for (unsigned i = 0; i < cfg_.numTables; i++) {
+        histLen_[i] = static_cast<unsigned>(
+            cfg_.minHistory * std::pow(ratio, i) + 0.5);
+        if (i > 0 && histLen_[i] <= histLen_[i - 1])
+            histLen_[i] = histLen_[i - 1] + 1;
+    }
+
+    tables_.assign(cfg_.numTables,
+                   std::vector<TaggedEntry>(size_t(1) << cfg_.log2Entries));
+    fIdx_.resize(cfg_.numTables);
+    fTag0_.resize(cfg_.numTables);
+    fTag1_.resize(cfg_.numTables);
+    for (unsigned i = 0; i < cfg_.numTables; i++) {
+        fIdx_[i].init(histLen_[i], cfg_.log2Entries);
+        fTag0_[i].init(histLen_[i], cfg_.tagBits);
+        fTag1_[i].init(histLen_[i], cfg_.tagBits - 1);
+    }
+}
+
+unsigned
+TagePredictor::lfsrNext()
+{
+    unsigned bit = ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^
+                    (lfsr_ >> 5)) & 1u;
+    lfsr_ = (lfsr_ >> 1) | (bit << 15);
+    return lfsr_;
+}
+
+size_t
+TagePredictor::tableIndex(unsigned t, uint64_t pc) const
+{
+    size_t mask = (size_t(1) << cfg_.log2Entries) - 1;
+    uint64_t h = pc ^ (pc >> (cfg_.log2Entries - (t % cfg_.log2Entries)))
+                 ^ fIdx_[t].value();
+    return h & mask;
+}
+
+uint16_t
+TagePredictor::tableTag(unsigned t, uint64_t pc) const
+{
+    uint16_t mask = (uint16_t(1) << cfg_.tagBits) - 1;
+    return static_cast<uint16_t>(
+        (pc ^ fTag0_[t].value() ^ (fTag1_[t].value() << 1)) & mask);
+}
+
+void
+TagePredictor::trainCtr(SignedSatCounter<8> &ctr, bool taken)
+{
+    // Clamp to the configured width.
+    int max = (1 << (cfg_.ctrBits - 1)) - 1;
+    int min = -(1 << (cfg_.ctrBits - 1));
+    int v = ctr.raw();
+    if (taken && v < max)
+        v++;
+    else if (!taken && v > min)
+        v--;
+    ctr.set(v);
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    ctx_ = PredictContext{};
+    ctx_.pc = pc;
+    ctx_.valid = true;
+
+    // Find provider (longest hit) and alternate (next hit).
+    for (int t = static_cast<int>(cfg_.numTables) - 1; t >= 0; t--) {
+        size_t idx = tableIndex(t, pc);
+        if (tables_[t][idx].tag == tableTag(t, pc)) {
+            if (ctx_.provider < 0) {
+                ctx_.provider = t;
+                ctx_.providerIdx = idx;
+            } else if (ctx_.alt < 0) {
+                ctx_.alt = t;
+                ctx_.altIdx = idx;
+                break;
+            }
+        }
+    }
+
+    bool bimodal_pred = bimodal_[pc & (bimodal_.size() - 1)].taken();
+    ctx_.altPred = ctx_.alt >= 0
+        ? tables_[ctx_.alt][ctx_.altIdx].ctr.taken()
+        : bimodal_pred;
+
+    if (ctx_.provider >= 0) {
+        const TaggedEntry &e = tables_[ctx_.provider][ctx_.providerIdx];
+        ctx_.providerPred = e.ctr.taken();
+        ctx_.providerNew = e.u == 0 && e.ctr.weak();
+        bool use_alt = ctx_.providerNew && !useAltOnNa_.taken();
+        ctx_.finalPred = use_alt ? ctx_.altPred : ctx_.providerPred;
+        int strength = std::abs(2 * e.ctr.raw() + 1);
+        lastConf_ = ctx_.providerNew ? 0 : (strength >= 5 ? 2 : 1);
+    } else {
+        ctx_.providerPred = bimodal_pred;
+        ctx_.finalPred = bimodal_pred;
+        lastConf_ = 1;
+    }
+    return ctx_.finalPred;
+}
+
+void
+TagePredictor::allocate(uint64_t pc, bool taken, int fromTable)
+{
+    // Try to allocate in a table with longer history than the provider.
+    int start = fromTable + 1;
+    if (start >= static_cast<int>(cfg_.numTables))
+        return;
+
+    // Random skip (Seznec): sometimes skip the first candidate to spread
+    // allocations across tables.
+    if ((lfsrNext() & 3u) == 0 &&
+        start + 1 < static_cast<int>(cfg_.numTables)) {
+        start++;
+    }
+
+    for (int t = start; t < static_cast<int>(cfg_.numTables); t++) {
+        size_t idx = tableIndex(t, pc);
+        TaggedEntry &e = tables_[t][idx];
+        if (e.u == 0) {
+            e.tag = tableTag(t, pc);
+            e.ctr.set(taken ? 0 : -1);
+            return;
+        }
+    }
+    // No free entry: decay usefulness so future allocations succeed.
+    for (int t = start; t < static_cast<int>(cfg_.numTables); t++) {
+        TaggedEntry &e = tables_[t][tableIndex(t, pc)];
+        if (e.u > 0)
+            e.u--;
+    }
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken)
+{
+    // The CBP-style protocol guarantees update follows predict for the
+    // same branch; recompute defensively if that does not hold.
+    if (!ctx_.valid || ctx_.pc != pc)
+        predict(pc);
+
+    bool mispredicted = ctx_.finalPred != taken;
+
+    if (ctx_.provider >= 0) {
+        TaggedEntry &e = tables_[ctx_.provider][ctx_.providerIdx];
+
+        // Track whether alternate prediction beats new entries.
+        if (ctx_.providerNew && ctx_.providerPred != ctx_.altPred)
+            useAltOnNa_.train(ctx_.providerPred == taken);
+
+        trainCtr(e.ctr, taken);
+        if (ctx_.providerPred != ctx_.altPred) {
+            unsigned umax = (1u << cfg_.uBits) - 1;
+            if (ctx_.providerPred == taken) {
+                if (e.u < umax)
+                    e.u++;
+            } else {
+                if (e.u > 0)
+                    e.u--;
+            }
+        }
+    } else {
+        bimodal_[pc & (bimodal_.size() - 1)].train(taken);
+    }
+
+    if (mispredicted)
+        allocate(pc, taken, ctx_.provider);
+
+    // Periodic usefulness aging.
+    if (++tick_ >= cfg_.resetPeriod) {
+        tick_ = 0;
+        for (auto &table : tables_)
+            for (auto &e : table)
+                e.u >>= 1;
+    }
+
+    pushHistory(taken);
+    ctx_.valid = false;
+}
+
+void
+TagePredictor::pushHistory(bool taken)
+{
+    ghist_.push(taken);
+    for (unsigned i = 0; i < cfg_.numTables; i++) {
+        fIdx_[i].update(ghist_);
+        fTag0_[i].update(ghist_);
+        fTag1_[i].update(ghist_);
+    }
+}
+
+size_t
+TagePredictor::storageBits() const
+{
+    size_t per_entry = cfg_.ctrBits + cfg_.tagBits + cfg_.uBits;
+    size_t tagged = cfg_.numTables *
+                    (size_t(1) << cfg_.log2Entries) * per_entry;
+    size_t bimodal = bimodal_.size() * 2;
+    return tagged + bimodal + cfg_.maxHistory + 4 /* useAltOnNa */;
+}
+
+}  // namespace pbs::bpred

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * TAGE: TAgged GEometric history length branch predictor (Seznec &
+ * Michaud), the main component of the paper's 8 KB TAGE-SC-L baseline.
+ *
+ * A bimodal base predictor is backed by N tagged tables indexed with
+ * hashes of geometrically increasing global-history lengths. The longest
+ * matching table provides the prediction; allocation happens on
+ * mispredictions; usefulness counters arbitrate replacement.
+ */
+
+#ifndef PBS_BPRED_TAGE_HH
+#define PBS_BPRED_TAGE_HH
+
+#include <vector>
+
+#include "bpred/counters.hh"
+#include "bpred/predictor.hh"
+
+namespace pbs::bpred {
+
+/** Configuration for @ref TagePredictor. */
+struct TageConfig
+{
+    unsigned numTables = 6;       ///< tagged components
+    unsigned minHistory = 4;      ///< shortest history length
+    unsigned maxHistory = 160;    ///< longest history length
+    unsigned log2Entries = 9;     ///< entries per tagged table
+    unsigned tagBits = 9;
+    unsigned ctrBits = 3;
+    unsigned uBits = 2;
+    unsigned log2Bimodal = 11;
+    unsigned resetPeriod = 1u << 18;  ///< usefulness aging period
+};
+
+/** Circular global-history buffer. */
+class HistoryBuffer
+{
+  public:
+    explicit HistoryBuffer(size_t capacity)
+        : bits_(capacity, 0)
+    {}
+
+    void
+    push(bool taken)
+    {
+        head_ = (head_ + bits_.size() - 1) % bits_.size();
+        bits_[head_] = taken ? 1 : 0;
+    }
+
+    /** @return the @p age-th most recent bit (0 = newest). */
+    uint8_t
+    bit(size_t age) const
+    {
+        return bits_[(head_ + age) % bits_.size()];
+    }
+
+  private:
+    std::vector<uint8_t> bits_;
+    size_t head_ = 0;
+};
+
+/** Incrementally folded history register (Seznec's scheme). */
+class FoldedHistory
+{
+  public:
+    void
+    init(unsigned origLen, unsigned compLen)
+    {
+        origLen_ = origLen;
+        compLen_ = compLen;
+        comp_ = 0;
+    }
+
+    /** Call after HistoryBuffer::push. */
+    void
+    update(const HistoryBuffer &h)
+    {
+        comp_ = (comp_ << 1) | h.bit(0);
+        comp_ ^= static_cast<unsigned>(h.bit(origLen_))
+                 << (origLen_ % compLen_);
+        comp_ ^= comp_ >> compLen_;
+        comp_ &= (1u << compLen_) - 1;
+    }
+
+    unsigned value() const { return comp_; }
+
+  private:
+    unsigned comp_ = 0;
+    unsigned origLen_ = 0;
+    unsigned compLen_ = 1;
+};
+
+/** TAGE predictor. */
+class TagePredictor : public BranchPredictor
+{
+  public:
+    explicit TagePredictor(const TageConfig &cfg = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "tage"; }
+
+    /** @return history length of tagged table @p i. */
+    unsigned historyLength(unsigned i) const { return histLen_[i]; }
+
+    /**
+     * Confidence of the last predict() call: 0 = low (weak/new entry),
+     * 1 = medium, 2 = high.
+     */
+    unsigned lastConfidence() const { return lastConf_; }
+
+    /** Feed a direction into the global history without training
+     *  (used by composite predictors for non-conditional updates). */
+    void pushHistory(bool taken);
+
+  private:
+    struct TaggedEntry
+    {
+        SignedSatCounter<8> ctr;  // width limited by cfg at train time
+        uint16_t tag = 0;
+        uint8_t u = 0;
+    };
+
+    struct PredictContext
+    {
+        uint64_t pc = 0;
+        int provider = -1;        ///< table index, -1 = bimodal
+        int alt = -1;
+        size_t providerIdx = 0;
+        size_t altIdx = 0;
+        bool providerPred = false;
+        bool altPred = false;
+        bool finalPred = false;
+        bool providerNew = false;
+        bool valid = false;
+    };
+
+    size_t tableIndex(unsigned t, uint64_t pc) const;
+    uint16_t tableTag(unsigned t, uint64_t pc) const;
+    void trainCtr(SignedSatCounter<8> &ctr, bool taken);
+    void allocate(uint64_t pc, bool taken, int fromTable);
+    unsigned lfsrNext();
+
+    TageConfig cfg_;
+    std::vector<unsigned> histLen_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    HistoryBuffer ghist_;
+    std::vector<SatCounter<2>> bimodal_;
+    std::vector<FoldedHistory> fIdx_;
+    std::vector<FoldedHistory> fTag0_;
+    std::vector<FoldedHistory> fTag1_;
+    SignedSatCounter<4> useAltOnNa_;
+    uint64_t tick_ = 0;
+    unsigned lfsr_ = 0xace1u;
+    unsigned lastConf_ = 0;
+    PredictContext ctx_;
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_TAGE_HH

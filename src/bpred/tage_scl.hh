@@ -1,0 +1,53 @@
+/**
+ * @file
+ * TAGE-SC-L: TAGE + Statistical Corrector + Loop predictor, configured
+ * to an ~8 KB budget matching the paper's CBP-2016-derived baseline.
+ */
+
+#ifndef PBS_BPRED_TAGE_SCL_HH
+#define PBS_BPRED_TAGE_SCL_HH
+
+#include "bpred/loop.hh"
+#include "bpred/sc.hh"
+#include "bpred/tage.hh"
+
+namespace pbs::bpred {
+
+/** Configuration for @ref TageSclPredictor. */
+struct TageSclConfig
+{
+    TageConfig tage{};
+    ScConfig sc{};
+    unsigned log2Loop = 5;
+    unsigned loopTagBits = 10;
+    unsigned loopIterBits = 12;
+};
+
+/**
+ * The composed TAGE-SC-L predictor. Component priority:
+ * loop (when confident) > statistical corrector override > TAGE.
+ */
+class TageSclPredictor : public BranchPredictor
+{
+  public:
+    explicit TageSclPredictor(const TageSclConfig &cfg = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "tage-sc-l"; }
+
+  private:
+    TagePredictor tage_;
+    StatisticalCorrector sc_;
+    LoopPredictor loop_;
+
+    // Per-branch state between predict and update.
+    bool lastTagePred_ = false;
+    bool lastUsedLoop_ = false;
+    uint64_t lastPc_ = ~uint64_t(0);
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_TAGE_SCL_HH

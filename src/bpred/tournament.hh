@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tournament predictor modeled after the Pentium-M organization used by
+ * the paper as its 1 KB baseline: a bimodal component, a global (gshare)
+ * component, a loop predictor, and a PC-indexed chooser.
+ */
+
+#ifndef PBS_BPRED_TOURNAMENT_HH
+#define PBS_BPRED_TOURNAMENT_HH
+
+#include <memory>
+
+#include "bpred/loop.hh"
+#include "bpred/simple.hh"
+
+namespace pbs::bpred {
+
+/** Configuration for @ref TournamentPredictor. */
+struct TournamentConfig
+{
+    unsigned log2Bimodal = 10;   ///< 1024 x 2b = 256 B
+    unsigned log2Global = 10;    ///< 1024 x 2b = 256 B
+    unsigned globalHistory = 10;
+    unsigned log2Chooser = 10;   ///< 1024 x 2b = 256 B
+    unsigned log2Loop = 6;       ///< 64 entries
+    unsigned loopTagBits = 10;
+    unsigned loopIterBits = 10;
+};
+
+/**
+ * Bimodal + gshare + loop with a chooser. Roughly 1 KB of state with the
+ * default configuration (see storageBits()).
+ */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(const TournamentConfig &cfg = {});
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    size_t storageBits() const override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor global_;
+    LoopPredictor loop_;
+    std::vector<SatCounter<2>> chooser_;
+
+    size_t
+    chooserIndex(uint64_t pc) const
+    {
+        return pc & (chooser_.size() - 1);
+    }
+};
+
+}  // namespace pbs::bpred
+
+#endif  // PBS_BPRED_TOURNAMENT_HH

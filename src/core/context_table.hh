@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calling-context support for PBS (paper Sec. V-C1, Fig. 5).
+ *
+ * The Context-Table tracks the two innermost loops (detected dynamically
+ * from backward branches) and the function call made at depth one inside
+ * the active loop. A probabilistic branch's full context is the active
+ * loop slot plus the current function-call PC; different paths to the
+ * same branch therefore occupy distinct PBS table entries.
+ */
+
+#ifndef PBS_CORE_CONTEXT_TABLE_HH
+#define PBS_CORE_CONTEXT_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pbs_config.hh"
+
+namespace pbs::core {
+
+/** Context identity attached to PBS table entries. */
+struct ContextKey
+{
+    int loopSlot = -1;      ///< Context-Table slot of the active loop
+    uint64_t loopPc = 0;    ///< loop header PC (disambiguates slot reuse)
+    uint64_t funcPc = 0;    ///< call-site PC at depth 1, or 0
+
+    bool operator==(const ContextKey &o) const = default;
+};
+
+/**
+ * Loop and call tracking. Loop detection follows the classic
+ * backward-branch scheme (Tubella & Gonzalez): the first instruction of
+ * a loop is the target of a backward branch; Last-PC tracks the loop's
+ * extent; a not-taken backward branch at or beyond Last-PC terminates
+ * the loop.
+ */
+class ContextTable
+{
+  public:
+    /** Callback invoked when a loop context is cleared (slot index,
+     *  loop header PC). Used by the engine to flush PBS entries. */
+    using ClearHook = std::function<void(int, uint64_t)>;
+
+    explicit ContextTable(const PbsConfig &cfg);
+
+    void setClearHook(ClearHook hook) { clearHook_ = std::move(hook); }
+
+    /** Observe a conditional or unconditional branch at fetch. */
+    void noteBranch(uint64_t pc, uint64_t target, bool taken);
+
+    /** Observe a function call at fetch. */
+    void noteCall(uint64_t pc);
+
+    /** Observe a function return at fetch. */
+    void noteReturn();
+
+    /**
+     * Context of a probabilistic branch encountered now.
+     * @param supported out: false when the call depth exceeds the
+     *        supported nesting (branch must be treated as regular)
+     */
+    ContextKey currentContext(bool &supported) const;
+
+    /** Storage accounting per the paper's arithmetic. */
+    size_t storageBits() const;
+
+    uint64_t clears() const { return clears_; }
+
+    /** @return the slot of the currently active loop, or -1. */
+    int activeLoop() const { return activeSlot(); }
+
+    /** @return true if any loop is currently being tracked. */
+    bool anyLoopActive() const { return activeSlot() >= 0; }
+
+    /** @return true if @p slot currently holds the loop @p loopPc. */
+    bool
+    isLive(int slot, uint64_t loopPc) const
+    {
+        return slot >= 0 && slot < int(entries_.size()) &&
+               entries_[slot].valid && entries_[slot].loopPc == loopPc;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t loopPc = 0;
+        uint64_t lastPc = 0;
+        uint64_t funcPc = 0;
+        unsigned callDepth = 0;
+        uint64_t stamp = 0;   ///< recency (last backward-taken branch)
+    };
+
+    void clearEntry(int slot);
+    int findLoop(uint64_t loopPc) const;
+    int activeSlot() const;
+    int oldestSlot() const;
+
+    const PbsConfig cfg_;
+    std::vector<Entry> entries_;
+    ClearHook clearHook_;
+    uint64_t stampClock_ = 0;
+    uint64_t clears_ = 0;
+
+    /** Call depth outside any detected loop. */
+    unsigned globalCallDepth_ = 0;
+    uint64_t globalFuncPc_ = 0;
+};
+
+}  // namespace pbs::core
+
+#endif  // PBS_CORE_CONTEXT_TABLE_HH

@@ -1,0 +1,290 @@
+#include "core/pbs_engine.hh"
+
+#include <stdexcept>
+
+namespace pbs::core {
+
+PbsEngine::PbsEngine(const PbsConfig &cfg)
+    : cfg_(cfg), btb_(cfg), swapTable_(cfg), inFlight_(cfg),
+      ctxTable_(cfg)
+{
+    ctxTable_.setClearHook([this](int slot, uint64_t loop_pc) {
+        onContextClear(slot, loop_pc);
+    });
+}
+
+void
+PbsEngine::noteBranch(uint64_t pc, uint64_t target, bool taken)
+{
+    if (enabled_ && cfg_.contextSupport)
+        ctxTable_.noteBranch(pc, target, taken);
+}
+
+void
+PbsEngine::noteCall(uint64_t pc)
+{
+    if (enabled_ && cfg_.contextSupport)
+        ctxTable_.noteCall(pc);
+}
+
+void
+PbsEngine::noteReturn()
+{
+    if (enabled_ && cfg_.contextSupport)
+        ctxTable_.noteReturn();
+}
+
+void
+PbsEngine::onContextClear(int loopSlot, uint64_t loopPc)
+{
+    // Flush every PBS entry created under the cleared loop context,
+    // including its queued in-flight records. Live instances check
+    // entry validity at publish time, so no dangling state survives.
+    for (unsigned i = 0; i < btb_.numEntries(); i++) {
+        const auto &e = btb_.entry(i);
+        if (e.valid && e.ctx.loopSlot == loopSlot &&
+            e.ctx.loopPc == loopPc) {
+            inFlight_.clearIndex(static_cast<int>(i));
+            btb_.clear(static_cast<int>(i));
+            stats_.contextClears++;
+        }
+    }
+}
+
+PbsInstance
+PbsEngine::onProbCmpFetch(uint64_t branchPc, uint64_t cycle)
+{
+    LiveInstance inst;
+    inst.pub.token = nextToken_++;
+    inst.branchPc = branchPc;
+
+    if (!enabled_) {
+        inst.pub.fallback = FallbackReason::Disabled;
+        live_[inst.pub.token] = inst;
+        return inst.pub;
+    }
+
+    if (cfg_.constValGuard && constValDisabled_.count(branchPc)) {
+        inst.pub.fallback = FallbackReason::ConstValViolation;
+        live_[inst.pub.token] = inst;
+        return inst.pub;
+    }
+
+    bool ctx_supported = true;
+    if (cfg_.contextSupport) {
+        inst.ctx = ctxTable_.currentContext(ctx_supported);
+    }
+    if (!ctx_supported) {
+        stats_.fetchDepthLimited++;
+        inst.pub.fallback = FallbackReason::DepthLimit;
+        live_[inst.pub.token] = inst;
+        return inst.pub;
+    }
+
+    inst.recording = true;
+    int idx = btb_.find(branchPc, inst.ctx);
+    inst.btbIndex = idx;
+
+    if (idx >= 0) {
+        auto &e = btb_.entry(idx);
+        if (!e.hasPayload) {
+            if (auto rec = inFlight_.pull(idx, cycle)) {
+                e.payload = *rec;
+                e.hasPayload = true;
+            } else if (cfg_.stallOnBusy) {
+                // A record exists but is still executing: stall fetch
+                // until it completes rather than risking a squash.
+                if (auto ready = inFlight_.earliestReady(idx)) {
+                    uint64_t eff = std::max(cycle, *ready);
+                    if (auto rec2 = inFlight_.pull(idx, eff)) {
+                        e.payload = *rec2;
+                        e.hasPayload = true;
+                        inst.pub.stallCycles = eff - cycle;
+                        stats_.fetchStalled++;
+                        stats_.stallCycles += inst.pub.stallCycles;
+                    }
+                }
+            }
+        }
+        if (e.hasPayload) {
+            inst.pub.steered = true;
+            inst.pub.old = e.payload;
+            e.hasPayload = false;
+            // Refill for the next fetch if a record is already visible.
+            if (auto rec = inFlight_.pull(
+                    idx, cycle + inst.pub.stallCycles)) {
+                e.payload = *rec;
+                e.hasPayload = true;
+            }
+            stats_.fetchSteered++;
+        } else {
+            inst.pub.fallback = FallbackReason::Bootstrap;
+            stats_.fetchBootstrap++;
+        }
+    } else {
+        inst.pub.fallback = FallbackReason::Bootstrap;
+        stats_.fetchBootstrap++;
+    }
+
+    live_[inst.pub.token] = inst;
+    return inst.pub;
+}
+
+const PbsInstance &
+PbsEngine::instance(uint64_t token) const
+{
+    auto it = live_.find(token);
+    if (it == live_.end())
+        throw std::logic_error("PbsEngine: unknown instance token");
+    return it->second.pub;
+}
+
+bool
+PbsEngine::onProbCmpExec(uint64_t token, uint64_t newValue1,
+                         uint64_t cmpOperand, uint64_t execCycle)
+{
+    auto it = live_.find(token);
+    if (it == live_.end())
+        throw std::logic_error("PbsEngine: unknown instance token");
+    LiveInstance &inst = it->second;
+    inst.newValue1 = newValue1;
+    inst.cmpExecCycle = execCycle;
+
+    if (!inst.recording)
+        return false;
+
+    if (inst.btbIndex >= 0) {
+        auto &e = btb_.entry(inst.btbIndex);
+        if (!e.valid || e.branchPc != inst.branchPc) {
+            // The entry was flushed (context clear) underneath us.
+            inst.btbIndex = -1;
+        } else if (cfg_.constValGuard) {
+            if (e.hasConstVal && e.constVal != cmpOperand) {
+                // Comparison value changed within the context: unsafe.
+                // Flush and stick the branch to regular treatment.
+                inFlight_.clearIndex(inst.btbIndex);
+                btb_.clear(inst.btbIndex);
+                constValDisabled_.insert(inst.branchPc);
+                stats_.constValFlushes++;
+                inst.recording = false;
+                inst.btbIndex = -1;
+                return false;
+            }
+            if (!e.hasConstVal) {
+                e.hasConstVal = true;
+                e.constVal = cmpOperand;
+            }
+        }
+    } else {
+        // First execution in this context: remember the comparison
+        // operand for registration at allocation time.
+        inst.pendingConstVal = cmpOperand;
+    }
+    return true;
+}
+
+void
+PbsEngine::onCarrierExec(uint64_t token, uint64_t newValue2)
+{
+    auto it = live_.find(token);
+    if (it == live_.end())
+        throw std::logic_error("PbsEngine: unknown instance token");
+    it->second.newValue2 = newValue2;
+}
+
+void
+PbsEngine::onProbJmpExec(uint64_t token, bool outcome,
+                         std::optional<uint64_t> newValue2,
+                         uint64_t targetPc, uint64_t execCycle,
+                         uint64_t genSeq)
+{
+    auto it = live_.find(token);
+    if (it == live_.end())
+        throw std::logic_error("PbsEngine: unknown instance token");
+    LiveInstance inst = it->second;
+    live_.erase(it);
+
+    if (!inst.recording)
+        return;
+
+    if (newValue2)
+        inst.newValue2 = newValue2;
+
+    int idx = inst.btbIndex;
+    if (idx >= 0) {
+        const auto &e = btb_.entry(idx);
+        if (!e.valid || e.branchPc != inst.branchPc)
+            idx = -1;  // flushed while in flight
+    }
+    if (idx < 0) {
+        idx = btb_.find(inst.branchPc, inst.ctx);
+    }
+    if (idx < 0) {
+        idx = btb_.allocate(inst.branchPc, inst.ctx);
+        if (idx < 0) {
+            // Capacity heuristic (paper Sec. V-C2): prefer evicting
+            // entries whose loop context is gone, then entries from
+            // outer loop levels, so the hot innermost branches win.
+            int victim = -1;
+            for (unsigned i = 0; i < btb_.numEntries(); i++) {
+                const auto &e = btb_.entry(i);
+                bool stale = e.ctx.loopSlot >= 0
+                    ? !ctxTable_.isLive(e.ctx.loopSlot, e.ctx.loopPc)
+                    : (cfg_.contextSupport && ctxTable_.anyLoopActive());
+                if (stale) {
+                    victim = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (victim < 0 && cfg_.contextSupport) {
+                int active = ctxTable_.activeLoop();
+                if (active >= 0 && inst.ctx.loopSlot == active) {
+                    for (unsigned i = 0; i < btb_.numEntries(); i++) {
+                        if (btb_.entry(i).ctx.loopSlot != active) {
+                            victim = static_cast<int>(i);
+                            break;
+                        }
+                    }
+                }
+            }
+            if (victim < 0) {
+                stats_.fetchUnsupported++;
+                return;  // no capacity: branch stays regular
+            }
+            inFlight_.clearIndex(victim);
+            btb_.clear(victim);
+            stats_.entriesEvicted++;
+            idx = btb_.allocate(inst.branchPc, inst.ctx);
+        }
+        stats_.entriesAllocated++;
+        auto &e = btb_.entry(idx);
+        e.targetPc = targetPc;
+        if (cfg_.constValGuard && inst.pendingConstVal) {
+            e.hasConstVal = true;
+            e.constVal = *inst.pendingConstVal;
+        }
+    }
+
+    BranchRecord rec;
+    rec.taken = outcome;
+    rec.genSeq = genSeq;
+    rec.value1 = inst.newValue1;
+    if (inst.newValue2) {
+        rec.value2 = *inst.newValue2;
+        rec.hasValue2 = true;
+    }
+
+    if (inFlight_.push(idx, rec, execCycle))
+        stats_.recordsPushed++;
+    else
+        stats_.recordsDropped++;
+}
+
+size_t
+PbsEngine::storageBits() const
+{
+    return btb_.storageBits() + swapTable_.storageBits() +
+           inFlight_.storageBits() + ctxTable_.storageBits();
+}
+
+}  // namespace pbs::core

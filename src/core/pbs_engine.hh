@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The PBS engine: orchestrates the Prob-BTB, SwapTable, Prob-in-Flight
+ * and Context-Table to implement the paper's mechanism (Secs. III & V).
+ *
+ * Event model
+ * -----------
+ * The simulator calls the engine in *fetch order*; execution-side events
+ * carry the cycle at which they complete, and recorded values become
+ * visible to later fetches only once the fetch cycle passes that point.
+ * This reproduces the fetch/execute decoupling of the paper's design
+ * (bootstrap phase, in-flight limit) on top of an execute-at-fetch
+ * simulator.
+ *
+ * Instance lifecycle (one dynamic execution of a probabilistic branch):
+ *  1. onProbCmpFetch  -> steered or bootstrap decision; swap values
+ *                        captured from the Prob-BTB payload
+ *  2. onProbJmpFetch  -> fetch direction (stored outcome when steered)
+ *  3. onProbCmpExec   -> new value recorded; Const-Val guard
+ *  4. (optional carrier PROB_JMP exec -> second value recorded)
+ *  5. onProbJmpExec   -> record completed and pushed to Prob-in-Flight
+ *
+ * Functional semantics of a *steered* instance: the condition register
+ * receives the stored outcome, the probabilistic registers receive the
+ * stored values (the swap), and the newly generated values are recorded
+ * for a future instance. A *bootstrap* instance behaves like a regular
+ * branch but still records its values.
+ */
+
+#ifndef PBS_CORE_PBS_ENGINE_HH
+#define PBS_CORE_PBS_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/context_table.hh"
+#include "core/pbs_config.hh"
+#include "core/tables.hh"
+
+namespace pbs::core {
+
+/** Why an instance was not steered. */
+enum class FallbackReason {
+    None,           ///< steered
+    Bootstrap,      ///< no payload available yet
+    DepthLimit,     ///< call depth beyond context support
+    NoTableSpace,   ///< Prob-BTB capacity exhausted
+    Disabled,       ///< engine disabled
+    ConstValViolation,  ///< branch demoted by the Const-Val guard
+};
+
+/** Per-instance state exposed to the simulator. */
+struct PbsInstance
+{
+    bool steered = false;
+    FallbackReason fallback = FallbackReason::None;
+    BranchRecord old;       ///< payload captured at fetch (if steered)
+    uint64_t token = 0;
+
+    /**
+     * Cycles the fetch unit must stall before the steering record is
+     * available (stallOnBusy policy); 0 when the record was ready.
+     */
+    uint64_t stallCycles = 0;
+};
+
+/** The PBS hardware engine. */
+class PbsEngine
+{
+  public:
+    explicit PbsEngine(const PbsConfig &cfg = {});
+
+    /** Master switch; when disabled every fetch falls back. */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    // --- context tracking (call at fetch, for every such event) ---
+    void noteBranch(uint64_t pc, uint64_t target, bool taken);
+    void noteCall(uint64_t pc);
+    void noteReturn();
+
+    // --- instance lifecycle ---
+
+    /**
+     * Fetch of a PROB_CMP opening an instance of the branch whose
+     * closing PROB_JMP is at @p branchPc.
+     * @param cycle current fetch cycle
+     * @return instance token and steering decision
+     */
+    PbsInstance onProbCmpFetch(uint64_t branchPc, uint64_t cycle);
+
+    /** @return the instance state for @p token. */
+    const PbsInstance &instance(uint64_t token) const;
+
+    /**
+     * Execution of the instance's PROB_CMP.
+     * @param newValue1 newly generated probabilistic value (raw bits)
+     * @param cmpOperand the comparison operand (Const-Val guard)
+     * @param execCycle completion cycle of the compare
+     * @return true if the instance is still PBS-managed (false after a
+     *         Const-Val flush: the caller must treat it as regular)
+     */
+    bool onProbCmpExec(uint64_t token, uint64_t newValue1,
+                       uint64_t cmpOperand, uint64_t execCycle);
+
+    /** Execution of a carrier PROB_JMP (second value). */
+    void onCarrierExec(uint64_t token, uint64_t newValue2);
+
+    /**
+     * Execution of the closing PROB_JMP: completes and publishes the
+     * instance's record.
+     * @param outcome the branch direction computed from the new values
+     * @param newValue2 second value if the closing jump carries one
+     * @param targetPc branch target (stored in the Prob-BTB)
+     * @param execCycle completion cycle of the jump
+     * @param genSeq dynamic instance index (trace support, see
+     *        BranchRecord::genSeq)
+     */
+    void onProbJmpExec(uint64_t token, bool outcome,
+                       std::optional<uint64_t> newValue2,
+                       uint64_t targetPc, uint64_t execCycle,
+                       uint64_t genSeq = 0);
+
+    // --- observability ---
+    const PbsStats &stats() const { return stats_; }
+    const PbsConfig &config() const { return cfg_; }
+
+    /** Total PBS state per the paper's arithmetic (1544 bits default). */
+    size_t storageBits() const;
+    size_t storageBytes() const { return (storageBits() + 7) / 8; }
+
+    const ProbBtb &btb() const { return btb_; }
+    const ProbInFlight &inFlight() const { return inFlight_; }
+    const ContextTable &contextTable() const { return ctxTable_; }
+
+  private:
+    struct LiveInstance
+    {
+        PbsInstance pub;
+        uint64_t branchPc = 0;
+        ContextKey ctx;
+        int btbIndex = -1;
+        bool recording = false;   ///< will publish a record at jmp exec
+        uint64_t newValue1 = 0;
+        std::optional<uint64_t> newValue2;
+        std::optional<uint64_t> pendingConstVal;
+        uint64_t cmpExecCycle = 0;
+    };
+
+    void onContextClear(int loopSlot, uint64_t loopPc);
+
+    PbsConfig cfg_;
+    bool enabled_ = true;
+    ProbBtb btb_;
+    SwapTable swapTable_;
+    ProbInFlight inFlight_;
+    ContextTable ctxTable_;
+    PbsStats stats_;
+    std::unordered_map<uint64_t, LiveInstance> live_;
+    uint64_t nextToken_ = 1;
+
+    /**
+     * Branches demoted to regular by the Const-Val guard (their
+     * comparison value changed within a context). Modeled as a sticky
+     * per-branch disable bit (paper Sec. V-C1: "the branch is treated
+     * as a regular branch").
+     */
+    std::unordered_set<uint64_t> constValDisabled_;
+};
+
+}  // namespace pbs::core
+
+#endif  // PBS_CORE_PBS_ENGINE_HH

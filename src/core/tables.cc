@@ -1,0 +1,158 @@
+#include "core/tables.hh"
+
+namespace pbs::core {
+
+ProbBtb::ProbBtb(const PbsConfig &cfg)
+    : cfg_(cfg), entries_(cfg.numBranches)
+{
+}
+
+int
+ProbBtb::find(uint64_t branchPc, const ContextKey &ctx) const
+{
+    for (size_t i = 0; i < entries_.size(); i++) {
+        const Entry &e = entries_[i];
+        if (e.valid && e.branchPc == branchPc && e.ctx == ctx)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+ProbBtb::allocate(uint64_t branchPc, const ContextKey &ctx)
+{
+    for (size_t i = 0; i < entries_.size(); i++) {
+        if (!entries_[i].valid) {
+            entries_[i] = Entry{};
+            entries_[i].valid = true;
+            entries_[i].branchPc = branchPc;
+            entries_[i].ctx = ctx;
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+unsigned
+ProbBtb::clearContext(int loopSlot, uint64_t loopPc)
+{
+    unsigned cleared = 0;
+    for (auto &e : entries_) {
+        if (e.valid && e.ctx.loopSlot == loopSlot &&
+            e.ctx.loopPc == loopPc) {
+            e = Entry{};
+            cleared++;
+        }
+    }
+    return cleared;
+}
+
+size_t
+ProbBtb::storageBits() const
+{
+    // loop bit + function PC + branch PC + target PC + Pr-Phy index +
+    // valid + T/NT + Const-Val (paper Sec. V-C2).
+    size_t per = 1 + cfg_.addressBits + cfg_.addressBits +
+                 cfg_.addressBits + cfg_.physRegBits + 1 + 1 +
+                 cfg_.valueBits;
+    return cfg_.numBranches * per;
+}
+
+SwapTable::SwapTable(const PbsConfig &cfg)
+    : cfg_(cfg),
+      entries_(cfg.numBranches * (cfg.valuesPerBranch - 1))
+{
+}
+
+size_t
+SwapTable::storageBits() const
+{
+    // PC + Prob-BTB index + phys-reg index + valid (paper Sec. V-C2).
+    size_t per = cfg_.addressBits + cfg_.btbIndexBits +
+                 cfg_.physRegBits + 1;
+    return entries_ * per;
+}
+
+ProbInFlight::ProbInFlight(const PbsConfig &cfg)
+    : cfg_(cfg), slots_(cfg.inFlightLimit)
+{
+}
+
+bool
+ProbInFlight::push(int btbIndex, const BranchRecord &rec,
+                   uint64_t readyCycle)
+{
+    for (auto &slot : slots_) {
+        if (!slot.valid) {
+            slot.valid = true;
+            slot.btbIndex = btbIndex;
+            slot.rec = rec;
+            slot.readyCycle = readyCycle;
+            slot.seq = ++seqClock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<BranchRecord>
+ProbInFlight::pull(int btbIndex, uint64_t nowCycle)
+{
+    Slot *best = nullptr;
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.btbIndex == btbIndex &&
+            slot.readyCycle <= nowCycle &&
+            (!best || slot.seq < best->seq)) {
+            best = &slot;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    BranchRecord rec = best->rec;
+    best->valid = false;
+    return rec;
+}
+
+std::optional<uint64_t>
+ProbInFlight::earliestReady(int btbIndex) const
+{
+    const Slot *best = nullptr;
+    for (const auto &slot : slots_) {
+        if (slot.valid && slot.btbIndex == btbIndex &&
+            (!best || slot.seq < best->seq)) {
+            best = &slot;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    return best->readyCycle;
+}
+
+void
+ProbInFlight::clearIndex(int btbIndex)
+{
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.btbIndex == btbIndex)
+            slot.valid = false;
+    }
+}
+
+unsigned
+ProbInFlight::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &slot : slots_)
+        if (slot.valid)
+            n++;
+    return n;
+}
+
+size_t
+ProbInFlight::storageBits() const
+{
+    // 2 bytes per entry; compare and jump each occupy an entry, so one
+    // record = 2 entries (paper Sec. V-C2).
+    return cfg_.inFlightLimit * 2 * 16;
+}
+
+}  // namespace pbs::core

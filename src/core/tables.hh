@@ -1,0 +1,162 @@
+/**
+ * @file
+ * PBS hardware tables: Prob-BTB, SwapTable, Prob-in-Flight (paper
+ * Fig. 4). The tables store modeled register *values* where the hardware
+ * stores physical-register indices; storage accounting still follows the
+ * paper's field widths exactly (index bits, not value bits, where the
+ * paper says so).
+ */
+
+#ifndef PBS_CORE_TABLES_HH
+#define PBS_CORE_TABLES_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/context_table.hh"
+#include "core/pbs_config.hh"
+
+namespace pbs::core {
+
+/** A recorded (values, outcome) tuple from one executed instance. */
+struct BranchRecord
+{
+    bool taken = false;
+    uint64_t value1 = 0;   ///< PROB_CMP's probabilistic value (raw bits)
+    uint64_t value2 = 0;   ///< PROB_JMP's probabilistic value (raw bits)
+    bool hasValue2 = false;
+
+    /**
+     * Dynamic instance index (per static branch) that generated this
+     * record. Not hardware state: used by the randomness-evaluation
+     * harness to reconstruct the value-consumption order (Table III).
+     */
+    uint64_t genSeq = 0;
+};
+
+/**
+ * Prob-BTB: one entry per supported probabilistic branch. The payload
+ * (direction + values) of an entry is consumed by each steered fetch and
+ * refilled from the Prob-in-Flight table.
+ */
+class ProbBtb
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t branchPc = 0;
+        uint64_t targetPc = 0;
+        ContextKey ctx;
+        bool hasPayload = false;
+        BranchRecord payload;
+        bool hasConstVal = false;
+        uint64_t constVal = 0;
+    };
+
+    explicit ProbBtb(const PbsConfig &cfg);
+
+    /** @return index of the entry for (pc, ctx), or -1. */
+    int find(uint64_t branchPc, const ContextKey &ctx) const;
+
+    /** Allocate an entry; @return index or -1 when the table is full. */
+    int allocate(uint64_t branchPc, const ContextKey &ctx);
+
+    Entry &entry(int idx) { return entries_[idx]; }
+    const Entry &entry(int idx) const { return entries_[idx]; }
+
+    /** Invalidate all entries belonging to loop context @p loopSlot. */
+    unsigned clearContext(int loopSlot, uint64_t loopPc);
+
+    /** Invalidate one entry. */
+    void clear(int idx) { entries_[idx] = Entry{}; }
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+    /** Paper field widths: 1 + 48 + 48 + 48 + 8 + 1 + 1 + 64 bits. */
+    size_t storageBits() const;
+
+  private:
+    const PbsConfig cfg_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * SwapTable: holds the extra probabilistic value slots beyond the one in
+ * the Prob-BTB (Category-2 branches with two live values).
+ */
+class SwapTable
+{
+  public:
+    explicit SwapTable(const PbsConfig &cfg);
+
+    /** Paper field widths: 48 + 3 + 8 + 1 bits per entry. */
+    size_t storageBits() const;
+
+    unsigned numEntries() const { return entries_; }
+
+  private:
+    const PbsConfig cfg_;
+    unsigned entries_;
+};
+
+/**
+ * Prob-in-Flight: FIFO of records produced at execute and consumed at
+ * fetch. Each logical record corresponds to the paper's pair of
+ * compare+jump entries (2 x 2 bytes).
+ */
+class ProbInFlight
+{
+  public:
+    explicit ProbInFlight(const PbsConfig &cfg);
+
+    /**
+     * Push a record produced at execution time.
+     * @param btbIndex owning Prob-BTB entry
+     * @param readyCycle cycle at which the record becomes visible
+     * @return false when the table is full (record dropped)
+     */
+    bool push(int btbIndex, const BranchRecord &rec, uint64_t readyCycle);
+
+    /**
+     * Pop the oldest record of @p btbIndex visible at @p nowCycle.
+     */
+    std::optional<BranchRecord> pull(int btbIndex, uint64_t nowCycle);
+
+    /**
+     * @return the cycle at which the oldest record of @p btbIndex
+     *         becomes visible, if any record is queued.
+     */
+    std::optional<uint64_t> earliestReady(int btbIndex) const;
+
+    /** Drop all records of one Prob-BTB entry. */
+    void clearIndex(int btbIndex);
+
+    unsigned occupancy() const;
+    unsigned capacity() const { return cfg_.inFlightLimit; }
+
+    /** Paper: 2 bytes per entry, compare+jump = 2 entries per record. */
+    size_t storageBits() const;
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        int btbIndex = -1;
+        BranchRecord rec;
+        uint64_t readyCycle = 0;
+        uint64_t seq = 0;
+    };
+
+    const PbsConfig cfg_;
+    std::vector<Slot> slots_;
+    uint64_t seqClock_ = 0;
+};
+
+}  // namespace pbs::core
+
+#endif  // PBS_CORE_TABLES_HH

@@ -1,0 +1,717 @@
+#include "cpu/core.hh"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "bpred/factory.hh"
+#include "isa/assembler.hh"
+
+namespace pbs::cpu {
+
+using isa::CmpOp;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/**
+ * Enforce a per-cycle event-count limit: returns a cycle >= atLeast with
+ * fewer than @p width events already booked, keeping @p lastCycle
+ * monotonic.
+ */
+uint64_t
+bandwidthLimit(uint64_t &lastCycle, unsigned &count, unsigned width,
+               uint64_t atLeast)
+{
+    uint64_t c = std::max(atLeast, lastCycle);
+    if (c == lastCycle && count >= width)
+        c++;
+    if (c != lastCycle) {
+        lastCycle = c;
+        count = 0;
+    }
+    count++;
+    return c;
+}
+
+int64_t
+signedDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return a;
+    return a / b;
+}
+
+int64_t
+signedRem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+}  // namespace
+
+Core::Core(const isa::Program &prog, const CoreConfig &cfg)
+    : prog_(prog), cfg_(cfg), hierarchy_(cfg.memory), pbs_(cfg.pbs)
+{
+    prog_.validate();
+    pred_ = bpred::makePredictor(cfg_.predictor);
+    if (cfg_.filterProbFromPredictor)
+        sidePred_ = std::make_unique<bpred::StaticPredictor>(false);
+
+    pbs_.setEnabled(cfg_.pbsEnabled);
+    pc_ = prog_.entry;
+
+    for (const auto &[addr, bytes] : prog_.dataInit)
+        mem_.writeBlock(addr, bytes);
+
+    // Map each PROB_CMP to its closing PROB_JMP (the Prob-BTB key).
+    for (size_t i = 0; i < prog_.insts.size(); i++) {
+        if (prog_.insts[i].op != Opcode::PROB_CMP)
+            continue;
+        for (size_t j = i + 1; j < prog_.insts.size(); j++) {
+            const Instruction &inst = prog_.insts[j];
+            if (inst.op == Opcode::PROB_JMP &&
+                inst.probId == prog_.insts[i].probId &&
+                !inst.isCarrierProbJmp()) {
+                probJmpOf_[i] = j;
+                break;
+            }
+        }
+    }
+
+    fuFreeAt_.assign(8, {});
+    fuFreeAt_[size_t(FuClass::IntAlu)].assign(cfg_.pools.intAlu, 0);
+    fuFreeAt_[size_t(FuClass::IntMul)].assign(cfg_.pools.intMul, 0);
+    fuFreeAt_[size_t(FuClass::IntDiv)].assign(cfg_.pools.intDiv, 0);
+    fuFreeAt_[size_t(FuClass::FpAlu)].assign(cfg_.pools.fpAlu, 0);
+    fuFreeAt_[size_t(FuClass::FpMul)].assign(cfg_.pools.fpMul, 0);
+    fuFreeAt_[size_t(FuClass::FpDiv)].assign(cfg_.pools.fpDiv, 0);
+    fuFreeAt_[size_t(FuClass::Load)].assign(cfg_.pools.loadPorts, 0);
+    fuFreeAt_[size_t(FuClass::Store)].assign(cfg_.pools.storePorts, 0);
+
+    commitRing_.assign(cfg_.robSize, 0);
+}
+
+double
+Core::regDouble(unsigned r) const
+{
+    return isa::bitsToDouble(regs_[r]);
+}
+
+void
+Core::writeReg(unsigned r, uint64_t v)
+{
+    if (r != isa::REG_ZERO)
+        regs_[r] = v;
+}
+
+void
+Core::writeRegD(unsigned r, double v)
+{
+    writeReg(r, isa::doubleBits(v));
+}
+
+bool
+Core::evalCmp(CmpOp op, uint64_t a, uint64_t b)
+{
+    int64_t sa = static_cast<int64_t>(a);
+    int64_t sb = static_cast<int64_t>(b);
+    double fa = isa::bitsToDouble(a);
+    double fb = isa::bitsToDouble(b);
+    switch (op) {
+      case CmpOp::EQ: return a == b;
+      case CmpOp::NE: return a != b;
+      case CmpOp::LT: return sa < sb;
+      case CmpOp::GE: return sa >= sb;
+      case CmpOp::LE: return sa <= sb;
+      case CmpOp::GT: return sa > sb;
+      case CmpOp::LTU: return a < b;
+      case CmpOp::GEU: return a >= b;
+      case CmpOp::FEQ: return fa == fb;
+      case CmpOp::FNE: return fa != fb;
+      case CmpOp::FLT: return fa < fb;
+      case CmpOp::FGE: return fa >= fb;
+      case CmpOp::FLE: return fa <= fb;
+      case CmpOp::FGT: return fa > fb;
+      default: return false;
+    }
+}
+
+Core::FuSpec
+Core::fuSpecFor(const Instruction &inst) const
+{
+    const Latencies &lat = cfg_.lat;
+    switch (inst.op) {
+      case Opcode::MUL:
+        return {FuClass::IntMul, lat.intMul, true};
+      case Opcode::DIV:
+      case Opcode::REM:
+        return {FuClass::IntDiv, lat.intDiv, false};
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        return {FuClass::FpAlu, lat.fpAlu, true};
+      case Opcode::FMUL:
+        return {FuClass::FpMul, lat.fpMul, true};
+      case Opcode::FDIV:
+        return {FuClass::FpDiv, lat.fpDiv, false};
+      case Opcode::FSQRT:
+        return {FuClass::FpDiv, lat.fpSqrt, false};
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+        return {FuClass::FpDiv, lat.fpTrans, false};
+      case Opcode::LD:
+      case Opcode::LDB:
+        return {FuClass::Load, 1, true};  // + memory latency
+      case Opcode::ST:
+      case Opcode::STB:
+        return {FuClass::Store, lat.store, true};
+      default:
+        return {FuClass::IntAlu, lat.intAlu, true};
+    }
+}
+
+uint64_t
+Core::fetchTiming(uint64_t pc)
+{
+    uint64_t at_least = std::max(fetchCycle_, frontendReadyAt_);
+    uint64_t f = bandwidthLimit(fetchCycle_, fetchedInCycle_, cfg_.width,
+                                at_least);
+
+    // I-cache: charge extra latency when entering a new line.
+    uint64_t byte_addr = kTextBase + pc * 8;
+    uint64_t line = byte_addr >> 6;
+    if (line != lastFetchLine_) {
+        lastFetchLine_ = line;
+        unsigned latency = hierarchy_.instAccess(byte_addr);
+        hierarchy_.instPrefetch(byte_addr + 64);  // next-line prefetch
+        unsigned hit = cfg_.memory.l1i.hitLatency;
+        if (latency > hit) {
+            f += latency - hit;
+            fetchCycle_ = f;
+            fetchedInCycle_ = 1;
+        }
+    }
+    return f;
+}
+
+std::pair<uint64_t, uint64_t>
+Core::issueOn(FuClass cls, unsigned latency, bool pipelined,
+              uint64_t ready)
+{
+    auto &units = fuFreeAt_[size_t(cls)];
+    size_t best = 0;
+    for (size_t i = 1; i < units.size(); i++) {
+        if (units[i] < units[best])
+            best = i;
+    }
+    uint64_t issue = std::max(ready, units[best]);
+    units[best] = issue + (pipelined ? 1 : latency);
+    return {issue, issue + latency};
+}
+
+uint64_t
+Core::finishTiming(const Instruction &inst, uint64_t fetch,
+                   uint64_t memLatency)
+{
+    // Dispatch: frontend depth, dispatch bandwidth, ROB occupancy.
+    uint64_t d = bandwidthLimit(lastDispatchCycle_, dispatchedInCycle_,
+                                cfg_.width, fetch + cfg_.frontendDepth);
+    uint64_t n = stats_.instructions;
+    if (n >= cfg_.robSize)
+        d = std::max(d, commitRing_[n % cfg_.robSize] + 1);
+
+    // Fetch backpressure: a bounded fetch queue keeps fetch from running
+    // arbitrarily ahead of dispatch.
+    uint64_t slack = cfg_.frontendDepth + 2 * cfg_.width;
+    if (d > slack)
+        fetchCycle_ = std::max(fetchCycle_, d - slack);
+
+    // Register dependences (renaming = last-writer tracking).
+    uint64_t ready = d;
+    std::array<uint8_t, 3> srcs;
+    unsigned nsrc = inst.sourceRegs(srcs);
+    for (unsigned i = 0; i < nsrc; i++) {
+        if (srcs[i] != isa::REG_ZERO)
+            ready = std::max(ready, regReady_[srcs[i]]);
+    }
+
+    FuSpec spec = fuSpecFor(inst);
+    unsigned latency = spec.latency + memLatency;
+    auto [issue, done] = issueOn(spec.cls, latency, spec.pipelined, ready);
+    (void)issue;
+    return done;
+}
+
+void
+Core::commitTiming(uint64_t done)
+{
+    uint64_t c = bandwidthLimit(lastCommitCycle_, committedInCycle_,
+                                cfg_.width, done + 1);
+    commitRing_[stats_.instructions % cfg_.robSize] = c;
+    if (c > stats_.cycles)
+        stats_.cycles = c;
+}
+
+void
+Core::redirect(uint64_t resolveCycle)
+{
+    frontendReadyAt_ = std::max(frontendReadyAt_,
+                                resolveCycle + cfg_.mispredictPenalty);
+}
+
+void
+Core::endFetchGroup(uint64_t fetchCycle)
+{
+    // At most one taken branch per fetch cycle: the next instruction
+    // starts a new fetch group.
+    if (fetchCycle_ <= fetchCycle) {
+        fetchCycle_ = fetchCycle + 1;
+        fetchedInCycle_ = 0;
+    }
+}
+
+void
+Core::predictAndTrain(uint64_t pc, bool taken, bool isProb,
+                      uint64_t doneCycle)
+{
+    bool predicted;
+    if (isProb && cfg_.filterProbFromPredictor) {
+        predicted = sidePred_->predict(pc);
+        sidePred_->update(pc, taken);
+    } else if (pred_->isPerfect()) {
+        predicted = taken;
+    } else {
+        predicted = pred_->predict(pc);
+        pred_->update(pc, taken);
+    }
+
+    if (predicted != taken) {
+        stats_.mispredicts++;
+        if (isProb)
+            stats_.probMispredicts++;
+        else
+            stats_.regularMispredicts++;
+        if (cfg_.mode == SimMode::Timing)
+            redirect(doneCycle);
+    }
+}
+
+void
+Core::run()
+{
+    while (!halted_) {
+        if (cfg_.maxInstructions &&
+            stats_.instructions >= cfg_.maxInstructions) {
+            break;
+        }
+        stepOne();
+    }
+}
+
+uint64_t
+Core::step(uint64_t n)
+{
+    uint64_t executed = 0;
+    while (!halted_ && executed < n) {
+        stepOne();
+        executed++;
+    }
+    return executed;
+}
+
+void
+Core::stepOne()
+{
+    if (pc_ >= prog_.insts.size())
+        throw std::out_of_range("PC out of range: " + std::to_string(pc_));
+
+    const Instruction &inst = prog_.insts[pc_];
+    const uint64_t this_pc = pc_;
+    uint64_t next_pc = pc_ + 1;
+
+    const bool timing = cfg_.mode == SimMode::Timing;
+    uint64_t f = timing ? fetchTiming(this_pc) : stats_.instructions;
+    auto func_done = [&] { return f + cfg_.functionalExecDelay; };
+
+    // The PBS steering decision happens at fetch: query the engine
+    // before the timing pass so a stallOnBusy delay is charged to this
+    // instruction's fetch cycle.
+    std::optional<core::PbsInstance> prob_fetch;
+    if (inst.op == Opcode::PROB_CMP && cfg_.pbsEnabled) {
+        auto it = probJmpOf_.find(this_pc);
+        uint64_t jmp_pc = it != probJmpOf_.end() ? it->second : this_pc;
+        prob_fetch = pbs_.onProbCmpFetch(jmp_pc, f);
+        if (prob_fetch->stallCycles > 0 && timing) {
+            f += prob_fetch->stallCycles;
+            if (fetchCycle_ < f) {
+                fetchCycle_ = f;
+                fetchedInCycle_ = 1;
+            }
+        }
+    }
+
+    uint64_t mem_lat = 0;
+    uint64_t mem_dep_ready = 0;
+
+    // Pre-compute load/store addresses (needed for cache latencies and
+    // store-to-load dependences before the timing pass).
+    uint64_t ea = 0;
+    if (inst.isLoad() || inst.isStore()) {
+        ea = readReg(inst.rs1) + static_cast<uint64_t>(inst.imm);
+        if (timing) {
+            mem_lat = inst.isLoad() ? hierarchy_.dataAccess(ea) : 0;
+            for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
+                 ++it) {
+                if (it->first == (ea >> 3)) {
+                    mem_dep_ready = it->second;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Timing for this instruction (done = completion cycle). The extra
+    // store-to-load dependence is folded in afterwards.
+    uint64_t done;
+    if (timing) {
+        done = finishTiming(inst, f, mem_lat);
+        if (mem_dep_ready > done)
+            done = mem_dep_ready;
+    } else {
+        done = func_done();
+    }
+
+    bool ends_group = false;   // taken control flow ends the fetch group
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::ADD:
+        writeReg(inst.rd, readReg(inst.rs1) + readReg(inst.rs2));
+        break;
+      case Opcode::SUB:
+        writeReg(inst.rd, readReg(inst.rs1) - readReg(inst.rs2));
+        break;
+      case Opcode::MUL:
+        writeReg(inst.rd, readReg(inst.rs1) * readReg(inst.rs2));
+        break;
+      case Opcode::DIV:
+        writeReg(inst.rd, static_cast<uint64_t>(signedDiv(
+            static_cast<int64_t>(readReg(inst.rs1)),
+            static_cast<int64_t>(readReg(inst.rs2)))));
+        break;
+      case Opcode::REM:
+        writeReg(inst.rd, static_cast<uint64_t>(signedRem(
+            static_cast<int64_t>(readReg(inst.rs1)),
+            static_cast<int64_t>(readReg(inst.rs2)))));
+        break;
+      case Opcode::AND:
+        writeReg(inst.rd, readReg(inst.rs1) & readReg(inst.rs2));
+        break;
+      case Opcode::OR:
+        writeReg(inst.rd, readReg(inst.rs1) | readReg(inst.rs2));
+        break;
+      case Opcode::XOR:
+        writeReg(inst.rd, readReg(inst.rs1) ^ readReg(inst.rs2));
+        break;
+      case Opcode::SLL:
+        writeReg(inst.rd, readReg(inst.rs1) << (readReg(inst.rs2) & 63));
+        break;
+      case Opcode::SRL:
+        writeReg(inst.rd, readReg(inst.rs1) >> (readReg(inst.rs2) & 63));
+        break;
+      case Opcode::SRA:
+        writeReg(inst.rd, static_cast<uint64_t>(
+            static_cast<int64_t>(readReg(inst.rs1)) >>
+            (readReg(inst.rs2) & 63)));
+        break;
+      case Opcode::ADDI:
+        writeReg(inst.rd, readReg(inst.rs1) +
+                              static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::ANDI:
+        writeReg(inst.rd, readReg(inst.rs1) &
+                              static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::ORI:
+        writeReg(inst.rd, readReg(inst.rs1) |
+                              static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::XORI:
+        writeReg(inst.rd, readReg(inst.rs1) ^
+                              static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::SLLI:
+        writeReg(inst.rd, readReg(inst.rs1) << (inst.imm & 63));
+        break;
+      case Opcode::SRLI:
+        writeReg(inst.rd, readReg(inst.rs1) >> (inst.imm & 63));
+        break;
+      case Opcode::SRAI:
+        writeReg(inst.rd, static_cast<uint64_t>(
+            static_cast<int64_t>(readReg(inst.rs1)) >> (inst.imm & 63)));
+        break;
+      case Opcode::MOV:
+        writeReg(inst.rd, readReg(inst.rs1));
+        break;
+      case Opcode::LDI:
+        writeReg(inst.rd, static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::FADD:
+        writeRegD(inst.rd, regDouble(inst.rs1) + regDouble(inst.rs2));
+        break;
+      case Opcode::FSUB:
+        writeRegD(inst.rd, regDouble(inst.rs1) - regDouble(inst.rs2));
+        break;
+      case Opcode::FMUL:
+        writeRegD(inst.rd, regDouble(inst.rs1) * regDouble(inst.rs2));
+        break;
+      case Opcode::FDIV:
+        writeRegD(inst.rd, regDouble(inst.rs1) / regDouble(inst.rs2));
+        break;
+      case Opcode::FSQRT:
+        writeRegD(inst.rd, std::sqrt(regDouble(inst.rs1)));
+        break;
+      case Opcode::FNEG:
+        writeRegD(inst.rd, -regDouble(inst.rs1));
+        break;
+      case Opcode::FABS:
+        writeRegD(inst.rd, std::abs(regDouble(inst.rs1)));
+        break;
+      case Opcode::FMIN:
+        writeRegD(inst.rd,
+                  std::fmin(regDouble(inst.rs1), regDouble(inst.rs2)));
+        break;
+      case Opcode::FMAX:
+        writeRegD(inst.rd,
+                  std::fmax(regDouble(inst.rs1), regDouble(inst.rs2)));
+        break;
+      case Opcode::FEXP:
+        writeRegD(inst.rd, std::exp(regDouble(inst.rs1)));
+        break;
+      case Opcode::FLOG:
+        writeRegD(inst.rd, std::log(regDouble(inst.rs1)));
+        break;
+      case Opcode::FSIN:
+        writeRegD(inst.rd, std::sin(regDouble(inst.rs1)));
+        break;
+      case Opcode::FCOS:
+        writeRegD(inst.rd, std::cos(regDouble(inst.rs1)));
+        break;
+      case Opcode::I2F:
+        writeRegD(inst.rd, static_cast<double>(
+            static_cast<int64_t>(readReg(inst.rs1))));
+        break;
+      case Opcode::F2I: {
+        double v = regDouble(inst.rs1);
+        int64_t out = 0;
+        if (!std::isnan(v)) {
+            if (v >= 9.2e18)
+                out = INT64_MAX;
+            else if (v <= -9.2e18)
+                out = INT64_MIN;
+            else
+                out = static_cast<int64_t>(std::trunc(v));
+        }
+        writeReg(inst.rd, static_cast<uint64_t>(out));
+        break;
+      }
+      case Opcode::CMP:
+        writeReg(inst.rd, evalCmp(inst.cmp, readReg(inst.rs1),
+                                  readReg(inst.rs2)) ? 1 : 0);
+        break;
+      case Opcode::SEL:
+        writeReg(inst.rd, readReg(inst.rs1) ? readReg(inst.rs2)
+                                            : readReg(inst.rs3));
+        break;
+      case Opcode::LD:
+        writeReg(inst.rd, mem_.readU64(ea));
+        break;
+      case Opcode::LDB:
+        writeReg(inst.rd, mem_.readByte(ea));
+        break;
+      case Opcode::ST:
+        mem_.writeU64(ea, readReg(inst.rs2));
+        break;
+      case Opcode::STB:
+        mem_.writeByte(ea, readReg(inst.rs2) & 0xff);
+        break;
+      case Opcode::JMP:
+        next_pc = static_cast<uint64_t>(inst.imm);
+        if (cfg_.pbsEnabled)
+            pbs_.noteBranch(this_pc, next_pc, true);
+        ends_group = true;
+        break;
+      case Opcode::JZ:
+      case Opcode::JNZ: {
+        bool nonzero = readReg(inst.rs1) != 0;
+        bool taken = inst.op == Opcode::JNZ ? nonzero : !nonzero;
+        stats_.branches++;
+        predictAndTrain(this_pc, taken, false, done);
+        if (cfg_.pbsEnabled)
+            pbs_.noteBranch(this_pc, static_cast<uint64_t>(inst.imm),
+                            taken);
+        if (taken) {
+            next_pc = static_cast<uint64_t>(inst.imm);
+            ends_group = true;
+        }
+        break;
+      }
+      case Opcode::CALL:
+        writeReg(isa::REG_RA, this_pc + 1);
+        next_pc = static_cast<uint64_t>(inst.imm);
+        if (cfg_.pbsEnabled)
+            pbs_.noteCall(this_pc);
+        ends_group = true;
+        break;
+      case Opcode::RET:
+        next_pc = readReg(isa::REG_RA);
+        if (cfg_.pbsEnabled)
+            pbs_.noteReturn();
+        ends_group = true;
+        break;
+      case Opcode::HALT:
+        halted_ = true;
+        break;
+
+      case Opcode::PROB_CMP: {
+        uint64_t v_new = readReg(inst.rs1);
+        uint64_t operand = readReg(inst.rs2);
+        bool cond_new = evalCmp(inst.cmp, v_new, operand);
+        ProbGroup &grp = probGroups_[inst.probId];
+        grp = ProbGroup{};
+        grp.open = true;
+        grp.condNew = cond_new;
+        if (cfg_.pbsEnabled) {
+            const core::PbsInstance &pub = *prob_fetch;
+            grp.token = pub.token;
+            grp.steered = pub.steered;
+            grp.old = pub.old;
+            grp.managed = pbs_.onProbCmpExec(pub.token, v_new, operand,
+                                             done);
+            if (grp.steered) {
+                // The value swap: condition and probabilistic value come
+                // from the recorded previous execution.
+                writeReg(inst.rd, grp.old.taken ? 1 : 0);
+                writeReg(inst.rs1, grp.old.value1);
+                if (timing)
+                    regReady_[inst.rs1] = done;
+            } else {
+                writeReg(inst.rd, cond_new ? 1 : 0);
+            }
+        } else {
+            writeReg(inst.rd, cond_new ? 1 : 0);
+        }
+        break;
+      }
+
+      case Opcode::CFD_JNZ: {
+        // Direction supplied at fetch by the (idealized) CFD hardware
+        // queue: never mispredicts, never touches the predictor.
+        bool taken = readReg(inst.rs1) != 0;
+        stats_.branches++;
+        if (taken) {
+            next_pc = static_cast<uint64_t>(inst.imm);
+            ends_group = true;
+        }
+        break;
+      }
+
+      case Opcode::PROB_JMP: {
+        ProbGroup &grp = probGroups_[inst.probId];
+        if (inst.isCarrierProbJmp()) {
+            // Value-carrier: participates in the swap, never branches.
+            if (cfg_.pbsEnabled && grp.open) {
+                uint64_t v2_new = readReg(inst.rd);
+                pbs_.onCarrierExec(grp.token, v2_new);
+                if (grp.steered && grp.old.hasValue2)
+                    writeReg(inst.rd, grp.old.value2);
+            }
+            break;
+        }
+
+        stats_.branches++;
+        stats_.probBranches++;
+        uint64_t self_seq = probSeq_[inst.probId]++;
+        uint64_t consumed_seq = self_seq;
+        bool taken;
+        bool steered = false;
+        if (cfg_.pbsEnabled && grp.open) {
+            std::optional<uint64_t> v2;
+            if (inst.rd != isa::REG_ZERO)
+                v2 = readReg(inst.rd);
+            pbs_.onProbJmpExec(grp.token, grp.condNew, v2,
+                               static_cast<uint64_t>(inst.imm), done,
+                               self_seq);
+            if (grp.steered) {
+                steered = true;
+                taken = grp.old.taken;
+                consumed_seq = grp.old.genSeq;
+                if (inst.rd != isa::REG_ZERO && grp.old.hasValue2)
+                    writeReg(inst.rd, grp.old.value2);
+                stats_.steeredBranches++;
+                // Direction known at fetch: no prediction, no penalty.
+            } else {
+                taken = grp.condNew;
+                predictAndTrain(this_pc, taken, true, done);
+            }
+        } else {
+            // PBS disabled: behaves as JNZ on the condition register.
+            taken = readReg(inst.rs1) != 0;
+            predictAndTrain(this_pc, taken, true, done);
+        }
+        if (cfg_.traceProbBranches) {
+            probTrace_.push_back({inst.probId, self_seq, consumed_seq,
+                                  taken, steered});
+        }
+        if (cfg_.pbsEnabled)
+            pbs_.noteBranch(this_pc, static_cast<uint64_t>(inst.imm),
+                            taken);
+        grp.open = false;
+        if (taken) {
+            next_pc = static_cast<uint64_t>(inst.imm);
+            ends_group = true;
+        }
+        break;
+      }
+
+      default:
+        throw std::logic_error("unimplemented opcode");
+    }
+
+    if (timing) {
+        // Publish destination readiness for dependents.
+        int dst = inst.destReg();
+        if (dst > 0)
+            regReady_[dst] = done;
+        if (inst.isStore())
+            storeQueue_.emplace_back(ea >> 3, done);
+        if (storeQueue_.size() > 64)
+            storeQueue_.pop_front();
+        if (ends_group)
+            endFetchGroup(f);
+        commitTiming(done);
+    }
+
+    stats_.instructions++;
+    if (!timing)
+        stats_.cycles = stats_.instructions;
+    pc_ = next_pc;
+}
+
+}  // namespace pbs::cpu

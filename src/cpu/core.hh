@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The simulated core: an execute-at-fetch functional engine fused with a
+ * scoreboard-style out-of-order timing model.
+ *
+ * Methodology (matches trace-driven simulators such as Sniper):
+ *  - Instructions are processed in fetch order; architectural state is
+ *    updated immediately (wrong paths are never fetched).
+ *  - The timing model computes, per instruction, its fetch, dispatch,
+ *    issue, completion and commit cycles from: fetch bandwidth (taken
+ *    branches end fetch groups; I-cache misses stall), ROB occupancy,
+ *    register dependences (renaming collapses to last-writer tracking),
+ *    functional-unit contention, cache latencies, and the 10-cycle
+ *    front-end refill after a mispredicted branch resolves.
+ *  - PBS (when enabled) steers marked probabilistic branches: a steered
+ *    fetch needs no prediction and can never mispredict; value swaps are
+ *    applied architecturally at the probabilistic instructions, exactly
+ *    as Section V of the paper specifies.
+ */
+
+#ifndef PBS_CPU_CORE_HH
+#define PBS_CPU_CORE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "core/pbs_engine.hh"
+#include "cpu/core_config.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+
+namespace pbs::cpu {
+
+/**
+ * One dynamic probabilistic-branch execution, for the randomness
+ * harness: which instance's values were consumed by this instance.
+ */
+struct ProbTraceEntry
+{
+    uint16_t probId = 0;
+    uint64_t selfSeq = 0;      ///< this instance's index (per branch)
+    uint64_t consumedSeq = 0;  ///< instance whose values steered it
+    bool taken = false;
+    bool steered = false;
+};
+
+/** The simulated core. */
+class Core
+{
+  public:
+    Core(const isa::Program &prog, const CoreConfig &cfg);
+
+    /** Run until HALT (or the instruction limit). */
+    void run();
+
+    /** Execute at most @p n further instructions. @return #executed. */
+    uint64_t step(uint64_t n);
+
+    bool halted() const { return halted_; }
+
+    const CoreStats &stats() const { return stats_; }
+    const core::PbsEngine &pbs() const { return pbs_; }
+    const mem::SparseMemory &memory() const { return mem_; }
+    mem::SparseMemory &memory() { return mem_; }
+    const mem::MemoryHierarchy &caches() const { return hierarchy_; }
+    const bpred::BranchPredictor &predictor() const { return *pred_; }
+
+    uint64_t reg(unsigned r) const { return regs_[r]; }
+    double regDouble(unsigned r) const;
+    uint64_t pc() const { return pc_; }
+
+    /** Per-dynamic-probabilistic-branch trace (traceProbBranches). */
+    const std::vector<ProbTraceEntry> &probTrace() const
+    {
+        return probTrace_;
+    }
+
+  private:
+    // --- functional helpers ---
+    uint64_t readReg(unsigned r) const { return r ? regs_[r] : 0; }
+    void writeReg(unsigned r, uint64_t v);
+    void writeRegD(unsigned r, double v);
+    static bool evalCmp(isa::CmpOp op, uint64_t a, uint64_t b);
+    void stepOne();
+
+    // --- timing helpers ---
+    enum class FuClass {
+        IntAlu, IntMul, IntDiv, FpAlu, FpMul, FpDiv, Load, Store
+    };
+
+    struct FuSpec
+    {
+        FuClass cls;
+        unsigned latency;
+        bool pipelined;
+    };
+
+    FuSpec fuSpecFor(const isa::Instruction &inst) const;
+    uint64_t fetchTiming(uint64_t pc);
+    std::pair<uint64_t, uint64_t> issueOn(FuClass cls, unsigned latency,
+                                          bool pipelined, uint64_t ready);
+    uint64_t finishTiming(const isa::Instruction &inst, uint64_t fetch,
+                          uint64_t memLatency);
+    void commitTiming(uint64_t done);
+    void redirect(uint64_t resolveCycle);
+    void endFetchGroup(uint64_t fetchCycle);
+
+    /** Resolve a conditional branch against the direction predictor. */
+    void predictAndTrain(uint64_t pc, bool taken, bool isProb,
+                         uint64_t doneCycle);
+
+    // --- members ---
+    isa::Program prog_;  // owned copy: callers may pass temporaries
+    CoreConfig cfg_;
+
+    // Functional state.
+    std::array<uint64_t, isa::kNumRegs> regs_{};
+    mem::SparseMemory mem_;
+    uint64_t pc_ = 0;
+    bool halted_ = false;
+
+    // Timing state.
+    mem::MemoryHierarchy hierarchy_;
+    std::unique_ptr<bpred::BranchPredictor> pred_;
+    std::unique_ptr<bpred::BranchPredictor> sidePred_;  ///< Fig. 9 filter
+    std::array<uint64_t, isa::kNumRegs> regReady_{};
+    std::vector<std::vector<uint64_t>> fuFreeAt_;
+    std::vector<uint64_t> commitRing_;   ///< commit cycles, ROB window
+    uint64_t fetchCycle_ = 0;
+    unsigned fetchedInCycle_ = 0;
+    uint64_t frontendReadyAt_ = 0;       ///< redirect gate
+    uint64_t lastDispatchCycle_ = 0;
+    unsigned dispatchedInCycle_ = 0;
+    uint64_t lastCommitCycle_ = 0;
+    unsigned committedInCycle_ = 0;
+    uint64_t lastFetchLine_ = ~uint64_t(0);
+    std::deque<std::pair<uint64_t, uint64_t>> storeQueue_;  ///< addr,done
+
+    // PBS state.
+    core::PbsEngine pbs_;
+    std::unordered_map<uint64_t, uint64_t> probJmpOf_;  ///< cmp pc -> jmp pc
+    struct ProbGroup
+    {
+        uint64_t token = 0;
+        bool steered = false;
+        bool managed = false;   ///< still PBS-managed after exec checks
+        bool condNew = false;   ///< comparison on the new values
+        core::BranchRecord old;
+        bool open = false;
+    };
+    std::unordered_map<uint16_t, ProbGroup> probGroups_;
+    std::unordered_map<uint16_t, uint64_t> probSeq_;  ///< instance count
+    std::vector<ProbTraceEntry> probTrace_;
+
+    CoreStats stats_;
+
+    /** Base byte address of the instruction image (I-cache stream). */
+    static constexpr uint64_t kTextBase = uint64_t(1) << 32;
+};
+
+}  // namespace pbs::cpu
+
+#endif  // PBS_CPU_CORE_HH

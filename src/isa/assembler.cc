@@ -1,0 +1,338 @@
+#include "isa/assembler.hh"
+
+#include <stdexcept>
+
+namespace pbs::isa {
+
+void
+Assembler::emit(Instruction inst)
+{
+    prog_.insts.push_back(inst);
+}
+
+void
+Assembler::fixup(const std::string &target)
+{
+    fixups_.emplace_back(prog_.insts.size() - 1, target);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (prog_.labels.count(name))
+        throw std::invalid_argument("duplicate label: " + name);
+    prog_.labels[name] = prog_.insts.size();
+}
+
+#define PBS_ASM_RRR(fn, OP)                                               \
+    void Assembler::fn(uint8_t rd, uint8_t rs1, uint8_t rs2)              \
+    {                                                                     \
+        Instruction i;                                                    \
+        i.op = Opcode::OP;                                                \
+        i.rd = rd;                                                        \
+        i.rs1 = rs1;                                                      \
+        i.rs2 = rs2;                                                      \
+        emit(i);                                                          \
+    }
+
+PBS_ASM_RRR(add, ADD)
+PBS_ASM_RRR(sub, SUB)
+PBS_ASM_RRR(mul, MUL)
+PBS_ASM_RRR(div, DIV)
+PBS_ASM_RRR(rem, REM)
+PBS_ASM_RRR(and_, AND)
+PBS_ASM_RRR(or_, OR)
+PBS_ASM_RRR(xor_, XOR)
+PBS_ASM_RRR(sll, SLL)
+PBS_ASM_RRR(srl, SRL)
+PBS_ASM_RRR(sra, SRA)
+PBS_ASM_RRR(fadd, FADD)
+PBS_ASM_RRR(fsub, FSUB)
+PBS_ASM_RRR(fmul, FMUL)
+PBS_ASM_RRR(fdiv, FDIV)
+PBS_ASM_RRR(fmin, FMIN)
+PBS_ASM_RRR(fmax, FMAX)
+
+#undef PBS_ASM_RRR
+
+#define PBS_ASM_RRI(fn, OP)                                               \
+    void Assembler::fn(uint8_t rd, uint8_t rs1, int64_t imm)              \
+    {                                                                     \
+        Instruction i;                                                    \
+        i.op = Opcode::OP;                                                \
+        i.rd = rd;                                                        \
+        i.rs1 = rs1;                                                      \
+        i.imm = imm;                                                      \
+        emit(i);                                                          \
+    }
+
+PBS_ASM_RRI(addi, ADDI)
+PBS_ASM_RRI(andi, ANDI)
+PBS_ASM_RRI(ori, ORI)
+PBS_ASM_RRI(xori, XORI)
+PBS_ASM_RRI(slli, SLLI)
+PBS_ASM_RRI(srli, SRLI)
+PBS_ASM_RRI(srai, SRAI)
+
+#undef PBS_ASM_RRI
+
+#define PBS_ASM_RR(fn, OP)                                                \
+    void Assembler::fn(uint8_t rd, uint8_t rs1)                           \
+    {                                                                     \
+        Instruction i;                                                    \
+        i.op = Opcode::OP;                                                \
+        i.rd = rd;                                                        \
+        i.rs1 = rs1;                                                      \
+        emit(i);                                                          \
+    }
+
+PBS_ASM_RR(mov, MOV)
+PBS_ASM_RR(fsqrt, FSQRT)
+PBS_ASM_RR(fneg, FNEG)
+PBS_ASM_RR(fabs_, FABS)
+PBS_ASM_RR(fexp, FEXP)
+PBS_ASM_RR(flog, FLOG)
+PBS_ASM_RR(fsin, FSIN)
+PBS_ASM_RR(fcos, FCOS)
+PBS_ASM_RR(i2f, I2F)
+PBS_ASM_RR(f2i, F2I)
+
+#undef PBS_ASM_RR
+
+void
+Assembler::ldi(uint8_t rd, int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::LDI;
+    i.rd = rd;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::ldf(uint8_t rd, double value)
+{
+    ldi(rd, static_cast<int64_t>(doubleBits(value)));
+}
+
+void
+Assembler::cmp(CmpOp op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    Instruction i;
+    i.op = Opcode::CMP;
+    i.cmp = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+void
+Assembler::sel(uint8_t rd, uint8_t rc, uint8_t rtrue, uint8_t rfalse)
+{
+    Instruction i;
+    i.op = Opcode::SEL;
+    i.rd = rd;
+    i.rs1 = rc;
+    i.rs2 = rtrue;
+    i.rs3 = rfalse;
+    emit(i);
+}
+
+void
+Assembler::ld(uint8_t rd, uint8_t base, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::LD;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+Assembler::st(uint8_t base, uint8_t value, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.rs1 = base;
+    i.rs2 = value;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+Assembler::ldb(uint8_t rd, uint8_t base, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::LDB;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+Assembler::stb(uint8_t base, uint8_t value, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::STB;
+    i.rs1 = base;
+    i.rs2 = value;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+Assembler::jmp(const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::JMP;
+    emit(i);
+    fixup(target);
+}
+
+void
+Assembler::jz(uint8_t rs1, const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::JZ;
+    i.rs1 = rs1;
+    emit(i);
+    fixup(target);
+}
+
+void
+Assembler::jnz(uint8_t rs1, const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::JNZ;
+    i.rs1 = rs1;
+    emit(i);
+    fixup(target);
+}
+
+void
+Assembler::cfdJnz(uint8_t rs1, const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::CFD_JNZ;
+    i.rs1 = rs1;
+    emit(i);
+    fixup(target);
+}
+
+void
+Assembler::call(const std::string &target)
+{
+    Instruction i;
+    i.op = Opcode::CALL;
+    i.rd = REG_RA;
+    emit(i);
+    fixup(target);
+}
+
+void
+Assembler::ret()
+{
+    Instruction i;
+    i.op = Opcode::RET;
+    emit(i);
+}
+
+void
+Assembler::halt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    emit(i);
+}
+
+void
+Assembler::nop()
+{
+    emit(Instruction{});
+}
+
+void
+Assembler::probCmp(CmpOp op, uint8_t rc, uint8_t rp, uint8_t rs2)
+{
+    if (openProbId_ != 0)
+        throw std::logic_error("nested probabilistic branch group");
+    openProbId_ = nextProbId_++;
+    Instruction i;
+    i.op = Opcode::PROB_CMP;
+    i.cmp = op;
+    i.rd = rc;
+    i.rs1 = rp;
+    i.rs2 = rs2;
+    i.probId = openProbId_;
+    emit(i);
+}
+
+void
+Assembler::probJmpCarrier(uint8_t rp2)
+{
+    if (openProbId_ == 0)
+        throw std::logic_error("carrier PROB_JMP outside a group");
+    Instruction i;
+    i.op = Opcode::PROB_JMP;
+    i.rd = rp2;
+    i.imm = kNoTarget;
+    i.probId = openProbId_;
+    emit(i);
+}
+
+void
+Assembler::probJmp(uint8_t rp2, uint8_t rc, const std::string &target)
+{
+    if (openProbId_ == 0)
+        throw std::logic_error("closing PROB_JMP outside a group");
+    Instruction i;
+    i.op = Opcode::PROB_JMP;
+    i.rd = rp2;
+    i.rs1 = rc;
+    i.probId = openProbId_;
+    emit(i);
+    fixup(target);
+    openProbId_ = 0;
+}
+
+void
+Assembler::data(uint64_t addr, const std::vector<uint8_t> &bytes)
+{
+    prog_.dataInit[addr] = bytes;
+}
+
+void
+Assembler::data64(uint64_t addr, uint64_t value)
+{
+    std::vector<uint8_t> bytes(8);
+    for (int b = 0; b < 8; b++)
+        bytes[b] = (value >> (8 * b)) & 0xff;
+    data(addr, bytes);
+}
+
+void
+Assembler::dataDouble(uint64_t addr, double value)
+{
+    data64(addr, doubleBits(value));
+}
+
+Program
+Assembler::finish()
+{
+    if (openProbId_ != 0)
+        throw std::logic_error("unterminated probabilistic branch group");
+    for (const auto &[idx, name] : fixups_) {
+        auto it = prog_.labels.find(name);
+        if (it == prog_.labels.end())
+            throw std::invalid_argument("undefined label: " + name);
+        prog_.insts[idx].imm = static_cast<int64_t>(it->second);
+    }
+    fixups_.clear();
+    prog_.validate();
+    return prog_;
+}
+
+}  // namespace pbs::isa

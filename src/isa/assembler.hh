@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Assembler: a builder API for constructing PBS ISA programs in C++.
+ *
+ * Labels may be referenced before they are defined; finish() resolves all
+ * fixups. Probabilistic branch groups are opened by probCmp() and closed
+ * by the first branching probJmp(); every instruction in the group shares
+ * an automatically assigned probId.
+ *
+ * Example:
+ * @code
+ *   Assembler a;
+ *   a.ldi(R5, 100);                  // loop counter
+ *   a.label("loop");
+ *   ...
+ *   a.probCmp(CmpOp::FLT, R6, R3, R4);
+ *   a.probJmp(REG_ZERO, R6, "skip"); // category-1: no value register
+ *   ...
+ *   a.label("skip");
+ *   a.addi(R5, R5, -1);
+ *   a.jnz(R5, "loop");
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ */
+
+#ifndef PBS_ISA_ASSEMBLER_HH
+#define PBS_ISA_ASSEMBLER_HH
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace pbs::isa {
+
+/** Builder for @ref Program objects. */
+class Assembler
+{
+  public:
+    /** Define a label at the current position. */
+    void label(const std::string &name);
+
+    /** @return the current instruction index. */
+    uint64_t here() const { return prog_.insts.size(); }
+
+    // --- integer ---
+    void add(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sub(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void mul(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void div(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void rem(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void and_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void or_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void xor_(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sll(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void srl(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sra(uint8_t rd, uint8_t rs1, uint8_t rs2);
+
+    void addi(uint8_t rd, uint8_t rs1, int64_t imm);
+    void andi(uint8_t rd, uint8_t rs1, int64_t imm);
+    void ori(uint8_t rd, uint8_t rs1, int64_t imm);
+    void xori(uint8_t rd, uint8_t rs1, int64_t imm);
+    void slli(uint8_t rd, uint8_t rs1, int64_t imm);
+    void srli(uint8_t rd, uint8_t rs1, int64_t imm);
+    void srai(uint8_t rd, uint8_t rs1, int64_t imm);
+
+    void mov(uint8_t rd, uint8_t rs1);
+    void ldi(uint8_t rd, int64_t imm);
+    /** Load a double constant (bit pattern) into @p rd. */
+    void ldf(uint8_t rd, double value);
+
+    // --- floating point ---
+    void fadd(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fsub(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fmul(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fdiv(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fsqrt(uint8_t rd, uint8_t rs1);
+    void fneg(uint8_t rd, uint8_t rs1);
+    void fabs_(uint8_t rd, uint8_t rs1);
+    void fmin(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fmax(uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void fexp(uint8_t rd, uint8_t rs1);
+    void flog(uint8_t rd, uint8_t rs1);
+    void fsin(uint8_t rd, uint8_t rs1);
+    void fcos(uint8_t rd, uint8_t rs1);
+    void i2f(uint8_t rd, uint8_t rs1);
+    void f2i(uint8_t rd, uint8_t rs1);
+
+    // --- compare / select ---
+    void cmp(CmpOp op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+    void sel(uint8_t rd, uint8_t rc, uint8_t rtrue, uint8_t rfalse);
+
+    // --- memory ---
+    void ld(uint8_t rd, uint8_t base, int64_t offset);
+    void st(uint8_t base, uint8_t value, int64_t offset);
+    void ldb(uint8_t rd, uint8_t base, int64_t offset);
+    void stb(uint8_t base, uint8_t value, int64_t offset);
+
+    // --- control ---
+    void jmp(const std::string &target);
+    void jz(uint8_t rs1, const std::string &target);
+    void jnz(uint8_t rs1, const std::string &target);
+    /** CFD-queue-steered conditional jump (CFD workload variants). */
+    void cfdJnz(uint8_t rs1, const std::string &target);
+    void call(const std::string &target);
+    void ret();
+    void halt();
+    void nop();
+
+    // --- probabilistic branch support ---
+
+    /**
+     * Open a probabilistic branch group.
+     * @param op comparison operation
+     * @param rc condition destination register
+     * @param rp probabilistic value register (source and swap target)
+     * @param rs2 comparison operand register
+     */
+    void probCmp(CmpOp op, uint8_t rc, uint8_t rp, uint8_t rs2);
+
+    /**
+     * Carrier PROB_JMP: transfers an extra probabilistic value without
+     * branching (the paper's intermediate PROB_JMP with Immediate = 0).
+     * @param rp2 probabilistic register to swap
+     */
+    void probJmpCarrier(uint8_t rp2);
+
+    /**
+     * Closing PROB_JMP: the actual probabilistic branch.
+     * @param rp2 optional second probabilistic register (REG_ZERO = none)
+     * @param rc condition register (read in bootstrap / legacy mode)
+     * @param target branch target label (branch taken -> jump there)
+     */
+    void probJmp(uint8_t rp2, uint8_t rc, const std::string &target);
+
+    // --- data segment ---
+
+    /** Reserve or initialize @p bytes of memory at @p addr. */
+    void data(uint64_t addr, const std::vector<uint8_t> &bytes);
+
+    /** Initialize a 64-bit word at @p addr. */
+    void data64(uint64_t addr, uint64_t value);
+
+    /** Initialize a double at @p addr. */
+    void dataDouble(uint64_t addr, double value);
+
+    /** Resolve fixups, validate, and return the program. */
+    Program finish();
+
+  private:
+    void emit(Instruction inst);
+    void fixup(const std::string &target);
+
+    Program prog_;
+    std::vector<std::pair<uint64_t, std::string>> fixups_;
+    uint16_t nextProbId_ = 1;
+    uint16_t openProbId_ = 0;  ///< 0 = no group open
+};
+
+/** @return the raw bit pattern of a double. */
+inline uint64_t
+doubleBits(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** @return the double value of a raw bit pattern. */
+inline double
+bitsToDouble(uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+}  // namespace pbs::isa
+
+#endif  // PBS_ISA_ASSEMBLER_HH

@@ -1,0 +1,199 @@
+#include "isa/encoding.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pbs::isa {
+
+namespace {
+
+constexpr uint64_t kProbBit = 1ull << 33;
+constexpr uint64_t kWideBit = 1ull << 32;
+
+uint64_t
+pack(uint8_t op, uint8_t cmp, uint8_t rd, uint8_t rs1, uint8_t rs2,
+     uint32_t imm32)
+{
+    return (uint64_t(op) << 56) | (uint64_t(cmp & 0xf) << 52) |
+           (uint64_t(rd & 0x3f) << 46) | (uint64_t(rs1 & 0x3f) << 40) |
+           (uint64_t(rs2 & 0x3f) << 34) | uint64_t(imm32);
+}
+
+bool
+fitsInt32(int64_t v)
+{
+    return v >= std::numeric_limits<int32_t>::min() &&
+           v <= std::numeric_limits<int32_t>::max();
+}
+
+}  // namespace
+
+std::vector<uint64_t>
+encode(const Instruction &inst, EncodeMode mode)
+{
+    uint8_t op_field = static_cast<uint8_t>(inst.op);
+    uint8_t cmp_field = static_cast<uint8_t>(inst.cmp);
+    uint8_t rd = inst.rd, rs1 = inst.rs1, rs2 = inst.rs2;
+    int64_t imm_val = inst.imm;
+    uint64_t extra_bits = 0;
+
+    if (inst.op == Opcode::SEL) {
+        // rs3 rides in the cmp field (low 4 bits) plus the otherwise
+        // unused prob-bit slot (bit 4) — SEL is never probabilistic.
+        cmp_field = inst.rs3 & 0xf;
+        if (inst.rs3 & 0x10)
+            extra_bits |= kProbBit;
+    }
+
+    switch (inst.op) {
+      case Opcode::PROB_CMP:
+        if (mode == EncodeMode::LegacyBits) {
+            // Plain CMP with the prob bit set; probId rides in the unused
+            // immediate field.
+            op_field = static_cast<uint8_t>(Opcode::CMP);
+            extra_bits |= kProbBit;
+        }
+        imm_val = inst.probId;
+        break;
+      case Opcode::PROB_JMP:
+        if (mode == EncodeMode::LegacyBits) {
+            // Branching form: plain JNZ on the condition register.
+            // Carrier form: NOP-alike (legacy machines must not branch);
+            // operands are preserved in the register fields.
+            op_field = static_cast<uint8_t>(
+                inst.imm == kNoTarget ? Opcode::NOP : Opcode::JNZ);
+            extra_bits |= kProbBit;
+        } else if (inst.imm == kNoTarget) {
+            extra_bits |= kProbBit;  // carrier marker
+        }
+        if (imm_val == kNoTarget)
+            imm_val = 0;
+        rs2 = inst.probId & 0x3f;  // probId rides in the unused rs2 field
+        break;
+      default:
+        break;
+    }
+
+    bool wide = inst.op == Opcode::LDI && !fitsInt32(imm_val);
+    if (!wide && !fitsInt32(imm_val))
+        throw std::invalid_argument("immediate does not fit int32: " +
+                                    disassemble(inst));
+
+    uint64_t w = pack(op_field, cmp_field, rd, rs1, rs2,
+                      wide ? 0u : static_cast<uint32_t>(imm_val));
+    w |= extra_bits;
+    if (wide)
+        w |= kWideBit;
+
+    std::vector<uint64_t> out{w};
+    if (wide)
+        out.push_back(static_cast<uint64_t>(inst.imm));
+    return out;
+}
+
+Instruction
+decode(const std::vector<uint64_t> &words, size_t &pos, EncodeMode mode,
+       bool pbsAware)
+{
+    uint64_t w = words.at(pos++);
+    Instruction inst;
+    inst.op = static_cast<Opcode>((w >> 56) & 0xff);
+    uint8_t cmp_field = (w >> 52) & 0xf;
+    inst.rd = (w >> 46) & 0x3f;
+    inst.rs1 = (w >> 40) & 0x3f;
+    inst.rs2 = (w >> 34) & 0x3f;
+    bool prob = w & kProbBit;
+    bool wide = w & kWideBit;
+    inst.imm = static_cast<int32_t>(w & 0xffffffffu);
+
+    if (inst.op == Opcode::SEL) {
+        inst.rs3 = cmp_field | (prob ? 0x10 : 0);
+        prob = false;
+    } else {
+        inst.cmp = static_cast<CmpOp>(cmp_field);
+    }
+
+    if (wide)
+        inst.imm = static_cast<int64_t>(words.at(pos++));
+
+    if (mode == EncodeMode::LegacyBits) {
+        if (prob && pbsAware) {
+            // Re-materialize the probabilistic instruction.
+            if (inst.op == Opcode::CMP) {
+                inst.op = Opcode::PROB_CMP;
+                inst.probId = static_cast<uint16_t>(inst.imm);
+                inst.imm = 0;
+            } else if (inst.op == Opcode::JNZ) {
+                inst.op = Opcode::PROB_JMP;
+                inst.probId = inst.rs2;
+                inst.rs2 = 0;
+            } else if (inst.op == Opcode::NOP) {
+                inst.op = Opcode::PROB_JMP;
+                inst.probId = inst.rs2;
+                inst.rs2 = 0;
+                inst.imm = kNoTarget;
+            }
+        } else if (prob && !pbsAware) {
+            // Legacy machine: the prob bit is an ignored hint. A CMP
+            // carries the probId in imm, which legacy CMP ignores; clear
+            // it so the instruction equals its regular twin.
+            if (inst.op == Opcode::CMP)
+                inst.imm = 0;
+            if (inst.op == Opcode::JNZ || inst.op == Opcode::NOP)
+                inst.rs2 = 0;
+        }
+        return inst;
+    }
+
+    // NewOpcodes mode.
+    if (inst.op == Opcode::PROB_CMP) {
+        inst.probId = static_cast<uint16_t>(inst.imm);
+        inst.imm = 0;
+        if (!pbsAware) {
+            inst.op = Opcode::CMP;
+            inst.probId = 0;
+        }
+    } else if (inst.op == Opcode::PROB_JMP) {
+        inst.probId = inst.rs2;
+        inst.rs2 = 0;
+        if (prob)
+            inst.imm = kNoTarget;
+        if (!pbsAware) {
+            // Treat as plain conditional jump; carriers become NOPs.
+            if (inst.imm == kNoTarget) {
+                inst = Instruction{};  // NOP
+            } else {
+                Instruction jnz;
+                jnz.op = Opcode::JNZ;
+                jnz.rs1 = inst.rs1;
+                jnz.imm = inst.imm;
+                inst = jnz;
+            }
+        }
+    }
+    return inst;
+}
+
+std::vector<uint64_t>
+encodeAll(const std::vector<Instruction> &insts, EncodeMode mode)
+{
+    std::vector<uint64_t> out;
+    for (const auto &inst : insts) {
+        auto w = encode(inst, mode);
+        out.insert(out.end(), w.begin(), w.end());
+    }
+    return out;
+}
+
+std::vector<Instruction>
+decodeAll(const std::vector<uint64_t> &words, EncodeMode mode,
+          bool pbsAware)
+{
+    std::vector<Instruction> out;
+    size_t pos = 0;
+    while (pos < words.size())
+        out.push_back(decode(words, pos, mode, pbsAware));
+    return out;
+}
+
+}  // namespace pbs::isa

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary encoding of PBS ISA instructions.
+ *
+ * Two encodings are provided, mirroring Section V-A of the paper:
+ *
+ *  - NewOpcodes: PROB_CMP and PROB_JMP have opcodes of their own ("add two
+ *    new instructions to the ISA").
+ *  - LegacyBits: probabilistic instructions are encoded as their regular
+ *    counterparts (CMP / JNZ / JMP) with an otherwise-unused bit set — the
+ *    paper's backward-compatible alternative (cf. the MIPS shamt field).
+ *    A PBS-unaware machine decoding a LegacyBits stream with the
+ *    NewOpcodes decoder sees plain branches and still runs the program.
+ *
+ * Word layout (64-bit):
+ *   [63:56] opcode   [55:52] cmp (or rs3 low bits for SEL)
+ *   [51:46] rd       [45:40] rs1   [39:34] rs2
+ *   [33]    prob bit (rs3 bit 4 for SEL)   [32] wide-imm flag
+ *   [31:0]  imm32 (signed)
+ *
+ * LDI with an immediate outside int32 range uses a two-word form: the
+ * first word has the wide-imm flag set and the second word is the raw
+ * 64-bit immediate.
+ */
+
+#ifndef PBS_ISA_ENCODING_HH
+#define PBS_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pbs::isa {
+
+/** Which ISA-extension encoding style to use. */
+enum class EncodeMode {
+    NewOpcodes,  ///< dedicated PROB_CMP / PROB_JMP opcodes
+    LegacyBits,  ///< unused-bit marking on existing opcodes
+};
+
+/**
+ * Encode one instruction.
+ * @return one or two 64-bit words.
+ */
+std::vector<uint64_t> encode(const Instruction &inst,
+                             EncodeMode mode = EncodeMode::NewOpcodes);
+
+/**
+ * Decode one instruction starting at @p words[pos].
+ * @param words encoded stream
+ * @param pos in/out: advanced past the consumed words
+ * @param mode encoding mode the stream was produced with
+ * @param pbsAware if false, probabilistic markings are ignored and the
+ *        instruction decodes as its regular counterpart (models a legacy
+ *        machine executing PBS binaries).
+ */
+Instruction decode(const std::vector<uint64_t> &words, size_t &pos,
+                   EncodeMode mode = EncodeMode::NewOpcodes,
+                   bool pbsAware = true);
+
+/** Encode a whole instruction sequence. */
+std::vector<uint64_t> encodeAll(const std::vector<Instruction> &insts,
+                                EncodeMode mode = EncodeMode::NewOpcodes);
+
+/** Decode a whole instruction stream. */
+std::vector<Instruction> decodeAll(const std::vector<uint64_t> &words,
+                                   EncodeMode mode = EncodeMode::NewOpcodes,
+                                   bool pbsAware = true);
+
+}  // namespace pbs::isa
+
+#endif  // PBS_ISA_ENCODING_HH

@@ -1,0 +1,183 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace pbs::isa {
+
+bool
+Instruction::writesDest() const
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::ST:
+      case Opcode::STB:
+      case Opcode::JMP:
+      case Opcode::JZ:
+      case Opcode::JNZ:
+      case Opcode::CFD_JNZ:
+      case Opcode::RET:
+      case Opcode::HALT:
+        return false;
+      case Opcode::PROB_JMP:
+        // The probabilistic register (rd) is written by the PBS value
+        // swap; a PROB_JMP without a probabilistic register writes
+        // nothing.
+        return rd != REG_ZERO;
+      case Opcode::CALL:
+        return true;  // writes RA (rd is forced to REG_RA)
+      default:
+        return rd != REG_ZERO;
+    }
+}
+
+unsigned
+Instruction::sourceRegs(std::array<uint8_t, 3> &srcs) const
+{
+    unsigned n = 0;
+    auto push = [&](uint8_t r) { srcs[n++] = r; };
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::LDI:
+      case Opcode::JMP:
+      case Opcode::CALL:
+      case Opcode::HALT:
+        break;
+      case Opcode::RET:
+        push(REG_RA);
+        break;
+      case Opcode::MOV:
+      case Opcode::FSQRT:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+      case Opcode::ADDI:
+      case Opcode::ANDI:
+      case Opcode::ORI:
+      case Opcode::XORI:
+      case Opcode::SLLI:
+      case Opcode::SRLI:
+      case Opcode::SRAI:
+      case Opcode::LD:
+      case Opcode::LDB:
+      case Opcode::JZ:
+      case Opcode::JNZ:
+      case Opcode::CFD_JNZ:
+        push(rs1);
+        break;
+      case Opcode::ST:
+      case Opcode::STB:
+        push(rs1);
+        push(rs2);
+        break;
+      case Opcode::SEL:
+        push(rs1);
+        push(rs2);
+        push(rs3);
+        break;
+      case Opcode::PROB_CMP:
+        push(rs1);  // probabilistic value
+        push(rs2);  // comparison operand
+        break;
+      case Opcode::PROB_JMP:
+        push(rs1);  // condition register
+        if (rd != REG_ZERO)
+            push(rd);  // probabilistic register read before swap
+        break;
+      default:
+        push(rs1);
+        push(rs2);
+        break;
+    }
+    return n;
+}
+
+std::string
+disassemble(const Instruction &inst, int64_t pc)
+{
+    std::ostringstream os;
+    if (pc >= 0)
+        os << pc << ": ";
+    os << opcodeName(inst.op);
+    auto reg = [](uint8_t r) { return "r" + std::to_string(r); };
+    switch (inst.op) {
+      case Opcode::NOP:
+      case Opcode::RET:
+      case Opcode::HALT:
+        break;
+      case Opcode::LDI:
+        os << " " << reg(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::MOV:
+      case Opcode::FSQRT:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1);
+        break;
+      case Opcode::ADDI:
+      case Opcode::ANDI:
+      case Opcode::ORI:
+      case Opcode::XORI:
+      case Opcode::SLLI:
+      case Opcode::SRLI:
+      case Opcode::SRAI:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << inst.imm;
+        break;
+      case Opcode::CMP:
+      case Opcode::PROB_CMP:
+        os << "." << cmpOpName(inst.cmp) << " " << reg(inst.rd) << ", "
+           << reg(inst.rs1) << ", " << reg(inst.rs2);
+        if (inst.op == Opcode::PROB_CMP)
+            os << " #b" << inst.probId;
+        break;
+      case Opcode::SEL:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << reg(inst.rs2) << ", " << reg(inst.rs3);
+        break;
+      case Opcode::LD:
+      case Opcode::LDB:
+        os << " " << reg(inst.rd) << ", " << inst.imm << "("
+           << reg(inst.rs1) << ")";
+        break;
+      case Opcode::ST:
+      case Opcode::STB:
+        os << " " << reg(inst.rs2) << ", " << inst.imm << "("
+           << reg(inst.rs1) << ")";
+        break;
+      case Opcode::JMP:
+      case Opcode::CALL:
+        os << " " << inst.imm;
+        break;
+      case Opcode::JZ:
+      case Opcode::JNZ:
+      case Opcode::CFD_JNZ:
+        os << " " << reg(inst.rs1) << ", " << inst.imm;
+        break;
+      case Opcode::PROB_JMP:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", ";
+        if (inst.imm == kNoTarget)
+            os << "<carrier>";
+        else
+            os << inst.imm;
+        os << " #b" << inst.probId;
+        break;
+      default:
+        os << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+           << reg(inst.rs2);
+        break;
+    }
+    return os.str();
+}
+
+}  // namespace pbs::isa

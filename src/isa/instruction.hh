@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Instruction representation for the PBS ISA.
+ *
+ * Probabilistic-branch register conventions (cf. paper Section V-A):
+ *
+ *  - PROB_CMP.op rc, rp, rs2 — rd=rc receives the 0/1 comparison result
+ *    (like CMP), rs1=rp holds the probabilistic value, rs2 the comparison
+ *    operand. Under PBS the hardware additionally *swaps* rp: the newly
+ *    generated value is saved and the value recorded from the previous
+ *    execution is written back into rp, preserving the RAW dependence for
+ *    consumers after the branch. On a PBS-unaware machine the instruction
+ *    is a plain CMP and the program runs unmodified (backward compat).
+ *
+ *  - PROB_JMP rp2, rc, target — rs1=rc is the condition register (read by
+ *    legacy hardware exactly like JNZ), rd=rp2 optionally names a second
+ *    probabilistic register to swap (REG_ZERO if none). Under PBS the
+ *    fetch direction comes from the Prob-BTB, not from rc.
+ */
+
+#ifndef PBS_ISA_INSTRUCTION_HH
+#define PBS_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace pbs::isa {
+
+/** Number of architectural registers. Register 0 is hard-wired to zero. */
+constexpr unsigned kNumRegs = 32;
+
+/** Architectural register aliases used by convention. */
+constexpr uint8_t REG_ZERO = 0;   ///< always reads 0
+constexpr uint8_t REG_RA = 1;     ///< link register for CALL/RET
+constexpr uint8_t REG_SP = 2;     ///< software stack pointer
+
+/** Sentinel target for carrier PROB_JMPs that transfer a value only.
+ *
+ * The paper encodes value-carrier PROB_JMPs with Immediate == 0; our
+ * instruction indices start at 0, so we use -1 instead. A PROB_JMP with
+ * imm == kNoTarget never redirects control flow; it only participates in
+ * the PBS value-swap protocol.
+ */
+constexpr int64_t kNoTarget = -1;
+
+/**
+ * A single decoded instruction.
+ *
+ * Register fields that an opcode does not use must be zero. The immediate
+ * is a signed 64-bit value; the binary encoding stores 32 bits inline and
+ * falls back to a two-word form for LDI with a wider payload.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    CmpOp cmp = CmpOp::EQ;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    uint8_t rs3 = 0;
+    int64_t imm = 0;
+
+    /**
+     * Static identifier of the probabilistic branch this instruction
+     * belongs to (PROB_CMP / PROB_JMP only). Assigned by the assembler;
+     * used by statistics to group per-branch events. 0 for non-prob ops.
+     */
+    uint16_t probId = 0;
+
+    bool isControl() const { return isa::isControl(op); }
+    bool isCondBranch() const { return isa::isCondBranch(op); }
+    bool isProb() const { return isa::isProbOp(op); }
+    bool isLoad() const { return isa::isLoad(op); }
+    bool isStore() const { return isa::isStore(op); }
+
+    /** @return true if this PROB_JMP only carries a value (no branch). */
+    bool
+    isCarrierProbJmp() const
+    {
+        return op == Opcode::PROB_JMP && imm == kNoTarget;
+    }
+
+    /**
+     * @return the probabilistic register of a PROB_CMP/PROB_JMP, or
+     *         REG_ZERO if the instruction has none.
+     */
+    uint8_t
+    probReg() const
+    {
+        if (op == Opcode::PROB_CMP)
+            return rs1;
+        if (op == Opcode::PROB_JMP)
+            return rd;
+        return REG_ZERO;
+    }
+
+    /** @return true if the instruction writes its rd field. */
+    bool writesDest() const;
+
+    /**
+     * Collect source registers into @p srcs.
+     * @return the number of sources (0..3).
+     */
+    unsigned sourceRegs(std::array<uint8_t, 3> &srcs) const;
+
+    /** @return destination register, or -1 if none. */
+    int destReg() const { return writesDest() ? rd : -1; }
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** @return a human-readable disassembly of @p inst at index @p pc. */
+std::string disassemble(const Instruction &inst, int64_t pc = -1);
+
+}  // namespace pbs::isa
+
+#endif  // PBS_ISA_INSTRUCTION_HH

@@ -1,0 +1,154 @@
+#include "isa/opcode.hh"
+
+namespace pbs::isa {
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::MOV: return "mov";
+      case Opcode::LDI: return "ldi";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FSQRT: return "fsqrt";
+      case Opcode::FNEG: return "fneg";
+      case Opcode::FABS: return "fabs";
+      case Opcode::FMIN: return "fmin";
+      case Opcode::FMAX: return "fmax";
+      case Opcode::FEXP: return "fexp";
+      case Opcode::FLOG: return "flog";
+      case Opcode::FSIN: return "fsin";
+      case Opcode::FCOS: return "fcos";
+      case Opcode::I2F: return "i2f";
+      case Opcode::F2I: return "f2i";
+      case Opcode::CMP: return "cmp";
+      case Opcode::SEL: return "sel";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::LDB: return "ldb";
+      case Opcode::STB: return "stb";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JZ: return "jz";
+      case Opcode::JNZ: return "jnz";
+      case Opcode::CALL: return "call";
+      case Opcode::RET: return "ret";
+      case Opcode::HALT: return "halt";
+      case Opcode::PROB_CMP: return "prob_cmp";
+      case Opcode::PROB_JMP: return "prob_jmp";
+      case Opcode::CFD_JNZ: return "cfd_jnz";
+      default: return "???";
+    }
+}
+
+std::string_view
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::EQ: return "eq";
+      case CmpOp::NE: return "ne";
+      case CmpOp::LT: return "lt";
+      case CmpOp::GE: return "ge";
+      case CmpOp::LE: return "le";
+      case CmpOp::GT: return "gt";
+      case CmpOp::LTU: return "ltu";
+      case CmpOp::GEU: return "geu";
+      case CmpOp::FEQ: return "feq";
+      case CmpOp::FNE: return "fne";
+      case CmpOp::FLT: return "flt";
+      case CmpOp::FGE: return "fge";
+      case CmpOp::FLE: return "fle";
+      case CmpOp::FGT: return "fgt";
+      default: return "???";
+    }
+}
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::JMP:
+      case Opcode::JZ:
+      case Opcode::JNZ:
+      case Opcode::CALL:
+      case Opcode::RET:
+      case Opcode::HALT:
+      case Opcode::PROB_JMP:
+      case Opcode::CFD_JNZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::JZ || op == Opcode::JNZ ||
+           op == Opcode::PROB_JMP || op == Opcode::CFD_JNZ;
+}
+
+bool
+isProbOp(Opcode op)
+{
+    return op == Opcode::PROB_CMP || op == Opcode::PROB_JMP;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::LDB;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::ST || op == Opcode::STB;
+}
+
+bool
+isFloatOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace pbs::isa

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Opcode and comparison-operation definitions for the PBS ISA.
+ *
+ * The PBS ISA is a small RISC-style 64-bit instruction set used by this
+ * reproduction as the software substrate on which probabilistic workloads
+ * run. It mirrors the paper's software model: branches are expressed as a
+ * compare instruction producing a 0/1 register followed by a conditional
+ * jump, and probabilistic branches are the PROB_CMP / PROB_JMP pair of
+ * Section V-A of the paper.
+ */
+
+#ifndef PBS_ISA_OPCODE_HH
+#define PBS_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pbs::isa {
+
+/** Instruction opcodes. Values are stable: they are used by the encoder. */
+enum class Opcode : uint8_t {
+    NOP = 0,
+
+    // Integer register-register.
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, SLL, SRL, SRA,
+
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI,
+
+    // Register moves / immediates.
+    MOV,     ///< rd = rs1
+    LDI,     ///< rd = imm (sign-extended 32-bit payload, or 64-bit two-word)
+
+    // Floating point (registers hold raw IEEE-754 double bits).
+    FADD, FSUB, FMUL, FDIV, FSQRT, FNEG, FABS, FMIN, FMAX,
+    FEXP, FLOG, FSIN, FCOS,
+    I2F,     ///< rd = double(int64(rs1))
+    F2I,     ///< rd = int64(trunc(double(rs1)))
+
+    // Comparison: rd = (rs1 <cmp> rs2) ? 1 : 0.
+    CMP,
+
+    // Conditional select (predication support): rd = rs1 ? rs2 : rs3.
+    SEL,
+
+    // Memory. Addresses are byte addresses: addr = rs1 + imm.
+    LD,      ///< rd = mem64[rs1 + imm]
+    ST,      ///< mem64[rs1 + imm] = rs2
+    LDB,     ///< rd = zext(mem8[rs1 + imm])
+    STB,     ///< mem8[rs1 + imm] = rs2 & 0xff
+
+    // Control. Targets are absolute instruction indices in imm.
+    JMP,     ///< unconditional jump
+    JZ,      ///< jump if rs1 == 0
+    JNZ,     ///< jump if rs1 != 0
+    CALL,    ///< RA = pc + 1; jump
+    RET,     ///< jump to RA
+    HALT,
+
+    // Probabilistic branch support (the paper's ISA extension).
+    PROB_CMP,  ///< probabilistic compare: like CMP but PBS-managed
+    PROB_JMP,  ///< probabilistic jump: steered by the Prob-BTB
+
+    /**
+     * Control-flow-decoupling jump (comparator for Table I / Sec. II-B):
+     * like JNZ, but the direction is supplied at fetch by the CFD
+     * hardware queue, so it never mispredicts and never touches the
+     * branch predictor. Used only by the CFD workload variants.
+     */
+    CFD_JNZ,
+
+    NUM_OPCODES
+};
+
+/** Comparison operations for CMP / PROB_CMP / conditional use. */
+enum class CmpOp : uint8_t {
+    EQ = 0, NE, LT, GE, LE, GT, LTU, GEU,
+    FEQ, FNE, FLT, FGE, FLE, FGT,
+    NUM_CMP_OPS
+};
+
+/** @return mnemonic for an opcode. */
+std::string_view opcodeName(Opcode op);
+
+/** @return mnemonic for a comparison op. */
+std::string_view cmpOpName(CmpOp op);
+
+/** @return true if the opcode is any kind of control-flow instruction. */
+bool isControl(Opcode op);
+
+/** @return true for conditional branches (JZ, JNZ, PROB_JMP). */
+bool isCondBranch(Opcode op);
+
+/** @return true for the probabilistic instructions. */
+bool isProbOp(Opcode op);
+
+/** @return true for memory loads. */
+bool isLoad(Opcode op);
+
+/** @return true for memory stores. */
+bool isStore(Opcode op);
+
+/** @return true for floating-point computation ops. */
+bool isFloatOp(Opcode op);
+
+}  // namespace pbs::isa
+
+#endif  // PBS_ISA_OPCODE_HH

@@ -1,0 +1,128 @@
+#include "isa/program.hh"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace pbs::isa {
+
+size_t
+Program::staticBranchCount() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts) {
+        if (inst.isControl() && inst.op != Opcode::HALT &&
+            !inst.isCarrierProbJmp()) {
+            n++;
+        }
+    }
+    return n;
+}
+
+size_t
+Program::staticProbBranchCount() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts) {
+        if (inst.op == Opcode::PROB_JMP && !inst.isCarrierProbJmp())
+            n++;
+    }
+    return n;
+}
+
+size_t
+Program::distinctProbIds() const
+{
+    std::set<uint16_t> ids;
+    for (const auto &inst : insts) {
+        if (inst.isProb())
+            ids.insert(inst.probId);
+    }
+    return ids.size();
+}
+
+void
+Program::validate() const
+{
+    auto fail = [](const std::string &msg) {
+        throw std::invalid_argument("program validation: " + msg);
+    };
+
+    const int64_t n = static_cast<int64_t>(insts.size());
+    if (entry >= insts.size())
+        fail("entry point out of range");
+
+    for (int64_t pc = 0; pc < n; pc++) {
+        const Instruction &inst = insts[pc];
+        if (inst.rd >= kNumRegs || inst.rs1 >= kNumRegs ||
+            inst.rs2 >= kNumRegs || inst.rs3 >= kNumRegs) {
+            fail("register index out of range at " +
+                 disassemble(inst, pc));
+        }
+        switch (inst.op) {
+          case Opcode::JMP:
+          case Opcode::JZ:
+          case Opcode::JNZ:
+          case Opcode::CFD_JNZ:
+          case Opcode::CALL:
+            if (inst.imm < 0 || inst.imm >= n)
+                fail("branch target out of range at " +
+                     disassemble(inst, pc));
+            break;
+          case Opcode::PROB_JMP:
+            if (inst.imm != kNoTarget && (inst.imm < 0 || inst.imm >= n))
+                fail("branch target out of range at " +
+                     disassemble(inst, pc));
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Each PROB_CMP must be followed, within a small window and before
+    // any control transfer, by a branching PROB_JMP with the same probId.
+    for (int64_t pc = 0; pc < n; pc++) {
+        const Instruction &inst = insts[pc];
+        if (inst.op != Opcode::PROB_CMP)
+            continue;
+        bool closed = false;
+        for (int64_t j = pc + 1; j < std::min(pc + 8, n); j++) {
+            const Instruction &follow = insts[j];
+            if (follow.op == Opcode::PROB_JMP) {
+                if (follow.probId != inst.probId)
+                    fail("probId mismatch between PROB_CMP and PROB_JMP "
+                         "at " + disassemble(inst, pc));
+                if (!follow.isCarrierProbJmp()) {
+                    closed = true;
+                    break;
+                }
+            } else if (follow.isControl()) {
+                break;
+            }
+        }
+        if (!closed)
+            fail("PROB_CMP without closing PROB_JMP at " +
+                 disassemble(inst, pc));
+    }
+}
+
+std::string
+Program::listing() const
+{
+    // Invert the label map for annotation.
+    std::map<uint64_t, std::string> by_pc;
+    for (const auto &[name, pc] : labels)
+        by_pc[pc] = name;
+
+    std::ostringstream os;
+    for (size_t pc = 0; pc < insts.size(); pc++) {
+        auto it = by_pc.find(pc);
+        if (it != by_pc.end())
+            os << it->second << ":\n";
+        os << "  " << disassemble(insts[pc], static_cast<int64_t>(pc))
+           << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace pbs::isa

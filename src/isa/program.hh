@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Program container: instruction sequence plus initial data segment.
+ */
+
+#ifndef PBS_ISA_PROGRAM_HH
+#define PBS_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pbs::isa {
+
+/**
+ * A complete program for the PBS ISA.
+ *
+ * The PC is an instruction index into @ref insts. The data segment is a
+ * list of (byte address, bytes) initializers applied to memory before
+ * execution.
+ */
+struct Program
+{
+    std::vector<Instruction> insts;
+    std::map<uint64_t, std::vector<uint8_t>> dataInit;
+    uint64_t entry = 0;
+
+    /** Label name -> instruction index (for diagnostics). */
+    std::map<std::string, uint64_t> labels;
+
+    /** @return total number of static branch instructions. */
+    size_t staticBranchCount() const;
+
+    /** @return number of static probabilistic branch (PROB_JMP with a
+     *          real target) instructions. */
+    size_t staticProbBranchCount() const;
+
+    /** @return number of distinct probabilistic branch ids used. */
+    size_t distinctProbIds() const;
+
+    /**
+     * Validate structural invariants: branch targets in range, register
+     * indices in range, PROB_CMP followed (eventually) by a PROB_JMP with
+     * the same probId, carrier PROB_JMPs not last of their group.
+     * @throws std::invalid_argument on violation.
+     */
+    void validate() const;
+
+    /** @return full disassembly listing. */
+    std::string listing() const;
+};
+
+}  // namespace pbs::isa
+
+#endif  // PBS_ISA_PROGRAM_HH

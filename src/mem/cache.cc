@@ -1,0 +1,118 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pbs::mem {
+
+Cache::Cache(const CacheConfig &cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name))
+{
+    if (cfg_.lineBytes == 0 ||
+        (cfg_.lineBytes & (cfg_.lineBytes - 1)) != 0) {
+        throw std::invalid_argument("line size must be a power of two");
+    }
+    size_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    size_t num_sets = lines / cfg_.assoc;
+    if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
+        throw std::invalid_argument("set count must be a power of two");
+    sets_.assign(num_sets, std::vector<Line>(cfg_.assoc));
+    lineShift_ = std::countr_zero(uint64_t(cfg_.lineBytes));
+}
+
+size_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr >> lineShift_) & (sets_.size() - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    auto &set = sets_[setIndex(addr)];
+    uint64_t tag = tagOf(addr);
+    useClock_++;
+
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            hits_++;
+            return true;
+        }
+    }
+
+    misses_++;
+    // Insert with LRU victim selection.
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const auto &set = sets_[setIndex(addr)];
+    uint64_t tag = tagOf(addr);
+    for (const auto &line : set) {
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg), l1i_(cfg.l1i, "l1i"), l1d_(cfg.l1d, "l1d"),
+      l2_(cfg.l2, "l2")
+{
+}
+
+unsigned
+MemoryHierarchy::dataAccess(uint64_t addr)
+{
+    unsigned latency = l1d_.hitLatency();
+    if (l1d_.access(addr))
+        return latency;
+    latency += l2_.hitLatency();
+    if (l2_.access(addr))
+        return latency;
+    return latency + cfg_.memLatency;
+}
+
+unsigned
+MemoryHierarchy::instAccess(uint64_t addr)
+{
+    unsigned latency = l1i_.hitLatency();
+    if (l1i_.access(addr))
+        return latency;
+    latency += l2_.hitLatency();
+    if (l2_.access(addr))
+        return latency;
+    return latency + cfg_.memLatency;
+}
+
+void
+MemoryHierarchy::instPrefetch(uint64_t addr)
+{
+    if (!l1i_.contains(addr)) {
+        l1i_.access(addr);
+        l2_.access(addr);
+    }
+}
+
+}  // namespace pbs::mem

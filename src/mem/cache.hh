@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Set-associative LRU cache model and the two-level hierarchy from the
+ * paper's setup (32 KB L1I + 32 KB L1D, unified 2 MB L2).
+ */
+
+#ifndef PBS_MEM_CACHE_HH
+#define PBS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbs::mem {
+
+/** Cache geometry and latency parameters. */
+struct CacheConfig
+{
+    size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 4;  ///< cycles
+};
+
+/** Set-associative cache with true-LRU replacement (tag-only model). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg, std::string name = "cache");
+
+    /**
+     * Access the line containing @p addr.
+     * @return true on hit (the line is inserted on miss).
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without touching LRU or allocating. */
+    bool contains(uint64_t addr) const;
+
+    unsigned hitLatency() const { return cfg_.hitLatency; }
+    const std::string &name() const { return name_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        uint64_t total = hits_ + misses_;
+        return total ? double(misses_) / double(total) : 0.0;
+    }
+
+    size_t numSets() const { return sets_.size(); }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    size_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig cfg_;
+    std::string name_;
+    std::vector<std::vector<Line>> sets_;
+    unsigned lineShift_;
+    uint64_t useClock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Latencies for the levels behind the L1s. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{32 * 1024, 8, 64, 1};
+    CacheConfig l1d{32 * 1024, 8, 64, 4};
+    CacheConfig l2{2 * 1024 * 1024, 16, 64, 12};
+    unsigned memLatency = 120;  ///< cycles to DRAM
+};
+
+/**
+ * Two-level hierarchy returning the load-to-use latency of an access.
+ * Instruction and data paths share the L2.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &cfg = {});
+
+    /** @return total latency in cycles of a data access at @p addr. */
+    unsigned dataAccess(uint64_t addr);
+
+    /** @return total latency in cycles of a fetch access at @p addr. */
+    unsigned instAccess(uint64_t addr);
+
+    /**
+     * Next-line instruction prefetch: fills the L1I/L2 without charging
+     * latency (models the sequential prefetcher every front end has).
+     */
+    void instPrefetch(uint64_t addr);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+  private:
+    HierarchyConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+}  // namespace pbs::mem
+
+#endif  // PBS_MEM_CACHE_HH

@@ -1,0 +1,93 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+namespace pbs::mem {
+
+const SparseMemory::Page *
+SparseMemory::findPage(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(uint64_t addr)
+{
+    auto &slot = pages_[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint8_t
+SparseMemory::readByte(uint64_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+SparseMemory::writeByte(uint64_t addr, uint8_t value)
+{
+    touchPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+uint64_t
+SparseMemory::readU64(uint64_t addr) const
+{
+    // Fast path: fully inside one page.
+    uint64_t off = addr & (kPageSize - 1);
+    if (off + 8 <= kPageSize) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        uint64_t v;
+        std::memcpy(&v, page->data() + off, 8);
+        return v;
+    }
+    uint64_t v = 0;
+    for (int b = 0; b < 8; b++)
+        v |= uint64_t(readByte(addr + b)) << (8 * b);
+    return v;
+}
+
+void
+SparseMemory::writeU64(uint64_t addr, uint64_t value)
+{
+    uint64_t off = addr & (kPageSize - 1);
+    if (off + 8 <= kPageSize) {
+        std::memcpy(touchPage(addr).data() + off, &value, 8);
+        return;
+    }
+    for (int b = 0; b < 8; b++)
+        writeByte(addr + b, (value >> (8 * b)) & 0xff);
+}
+
+double
+SparseMemory::readDouble(uint64_t addr) const
+{
+    uint64_t bits = readU64(addr);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+void
+SparseMemory::writeDouble(uint64_t addr, double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, 8);
+    writeU64(addr, bits);
+}
+
+void
+SparseMemory::writeBlock(uint64_t addr, const std::vector<uint8_t> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); i++)
+        writeByte(addr + i, bytes[i]);
+}
+
+}  // namespace pbs::mem

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional memory: a sparse, paged, byte-addressable 64-bit space.
+ */
+
+#ifndef PBS_MEM_MEMORY_HH
+#define PBS_MEM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pbs::mem {
+
+/** Sparse functional memory with 4 KB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr size_t kPageSize = size_t(1) << kPageShift;
+
+    uint8_t readByte(uint64_t addr) const;
+    void writeByte(uint64_t addr, uint8_t value);
+
+    uint64_t readU64(uint64_t addr) const;
+    void writeU64(uint64_t addr, uint64_t value);
+
+    double readDouble(uint64_t addr) const;
+    void writeDouble(uint64_t addr, double value);
+
+    /** Bulk initialization (used for program data segments). */
+    void writeBlock(uint64_t addr, const std::vector<uint8_t> &bytes);
+
+    /** @return number of allocated pages (testing aid). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageSize>;
+
+    const Page *findPage(uint64_t addr) const;
+    Page &touchPage(uint64_t addr);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace pbs::mem
+
+#endif  // PBS_MEM_MEMORY_HH

@@ -1,0 +1,110 @@
+#include "randtest/pvalue.hh"
+
+#include <cmath>
+
+namespace pbs::randtest {
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+normalTwoSided(double z)
+{
+    return std::erfc(std::abs(z) / std::sqrt(2.0));
+}
+
+namespace {
+
+/** Series expansion of P(a, x), valid for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; i++) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::abs(del) < std::abs(sum) * 1e-15)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued fraction of Q(a, x), valid for x >= a + 1. */
+double
+gammaQContinued(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; i++) {
+        double an = -double(i) * (double(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::abs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < 1e-15)
+            break;
+    }
+    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double
+gammaP(double a, double x)
+{
+    if (x <= 0.0 || a <= 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinued(a, x);
+}
+
+double
+chi2Sf(double chi2, double df)
+{
+    if (chi2 <= 0.0)
+        return 1.0;
+    return 1.0 - gammaP(df / 2.0, chi2 / 2.0);
+}
+
+double
+ksPValue(double d, size_t n)
+{
+    if (n == 0)
+        return 1.0;
+    double sqrt_n = std::sqrt(static_cast<double>(n));
+    double t = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    // Q_KS(t) = 2 sum_{j>=1} (-1)^(j-1) exp(-2 j^2 t^2)
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int j = 1; j <= 100; j++) {
+        double term = std::exp(-2.0 * double(j) * double(j) * t * t);
+        sum += sign * term;
+        if (term < 1e-16)
+            break;
+        sign = -sign;
+    }
+    double p = 2.0 * sum;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    return p;
+}
+
+}  // namespace pbs::randtest

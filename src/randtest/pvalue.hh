@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Statistical distribution helpers for the randomness battery:
+ * p-values from the normal, chi-square and Kolmogorov-Smirnov
+ * distributions.
+ */
+
+#ifndef PBS_RANDTEST_PVALUE_HH
+#define PBS_RANDTEST_PVALUE_HH
+
+#include <cstddef>
+
+namespace pbs::randtest {
+
+/** Standard normal CDF. */
+double normalCdf(double z);
+
+/** Two-sided p-value of a standard-normal statistic. */
+double normalTwoSided(double z);
+
+/** Regularized lower incomplete gamma P(a, x). */
+double gammaP(double a, double x);
+
+/** Upper-tail p-value of a chi-square statistic with @p df degrees. */
+double chi2Sf(double chi2, double df);
+
+/**
+ * Asymptotic Kolmogorov-Smirnov p-value for statistic @p d with @p n
+ * samples (Marsaglia's Q_KS approximation).
+ */
+double ksPValue(double d, size_t n);
+
+}  // namespace pbs::randtest
+
+#endif  // PBS_RANDTEST_PVALUE_HH

@@ -1,0 +1,146 @@
+#include "rng/isa_emit.hh"
+
+#include <cmath>
+#include <string>
+
+#include "rng/rng.hh"
+
+namespace pbs::rng {
+
+using isa::Assembler;
+
+void
+XorShiftEmitter::setup(Assembler &as, uint64_t seed) const
+{
+    as.ldi(state_, static_cast<int64_t>(
+        seed ? seed : 0x9e3779b97f4a7c15ull));
+    as.ldi(mult_, static_cast<int64_t>(kXorShiftMult));
+    as.ldf(scale_, 0x1.0p-53);
+}
+
+void
+XorShiftEmitter::emitNextU64(Assembler &as, uint8_t out) const
+{
+    // x ^= x >> 12; x ^= x << 25; x ^= x >> 27; out = x * M.
+    as.srli(tmp_, state_, 12);
+    as.xor_(state_, state_, tmp_);
+    as.slli(tmp_, state_, 25);
+    as.xor_(state_, state_, tmp_);
+    as.srli(tmp_, state_, 27);
+    as.xor_(state_, state_, tmp_);
+    as.mul(out, state_, mult_);
+}
+
+void
+XorShiftEmitter::emitNextDouble(Assembler &as, uint8_t out) const
+{
+    emitNextU64(as, out);
+    // bits = (x >> 11) | 1; out = double(bits) * 2^-53.
+    as.srli(out, out, 11);
+    as.ori(out, out, 1);
+    as.i2f(out, out);
+    as.fmul(out, out, scale_);
+}
+
+void
+Lcg48Emitter::setup(Assembler &as, uint64_t seed) const
+{
+    uint64_t state = ((seed & 0xffffffffull) << 16) | 0x330eull;
+    as.ldi(state_, static_cast<int64_t>(state));
+    as.ldi(mult_, static_cast<int64_t>(kLcg48Mult));
+    as.ldi(mask_, static_cast<int64_t>(kLcg48Mask));
+    as.ldf(scale_, 0x1.0p-48);
+}
+
+void
+Lcg48Emitter::emitNextDouble(Assembler &as, uint8_t out) const
+{
+    // state = (state * A + C) & mask48; out = double(state) * 2^-48.
+    as.mul(state_, state_, mult_);
+    as.addi(state_, state_, static_cast<int64_t>(kLcg48Add));
+    as.and_(state_, state_, mask_);
+    as.i2f(out, state_);
+    as.fmul(out, out, scale_);
+}
+
+void
+Rand15Emitter::setup(Assembler &as, uint64_t seed) const
+{
+    uint32_t state = (static_cast<uint32_t>(seed) | 1u) & 0x7fffffffu;
+    as.ldi(state_, state);
+    as.ldi(mult_, 1103515245);
+    as.ldf(scale_, 1.0 / 32768.0);
+}
+
+void
+Rand15Emitter::emitNextDouble(Assembler &as, uint8_t out) const
+{
+    // state = (state * 1103515245 + 12345) & 0x7fffffff
+    as.mul(state_, state_, mult_);
+    as.addi(state_, state_, 12345);
+    as.andi(state_, state_, 0x7fffffff);
+    // out = double((state >> 16) & 0x7fff) / 32768
+    as.srli(out, state_, 16);
+    as.andi(out, out, 0x7fff);
+    as.i2f(out, out);
+    as.fmul(out, out, scale_);
+}
+
+void
+GaussianPolarEmitter::setup(Assembler &as) const
+{
+    as.ldf(one_, 1.0);
+    as.ldf(two_, 2.0);
+    as.ldf(negTwo_, -2.0);
+}
+
+void
+GaussianPolarEmitter::emitNext(Assembler &as, uint8_t out) const
+{
+    std::string retry =
+        "__polar_retry_" + std::to_string(labelCounter_++);
+    as.label(retry);
+    // x = u*2 - 1; y = u*2 - 1; s = x*x + y*y.
+    uniform_.emitNextDouble(as, tmpX_);
+    as.fmul(tmpX_, tmpX_, two_);
+    as.fsub(tmpX_, tmpX_, one_);
+    uniform_.emitNextDouble(as, tmpY_);
+    as.fmul(tmpY_, tmpY_, two_);
+    as.fsub(tmpY_, tmpY_, one_);
+    as.fmul(tmpS_, tmpX_, tmpX_);
+    as.fmul(tmpY_, tmpY_, tmpY_);
+    as.fadd(tmpS_, tmpS_, tmpY_);
+    // Rejection: retry while s >= 1 (a hard-to-predict regular branch).
+    as.cmp(isa::CmpOp::FGE, tmpC_, tmpS_, one_);
+    as.jnz(tmpC_, retry);
+    // out = x * sqrt(log(s) * -2 / s).
+    as.flog(tmpY_, tmpS_);
+    as.fmul(tmpY_, tmpY_, negTwo_);
+    as.fdiv(tmpY_, tmpY_, tmpS_);
+    as.fsqrt(tmpY_, tmpY_);
+    as.fmul(out, tmpX_, tmpY_);
+}
+
+void
+GaussianEmitter::setup(Assembler &as) const
+{
+    as.ldf(negTwo_, -2.0);
+    as.ldf(twoPi_, 2.0 * M_PI);
+}
+
+void
+GaussianEmitter::emitNext(Assembler &as, uint8_t out) const
+{
+    uniform_.emitNextDouble(as, tmpU1_);
+    uniform_.emitNextDouble(as, tmpU2_);
+    // left = sqrt(log(u1) * -2.0)
+    as.flog(tmpU1_, tmpU1_);
+    as.fmul(tmpU1_, tmpU1_, negTwo_);
+    as.fsqrt(tmpU1_, tmpU1_);
+    // right = cos(u2 * 2pi)
+    as.fmul(tmpU2_, tmpU2_, twoPi_);
+    as.fcos(tmpU2_, tmpU2_);
+    as.fmul(out, tmpU1_, tmpU2_);
+}
+
+}  // namespace pbs::rng

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ISA twins of the native RNGs: emit PBS ISA code that reproduces the
+ * native sequences bit-for-bit.
+ *
+ * Each emitter owns a fixed set of caller-assigned registers: a state
+ * register (live across the whole program), constant registers loaded
+ * once by setup(), and scratch temporaries. Emitted sequences mirror the
+ * native computations operation-for-operation, so `XorShift64Star` /
+ * `Lcg48` / `GaussianBoxMuller` streams match the simulated streams
+ * exactly (tested in tests/rng_test.cc and the workload golden tests).
+ */
+
+#ifndef PBS_RNG_ISA_EMIT_HH
+#define PBS_RNG_ISA_EMIT_HH
+
+#include <cstdint>
+
+#include "isa/assembler.hh"
+
+namespace pbs::rng {
+
+/** Emits xorshift64* code. */
+class XorShiftEmitter
+{
+  public:
+    /**
+     * @param state register holding the generator state (live forever)
+     * @param mult register for the xorshift multiplier constant
+     * @param scale register for the 2^-53 constant
+     * @param tmp scratch register
+     */
+    XorShiftEmitter(uint8_t state, uint8_t mult, uint8_t scale,
+                    uint8_t tmp)
+        : state_(state), mult_(mult), scale_(scale), tmp_(tmp)
+    {}
+
+    /** Load the seed and constants. Call once, outside all loops. */
+    void setup(isa::Assembler &as, uint64_t seed) const;
+
+    /** out = next 64-bit value; advances the state register. */
+    void emitNextU64(isa::Assembler &as, uint8_t out) const;
+
+    /** out = next double in (0, 1); advances the state register. */
+    void emitNextDouble(isa::Assembler &as, uint8_t out) const;
+
+    uint8_t stateReg() const { return state_; }
+
+  private:
+    uint8_t state_, mult_, scale_, tmp_;
+};
+
+/** Emits drand48-compatible 48-bit LCG code. */
+class Lcg48Emitter
+{
+  public:
+    /**
+     * @param state register holding the 48-bit LCG state
+     * @param mult register for the multiplier constant
+     * @param mask register for the 48-bit mask constant
+     * @param scale register for the 2^-48 constant
+     */
+    Lcg48Emitter(uint8_t state, uint8_t mult, uint8_t mask, uint8_t scale)
+        : state_(state), mult_(mult), mask_(mask), scale_(scale)
+    {}
+
+    /** Load srand48-style seeded state and constants. */
+    void setup(isa::Assembler &as, uint64_t seed) const;
+
+    /** out = next double in [0, 1) (drand48 semantics). */
+    void emitNextDouble(isa::Assembler &as, uint8_t out) const;
+
+    uint8_t stateReg() const { return state_; }
+
+  private:
+    uint8_t state_, mult_, mask_, scale_;
+};
+
+/** Emits classic C rand()-style 15-bit LCG code (rng::Rand15 twin). */
+class Rand15Emitter
+{
+  public:
+    /**
+     * @param state register holding the 31-bit LCG state
+     * @param mult register for the multiplier constant
+     * @param scale register for the 1/32768 constant
+     */
+    Rand15Emitter(uint8_t state, uint8_t mult, uint8_t scale)
+        : state_(state), mult_(mult), scale_(scale)
+    {}
+
+    /** Load the seeded state and constants. */
+    void setup(isa::Assembler &as, uint64_t seed) const;
+
+    /** out = next double in [0, 1) (15-bit granularity). */
+    void emitNextDouble(isa::Assembler &as, uint8_t out) const;
+
+    uint8_t stateReg() const { return state_; }
+
+  private:
+    uint8_t state_, mult_, scale_;
+};
+
+/**
+ * Emits polar (Marsaglia) Box-Muller Gaussian code: the rejection loop
+ * of the quantstart financial codes, with its hard-to-predict regular
+ * backward branch. Mirrors rng::GaussianPolar exactly.
+ */
+class GaussianPolarEmitter
+{
+  public:
+    /**
+     * @param uniform the underlying uniform emitter
+     * @param one register for the 1.0 constant
+     * @param two register for the 2.0 constant
+     * @param negTwo register for the -2.0 constant
+     * @param tmpX scratch: first coordinate (live across the loop)
+     * @param tmpY scratch: second coordinate
+     * @param tmpS scratch: radius / result factor
+     * @param tmpC scratch: rejection condition
+     */
+    GaussianPolarEmitter(const XorShiftEmitter &uniform, uint8_t one,
+                         uint8_t two, uint8_t negTwo, uint8_t tmpX,
+                         uint8_t tmpY, uint8_t tmpS, uint8_t tmpC)
+        : uniform_(uniform), one_(one), two_(two), negTwo_(negTwo),
+          tmpX_(tmpX), tmpY_(tmpY), tmpS_(tmpS), tmpC_(tmpC)
+    {}
+
+    /** Load the constants. Call once, outside all loops. */
+    void setup(isa::Assembler &as) const;
+
+    /** out = next standard Gaussian; advances the uniform state. */
+    void emitNext(isa::Assembler &as, uint8_t out) const;
+
+  private:
+    const XorShiftEmitter &uniform_;
+    uint8_t one_, two_, negTwo_, tmpX_, tmpY_, tmpS_, tmpC_;
+    mutable unsigned labelCounter_ = 0;
+};
+
+/**
+ * Emits basic Box-Muller Gaussian code on top of a uniform emitter:
+ * z = sqrt(-2 ln u1) * cos(2 pi u2).
+ */
+class GaussianEmitter
+{
+  public:
+    /**
+     * @param uniform the underlying uniform emitter
+     * @param negTwo register for the -2.0 constant
+     * @param twoPi register for the 2*pi constant
+     * @param tmpU1 scratch register for the first uniform / left factor
+     * @param tmpU2 scratch register for the second uniform / right factor
+     */
+    GaussianEmitter(const XorShiftEmitter &uniform, uint8_t negTwo,
+                    uint8_t twoPi, uint8_t tmpU1, uint8_t tmpU2)
+        : uniform_(uniform), negTwo_(negTwo), twoPi_(twoPi),
+          tmpU1_(tmpU1), tmpU2_(tmpU2)
+    {}
+
+    /** Load the Gaussian constants (not the uniform's — call its setup). */
+    void setup(isa::Assembler &as) const;
+
+    /** out = next standard Gaussian; advances the uniform state. */
+    void emitNext(isa::Assembler &as, uint8_t out) const;
+
+  private:
+    const XorShiftEmitter &uniform_;
+    uint8_t negTwo_, twoPi_, tmpU1_, tmpU2_;
+};
+
+}  // namespace pbs::rng
+
+#endif  // PBS_RNG_ISA_EMIT_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Deterministic random-number generators and distributions.
+ *
+ * Every generator here has an ISA twin in rng/isa_emit.hh that emits PBS
+ * ISA code computing the *same* sequence bit-for-bit. Workload golden
+ * tests rely on that equivalence: the native run and the simulated run of
+ * a workload consume identical probabilistic values.
+ */
+
+#ifndef PBS_RNG_RNG_HH
+#define PBS_RNG_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace pbs::rng {
+
+/** Multiplier used by xorshift64*. */
+constexpr uint64_t kXorShiftMult = 2685821657736338717ull;
+
+/** drand48 LCG constants (48-bit). */
+constexpr uint64_t kLcg48Mult = 0x5deece66dull;
+constexpr uint64_t kLcg48Add = 0xbull;
+constexpr uint64_t kLcg48Mask = 0xffffffffffffull;
+
+/** splitmix64: used for seeding other generators. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xorshift64* generator. The main workload generator: cheap to express in
+ * ISA code (3 shifts, 3 xors, 1 multiply) yet passes basic randomness
+ * batteries.
+ */
+class XorShift64Star
+{
+  public:
+    /** @param seed any nonzero value; zero is mapped to a fixed seed. */
+    explicit XorShift64Star(uint64_t seed)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * kXorShiftMult;
+    }
+
+    /** Uniform double in (0, 1): top 53 bits, low bit forced to 1. */
+    double
+    nextDouble()
+    {
+        uint64_t bits = (next() >> 11) | 1ull;
+        return static_cast<double>(bits) * 0x1.0p-53;
+    }
+
+    uint64_t state() const { return state_; }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * The classic 48-bit LCG behind drand48(3), implemented bit-exactly
+ * (multiplier 0x5DEECE66D, addend 0xB, modulo 2^48; srand48-style
+ * seeding). Used by the Photon / MC-integ / PI workloads, matching the
+ * drand48 calls in the paper's code listings.
+ */
+class Lcg48
+{
+  public:
+    /** srand48 semantics: state = (seed << 16) | 0x330E. */
+    explicit Lcg48(uint64_t seed)
+        : state_(((seed & 0xffffffffull) << 16) | 0x330eull)
+    {}
+
+    /** Advance and return the new 48-bit state. */
+    uint64_t
+    next()
+    {
+        state_ = (state_ * kLcg48Mult + kLcg48Add) & kLcg48Mask;
+        return state_;
+    }
+
+    /** drand48 semantics: uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next()) * 0x1.0p-48;
+    }
+
+    uint64_t state() const { return state_; }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Classic C-library rand(): a 31-bit LCG exposing only 15 output bits
+ * (state = state * 1103515245 + 12345 mod 2^31; output bits 30..16).
+ * The Genetic benchmark uses it, matching the codemiles example code
+ * the paper evaluates — and explaining Genetic's FAIL-heavy row in the
+ * paper's Table III randomness results.
+ */
+class Rand15
+{
+  public:
+    explicit Rand15(uint64_t seed)
+        : state_((static_cast<uint32_t>(seed) | 1u) & 0x7fffffffu)
+    {}
+
+    /** @return the next 15-bit output. */
+    uint32_t
+    next()
+    {
+        state_ = (state_ * 1103515245u + 12345u) & 0x7fffffffu;
+        return (state_ >> 16) & 0x7fffu;
+    }
+
+    /** Uniform double in [0, 1) with 15-bit granularity. */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next()) * (1.0 / 32768.0);
+    }
+
+    uint32_t state() const { return state_; }
+
+  private:
+    uint32_t state_;
+};
+
+/**
+ * Basic (trigonometric) Box-Muller transform producing one Gaussian per
+ * call from two uniforms: z = sqrt(-2 ln u1) * cos(2 pi u2).
+ *
+ * The second variate of the pair is intentionally discarded so that the
+ * ISA twin is a straight-line code sequence (no caching state).
+ */
+template <typename Uniform>
+class GaussianBoxMuller
+{
+  public:
+    explicit GaussianBoxMuller(Uniform &uniform) : uniform_(uniform) {}
+
+    double
+    next()
+    {
+        double u1 = uniform_.nextDouble();
+        double u2 = uniform_.nextDouble();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+  private:
+    Uniform &uniform_;
+};
+
+/**
+ * Polar (Marsaglia) Box-Muller transform — the variant used by the
+ * quantstart financial codes the paper evaluates. The rejection loop
+ * (~21.5% retry probability) is a genuinely hard-to-predict *regular*
+ * branch, which is why the financial benchmarks keep a substantial
+ * regular-misprediction floor in the paper's Figure 1.
+ */
+template <typename Uniform>
+class GaussianPolar
+{
+  public:
+    explicit GaussianPolar(Uniform &uniform) : uniform_(uniform) {}
+
+    double
+    next()
+    {
+        double x, s;
+        do {
+            x = uniform_.nextDouble() * 2.0 - 1.0;
+            double y = uniform_.nextDouble() * 2.0 - 1.0;
+            s = x * x + y * y;
+        } while (s >= 1.0);
+        return x * std::sqrt(std::log(s) * -2.0 / s);
+    }
+
+  private:
+    Uniform &uniform_;
+};
+
+}  // namespace pbs::rng
+
+#endif  // PBS_RNG_RNG_HH

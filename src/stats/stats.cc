@@ -1,0 +1,127 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pbs::stats {
+
+void
+RunningStat::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    n_++;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+namespace {
+
+/** Two-sided 97.5% Student t quantiles for df = 1..30. */
+constexpr double kT975[31] = {
+    0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+    2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+    2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052,  2.048,  2.045, 2.042,
+};
+
+}  // namespace
+
+double
+RunningStat::ci95HalfWidth() const
+{
+    if (n_ < 2)
+        return 0.0;
+    size_t df = n_ - 1;
+    double t = df <= 30 ? kT975[df] : 1.96;
+    return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double
+relativeError(double a, double b)
+{
+    if (a == b)
+        return 0.0;
+    if (b == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::abs(a - b) / std::abs(b);
+}
+
+double
+rmsError(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("rmsError: size mismatch");
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); i++) {
+        double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double
+normalizedRmsError(const std::vector<double> &test,
+                   const std::vector<double> &reference)
+{
+    if (reference.empty())
+        return 0.0;
+    auto [lo, hi] = std::minmax_element(reference.begin(), reference.end());
+    double range = *hi - *lo;
+    if (range == 0.0)
+        range = std::abs(*hi) > 0 ? std::abs(*hi) : 1.0;
+    return rmsError(test, reference) / range;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+bool
+intervalsOverlap(double aLo, double aHi, double bLo, double bHi)
+{
+    return aLo <= bHi && bLo <= aHi;
+}
+
+}  // namespace pbs::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Statistics utilities: running moments, confidence intervals, and the
+ * error metrics used by the paper's accuracy evaluation (Sec. VII-D).
+ */
+
+#ifndef PBS_STATS_STATS_HH
+#define PBS_STATS_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbs::stats {
+
+/**
+ * Single-pass running mean/variance (Welford) with 95% confidence
+ * intervals (Student's t for small n, normal approximation otherwise).
+ */
+class RunningStat
+{
+  public:
+    void push(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+    double stddev() const;
+
+    /** Half-width of the 95% confidence interval of the mean. */
+    double ci95HalfWidth() const;
+
+    double ci95Lo() const { return mean() - ci95HalfWidth(); }
+    double ci95Hi() const { return mean() + ci95HalfWidth(); }
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** @return |a - b| / |b|, with 0/0 -> 0 and x/0 -> inf. */
+double relativeError(double a, double b);
+
+/** @return root-mean-square error between two equal-length vectors. */
+double rmsError(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * @return average root-mean-square error normalized by the reference
+ *         dynamic range (the image metric used for Photon, cf. AxBench).
+ */
+double normalizedRmsError(const std::vector<double> &test,
+                          const std::vector<double> &reference);
+
+/** @return geometric mean of a (positive) vector. */
+double geomean(const std::vector<double> &xs);
+
+/** @return arithmetic mean. */
+double mean(const std::vector<double> &xs);
+
+/** @return true if intervals [aLo, aHi] and [bLo, bHi] overlap. */
+bool intervalsOverlap(double aLo, double aHi, double bLo, double bHi);
+
+}  // namespace pbs::stats
+
+#endif  // PBS_STATS_STATS_HH

@@ -1,0 +1,75 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pbs::stats {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); c++)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < cols; c++) {
+            std::string cell = c < r.size() ? r[c] : "";
+            os << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < cols)
+                os << "  ";
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t c = 0; c < cols; c++)
+            total += width[c] + (c + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+}  // namespace pbs::stats

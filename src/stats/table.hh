@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal aligned-text table printer used by the benchmark harnesses to
+ * reproduce the paper's tables and figure series on the console.
+ */
+
+#ifndef PBS_STATS_TABLE_HH
+#define PBS_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pbs::stats {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string render() const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    /** Format a ratio as a percentage with @p digits decimals. */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pbs::stats
+
+#endif  // PBS_STATS_TABLE_HH

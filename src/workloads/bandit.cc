@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Bandit: multi-armed bandit with an epsilon-greedy policy (paper
+ * Sec. II-A3 / VI-A, after BanditLib). The explore/exploit decision
+ * `if (u < epsilon)` is one Category-1 probabilistic branch, reached
+ * through a (non-inlined) function call from the main pull loop — the
+ * structure that defeats both predication and CFD in Table I and
+ * exercises PBS's Function-PC context support.
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr unsigned kArms = 8;
+constexpr double kArmP[kArms] = {0.30, 0.45, 0.60, 0.20,
+                                 0.55, 0.35, 0.50, 0.65};
+constexpr double kBestP = 0.65;
+constexpr double kEpsilon = 0.1;
+constexpr double kAlpha = 0.1;
+constexpr double kNoise = 0.2;
+
+constexpr uint64_t kPBase = kDataBase;           ///< true means
+constexpr uint64_t kQBase = kDataBase + 0x100;   ///< Q estimates
+
+// Registers.
+constexpr uint8_t R_XS = 3, R_MULT = 4, R_SCALE = 5, R_TMP = 6;
+constexpr uint8_t R_EPS = 7, R_ARMSF = 8, R_ALPHA = 9, R_NOISE = 10;
+constexpr uint8_t R_HALF = 11, R_U = 12, R_C = 13, R_ARM = 14;
+constexpr uint8_t R_A = 15, R_TF = 16, R_QB = 17, R_PB = 18;
+constexpr uint8_t R_REW = 19, R_TOT = 20, R_REG = 21, R_BESTP = 22;
+constexpr uint8_t R_N = 23, R_K = 24, R_BESTQ = 25, R_QK = 26;
+constexpr uint8_t R_P = 27, R_ARMSI = 28, R_OUT = 29, R_TRC = 30;
+
+struct BanditParams
+{
+    uint64_t pulls;
+    uint64_t seed;
+    bool trace;
+
+    explicit BanditParams(const WorkloadParams &p)
+        : pulls(p.scale ? p.scale : 120000), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+Program
+buildMarked(const BanditParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+
+    for (unsigned k = 0; k < kArms; k++) {
+        as.dataDouble(kPBase + k * 8, kArmP[k]);
+        as.dataDouble(kQBase + k * 8, 0.0);
+    }
+
+    xs.setup(as, p.seed);
+    as.ldf(R_EPS, kEpsilon);
+    as.ldf(R_ARMSF, static_cast<double>(kArms));
+    as.ldf(R_ALPHA, kAlpha);
+    as.ldf(R_NOISE, kNoise);
+    as.ldf(R_HALF, 0.5);
+    as.ldf(R_TOT, 0.0);
+    as.ldf(R_REG, 0.0);
+    as.ldf(R_BESTP, kBestP);
+    as.ldi(R_QB, static_cast<int64_t>(kQBase));
+    as.ldi(R_PB, static_cast<int64_t>(kPBase));
+    as.ldi(R_ARMSI, kArms);
+    as.ldi(R_N, static_cast<int64_t>(p.pulls));
+    if (p.trace)
+        as.ldi(R_TRC, static_cast<int64_t>(traceRegion(1)));
+
+    as.label("main");
+    as.call("eps_greedy");
+    // p_arm = P[arm]
+    as.slli(R_A, R_ARM, 3);
+    as.add(R_A, R_PB, R_A);
+    as.ld(R_P, R_A, 0);
+    // reward = p_arm + noise*(u - 0.5)
+    xs.emitNextDouble(as, R_U);
+    as.fsub(R_TF, R_U, R_HALF);
+    as.fmul(R_TF, R_TF, R_NOISE);
+    as.fadd(R_REW, R_P, R_TF);
+    as.fadd(R_TOT, R_TOT, R_REW);
+    // regret += bestP - p_arm
+    as.fsub(R_TF, R_BESTP, R_P);
+    as.fadd(R_REG, R_REG, R_TF);
+    // Q[arm] += alpha * (reward - Q[arm])
+    as.slli(R_A, R_ARM, 3);
+    as.add(R_A, R_QB, R_A);
+    as.ld(R_QK, R_A, 0);
+    as.fsub(R_TF, R_REW, R_QK);
+    as.fmul(R_TF, R_TF, R_ALPHA);
+    as.fadd(R_QK, R_QK, R_TF);
+    as.st(R_A, R_QK, 0);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "main");
+
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_TOT, 0);
+    as.st(R_OUT, R_REG, 8);
+    as.halt();
+
+    // --- epsilon-greedy action selection (returns arm in R_ARM) ---
+    as.label("eps_greedy");
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC, R_U, 0);
+        as.addi(R_TRC, R_TRC, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_EPS);  // exploit when u >= eps
+    as.probJmp(REG_ZERO, R_C, "exploit");
+    // Explore: arm = (int)(u2 * numArms)
+    xs.emitNextDouble(as, R_U);
+    as.fmul(R_TF, R_U, R_ARMSF);
+    as.f2i(R_ARM, R_TF);
+    as.andi(R_ARM, R_ARM, kArms - 1);
+    as.ret();
+    // Exploit: arm = argmax_k Q[k] (branchless inner compare).
+    as.label("exploit");
+    as.ldi(R_ARM, 0);
+    as.ld(R_BESTQ, R_QB, 0);
+    as.ldi(R_K, 1);
+    as.label("argmax");
+    as.slli(R_A, R_K, 3);
+    as.add(R_A, R_QB, R_A);
+    as.ld(R_QK, R_A, 0);
+    // Data-dependent max-update branch (hard early on, settles once
+    // the estimates converge).
+    as.cmp(CmpOp::FGT, R_C, R_QK, R_BESTQ);
+    as.jz(R_C, "no_better");
+    as.mov(R_BESTQ, R_QK);
+    as.mov(R_ARM, R_K);
+    as.label("no_better");
+    as.addi(R_K, R_K, 1);
+    as.cmp(CmpOp::LT, R_C, R_K, R_ARMSI);
+    as.jnz(R_C, "argmax");
+    as.ret();
+
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    BanditParams p(wp);
+    if (variant != Variant::Marked) {
+        // Table I: the probabilistic branch sits in a function the
+        // compiler cannot inline; neither if-conversion nor loop
+        // splitting applies.
+        throw std::invalid_argument(
+            "bandit: only the marked variant is applicable (Table I)");
+    }
+    return buildMarked(p);
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    BanditParams p(wp);
+    rng::XorShift64Star rng(p.seed);
+    double q[kArms] = {};
+    double total = 0.0, regret = 0.0;
+    for (uint64_t i = 0; i < p.pulls; i++) {
+        unsigned arm;
+        double u = rng.nextDouble();
+        if (u < kEpsilon) {
+            arm = static_cast<unsigned>(rng.nextDouble() *
+                                        double(kArms)) & (kArms - 1);
+        } else {
+            arm = 0;
+            double best = q[0];
+            for (unsigned k = 1; k < kArms; k++) {
+                if (q[k] > best) {
+                    best = q[k];
+                    arm = k;
+                }
+            }
+        }
+        double reward = kArmP[arm] +
+                        kNoise * (rng.nextDouble() - 0.5);
+        total += reward;
+        regret += kBestP - kArmP[arm];
+        q[arm] += kAlpha * (reward - q[arm]);
+    }
+    return {total, regret};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 2);
+}
+
+}  // namespace
+
+BenchmarkDesc
+banditBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "bandit";
+    d.category = 1;
+    d.numProbBranches = 1;
+    d.predicationOk = false;
+    d.cfdOk = false;
+    d.defaultScale = 120000;
+    d.uniformsPerInstance = 1;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

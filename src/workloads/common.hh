@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared workload infrastructure: parameters, variants, the benchmark
+ * registry (Table II), and helpers for the uniform-value trace used by
+ * the randomness evaluation (Table III).
+ */
+
+#ifndef PBS_WORKLOADS_COMMON_HH
+#define PBS_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "isa/program.hh"
+
+namespace pbs::workloads {
+
+/** Program variant (Table I comparators). */
+enum class Variant {
+    Marked,      ///< probabilistic branches marked (PBS-capable)
+    Predicated,  ///< if-converted (SEL), where the "compiler" can
+    Cfd,         ///< control-flow-decoupled split loops + queue
+};
+
+/** Common workload parameters. */
+struct WorkloadParams
+{
+    uint64_t seed = 12345;
+    /** Main iteration count; 0 selects the workload default. */
+    uint64_t scale = 0;
+    /** Emit uniform-value trace stores (Table III harness). */
+    bool traceUniforms = false;
+};
+
+/** Memory-map conventions shared by all workloads. */
+constexpr uint64_t kOutBase = 0x10000;    ///< outputs (doubles)
+constexpr uint64_t kDataBase = 0x20000;   ///< workload arrays
+constexpr uint64_t kQueueBase = 0x300000; ///< CFD queue region
+constexpr uint64_t kTraceBase = 0x40000000;      ///< uniform traces
+constexpr uint64_t kTraceStride = 0x4000000;     ///< per-branch region
+
+/** @return base address of the uniform-trace region of branch @p id. */
+inline uint64_t
+traceRegion(unsigned probId)
+{
+    return kTraceBase + uint64_t(probId - 1) * kTraceStride;
+}
+
+/** One benchmark of Table II. */
+struct BenchmarkDesc
+{
+    std::string name;
+    int category = 1;             ///< 1 or 2 (paper Sec. III-A)
+    unsigned numProbBranches = 1; ///< distinct static prob. branches
+    bool predicationOk = false;   ///< Table I column 1
+    bool cfdOk = false;           ///< Table I column 2
+    uint64_t defaultScale = 0;
+    /** Uniforms stored per branch instance (0 = not Table-III
+     *  eligible, e.g. Gaussian-controlled benchmarks). */
+    unsigned uniformsPerInstance = 0;
+
+    isa::Program (*build)(const WorkloadParams &, Variant);
+    std::vector<double> (*nativeOutput)(const WorkloadParams &);
+    std::vector<double> (*simOutput)(const cpu::Core &);
+};
+
+/** All eight benchmarks, in the paper's Table II order. */
+const std::vector<BenchmarkDesc> &allBenchmarks();
+
+/** Lookup by name; throws std::invalid_argument when unknown. */
+const BenchmarkDesc &benchmarkByName(const std::string &name);
+
+/** Read @p n doubles from the output region of a finished simulation. */
+std::vector<double> readOutputs(const cpu::Core &core, size_t n);
+
+// Individual benchmark entry points (one per translation unit).
+BenchmarkDesc dopBenchmark();
+BenchmarkDesc greeksBenchmark();
+BenchmarkDesc swaptionsBenchmark();
+BenchmarkDesc geneticBenchmark();
+BenchmarkDesc photonBenchmark();
+BenchmarkDesc mcIntegBenchmark();
+BenchmarkDesc piBenchmark();
+BenchmarkDesc banditBenchmark();
+
+}  // namespace pbs::workloads
+
+#endif  // PBS_WORKLOADS_COMMON_HH

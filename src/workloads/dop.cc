@@ -1,0 +1,247 @@
+/**
+ * @file
+ * DOP: digital option pricing by Monte Carlo (paper Sec. VI-A, derived
+ * from the quantstart digital-option example). Prices a digital call and
+ * a digital put; each draws a Gaussian terminal price and tests it
+ * against the strike — two independent Category-1 probabilistic
+ * branches, taken with ~50% probability at the money.
+ *
+ * Applicability (Table I): predication OK, CFD OK.
+ */
+
+#include <cmath>
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+struct DopParams
+{
+    uint64_t sims;
+    uint64_t seed;
+    double S = 100.0;   ///< spot
+    double K = 100.0;   ///< strike
+    double r = 0.05;    ///< risk-free rate
+    double v = 0.2;     ///< volatility
+    double T = 1.0;     ///< maturity
+
+    explicit DopParams(const WorkloadParams &p)
+        : sims(p.scale ? p.scale : 100000), seed(p.seed)
+    {}
+
+    double sAdjust() const { return S * std::exp(T * (r - 0.5 * v * v)); }
+    double vol() const { return std::sqrt(v * v * T); }
+    double discOverN() const
+    {
+        return std::exp(-r * T) / static_cast<double>(sims);
+    }
+};
+
+// Register assignments.
+constexpr uint8_t R_XS = 3, R_MULT = 4, R_SCALE = 5, R_TMP = 6;
+constexpr uint8_t R_NEG2 = 7, R_PX = 9, R_PY = 10;
+constexpr uint8_t R_G = 11, R_VOL = 12, R_ADJ = 13, R_K = 14;
+constexpr uint8_t R_S = 15, R_C = 16, R_CSUM = 17, R_PSUM = 18;
+constexpr uint8_t R_ONE = 19, R_N = 20, R_T1 = 21, R_OUT = 22;
+constexpr uint8_t R_ZEROF = 23, R_QP = 24, R_TWO = 25, R_PS = 26;
+
+void
+emitPathPrice(Assembler &as, const rng::GaussianPolarEmitter &gauss)
+{
+    gauss.emitNext(as, R_G);
+    as.fmul(R_S, R_G, R_VOL);
+    as.fexp(R_S, R_S);
+    as.fmul(R_S, R_S, R_ADJ);
+}
+
+void
+emitCommonSetup(Assembler &as, const DopParams &p,
+                const rng::XorShiftEmitter &xs,
+                const rng::GaussianPolarEmitter &gauss)
+{
+    xs.setup(as, p.seed);
+    gauss.setup(as);
+    as.ldf(R_VOL, p.vol());
+    as.ldf(R_ADJ, p.sAdjust());
+    as.ldf(R_K, p.K);
+    as.ldf(R_CSUM, 0.0);
+    as.ldf(R_PSUM, 0.0);
+    as.ldf(R_ONE, 1.0);
+    as.ldi(R_N, static_cast<int64_t>(p.sims));
+}
+
+void
+emitEpilogue(Assembler &as, const DopParams &p)
+{
+    as.ldf(R_T1, p.discOverN());
+    as.fmul(R_CSUM, R_CSUM, R_T1);
+    as.fmul(R_PSUM, R_PSUM, R_T1);
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_CSUM, 0);
+    as.st(R_OUT, R_PSUM, 8);
+    as.halt();
+}
+
+Program
+buildMarked(const DopParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+    rng::GaussianPolarEmitter gauss(xs, R_ONE, R_TWO, R_NEG2, R_PX,
+                                    R_PY, R_PS, R_C);
+    emitCommonSetup(as, p, xs, gauss);
+
+    as.label("loop");
+    // Digital call leg: if (S > K) csum += 1.
+    emitPathPrice(as, gauss);
+    as.probCmp(CmpOp::FLE, R_C, R_S, R_K);  // skip when S <= K
+    as.probJmp(REG_ZERO, R_C, "skip_call");
+    as.fadd(R_CSUM, R_CSUM, R_ONE);
+    as.label("skip_call");
+    // Digital put leg: if (S < K) psum += 1.
+    emitPathPrice(as, gauss);
+    as.probCmp(CmpOp::FGE, R_C, R_S, R_K);  // skip when S >= K
+    as.probJmp(REG_ZERO, R_C, "skip_put");
+    as.fadd(R_PSUM, R_PSUM, R_ONE);
+    as.label("skip_put");
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildPredicated(const DopParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+    rng::GaussianPolarEmitter gauss(xs, R_ONE, R_TWO, R_NEG2, R_PX,
+                                    R_PY, R_PS, R_C);
+    emitCommonSetup(as, p, xs, gauss);
+    as.ldf(R_ZEROF, 0.0);
+
+    as.label("loop");
+    emitPathPrice(as, gauss);
+    as.cmp(CmpOp::FGT, R_C, R_S, R_K);
+    as.sel(R_T1, R_C, R_ONE, R_ZEROF);
+    as.fadd(R_CSUM, R_CSUM, R_T1);
+    emitPathPrice(as, gauss);
+    as.cmp(CmpOp::FLT, R_C, R_S, R_K);
+    as.sel(R_T1, R_C, R_ONE, R_ZEROF);
+    as.fadd(R_PSUM, R_PSUM, R_T1);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildCfd(const DopParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+    rng::GaussianPolarEmitter gauss(xs, R_ONE, R_TWO, R_NEG2, R_PX,
+                                    R_PY, R_PS, R_C);
+    emitCommonSetup(as, p, xs, gauss);
+
+    // Loop 1: compute skip-predicates, push them to the queue.
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.label("loop1");
+    emitPathPrice(as, gauss);
+    as.cmp(CmpOp::FLE, R_C, R_S, R_K);
+    as.st(R_QP, R_C, 0);
+    emitPathPrice(as, gauss);
+    as.cmp(CmpOp::FGE, R_C, R_S, R_K);
+    as.st(R_QP, R_C, 8);
+    as.addi(R_QP, R_QP, 16);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop1");
+
+    // Loop 2: pop predicates; branches resolve via the CFD queue.
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.ldi(R_N, static_cast<int64_t>(p.sims));
+    as.label("loop2");
+    as.ld(R_C, R_QP, 0);
+    as.cfdJnz(R_C, "skip_call");
+    as.fadd(R_CSUM, R_CSUM, R_ONE);
+    as.label("skip_call");
+    as.ld(R_C, R_QP, 8);
+    as.cfdJnz(R_C, "skip_put");
+    as.fadd(R_PSUM, R_PSUM, R_ONE);
+    as.label("skip_put");
+    as.addi(R_QP, R_QP, 16);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop2");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    DopParams p(wp);
+    switch (variant) {
+      case Variant::Marked: return buildMarked(p);
+      case Variant::Predicated: return buildPredicated(p);
+      case Variant::Cfd: return buildCfd(p);
+    }
+    throw std::invalid_argument("dop: bad variant");
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    DopParams p(wp);
+    rng::XorShift64Star rng(p.seed);
+    rng::GaussianPolar<rng::XorShift64Star> gauss(rng);
+    const double vol = p.vol(), adj = p.sAdjust();
+    double csum = 0.0, psum = 0.0;
+    for (uint64_t i = 0; i < p.sims; i++) {
+        double s = std::exp(gauss.next() * vol) * adj;
+        if (s > p.K)
+            csum += 1.0;
+        s = std::exp(gauss.next() * vol) * adj;
+        if (s < p.K)
+            psum += 1.0;
+    }
+    double d = p.discOverN();
+    return {csum * d, psum * d};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 2);
+}
+
+}  // namespace
+
+BenchmarkDesc
+dopBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "dop";
+    d.category = 1;
+    d.numProbBranches = 2;
+    d.predicationOk = true;
+    d.cfdOk = true;
+    d.defaultScale = 100000;
+    d.uniformsPerInstance = 0;  // Gaussian-controlled
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Genetic: a bitstring genetic algorithm (paper Sec. II-A1 / VI-A,
+ * after the codemiles example). Each generation evaluates fitness
+ * against a target bitstring, breeds children from the best parent with
+ * probabilistic crossover, then runs a separate mutation pass over the
+ * whole next generation (the example's mutate() function) — two
+ * independent Category-1 probabilistic branches. The mutation branch
+ * dominates dynamically (one instance per bit per child).
+ *
+ * The flat mutation pass matters for PBS fidelity: it gives the
+ * mutation branch a long (population x length)-iteration context, so
+ * the bootstrap value reuse the paper describes in Sec. IV stays a
+ * negligible fraction of the decisions. Mutating inside the per-child
+ * copy loop instead would re-bootstrap every 16 iterations and couple
+ * adjacent mutation decisions — exactly the "small number of
+ * iterations" hazard the paper warns about.
+ *
+ * Uses the classic C rand() 15-bit LCG, like the example code (this is
+ * why Genetic fails many randomness tests in the paper's Table III).
+ *
+ * Applicability (Table I): predication x (multi-statement bodies), CFD
+ * OK (the mutation/crossover loops are separable).
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr unsigned kLen = 16;        ///< bits per chromosome
+constexpr unsigned kPop = 16;        ///< population size
+constexpr double kMutRate = 0.08;
+constexpr double kCrossRate = 0.7;
+
+constexpr uint64_t kTargetBase = kDataBase;
+constexpr uint64_t kPopABase = kDataBase + 0x1000;
+constexpr uint64_t kPopBBase = kDataBase + 0x2000;
+
+// Registers. r1/r2 (RA/SP) are free here (no calls) and serve as the
+// trace cursors.
+constexpr uint8_t R_TRC_X = 1, R_TRC_M = 2;
+constexpr uint8_t R_XS = 3, R_MULT = 4, R_SCALE = 5;
+constexpr uint8_t R_MRATE = 7, R_XRATE = 8, R_LENF = 9;
+constexpr uint8_t R_T1 = 10, R_C = 11, R_GEN = 12;
+constexpr uint8_t R_POPA = 13, R_POPB = 14, R_P = 15, R_B = 16;
+constexpr uint8_t R_FIT = 17, R_BESTF = 18, R_BESTI = 19;
+constexpr uint8_t R_P1 = 20, R_BYTE = 21, R_P2 = 22, R_CHILD = 23;
+constexpr uint8_t R_SPLIT = 24, R_TGT = 25, R_LENI = 26, R_POPI = 27;
+constexpr uint8_t R_SUCC = 28, R_GUSED = 29, R_U = 30, R_BYTE2 = 31;
+
+struct GeneticParams
+{
+    uint64_t generations;
+    uint64_t seed;
+    bool trace;
+
+    explicit GeneticParams(const WorkloadParams &p)
+        : generations(p.scale ? p.scale : 80), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+/** Random initial population; @return the advanced RNG state. */
+uint64_t
+initialPopulation(uint64_t seed, std::vector<uint8_t> &bytes)
+{
+    rng::Rand15 rng(seed);
+    bytes.resize(kPop * kLen);
+    for (auto &b : bytes)
+        b = rng.nextDouble() < 0.5 ? 1 : 0;
+    return rng.state();
+}
+
+/** Setup shared by the marked and CFD variants. */
+void
+emitSetup(Assembler &as, const GeneticParams &p,
+          const rng::Rand15Emitter &xs)
+{
+    std::vector<uint8_t> pop;
+    uint64_t state = initialPopulation(p.seed, pop);
+    as.data(kPopABase, pop);
+    as.data(kTargetBase, std::vector<uint8_t>(kLen, 1));
+
+    xs.setup(as, state);
+    as.ldf(R_MRATE, kMutRate);
+    as.ldf(R_XRATE, kCrossRate);
+    as.ldf(R_LENF, static_cast<double>(kLen));
+    as.ldi(R_POPA, static_cast<int64_t>(kPopABase));
+    as.ldi(R_POPB, static_cast<int64_t>(kPopBBase));
+    as.ldi(R_TGT, static_cast<int64_t>(kTargetBase));
+    as.ldi(R_LENI, kLen);
+    as.ldi(R_POPI, kPop);
+    as.ldi(R_GEN, static_cast<int64_t>(p.generations));
+    as.ldi(R_SUCC, 0);
+    as.ldi(R_GUSED, 0);
+}
+
+/** Fitness evaluation + best tracking (shared by both variants). */
+void
+emitEval(Assembler &as)
+{
+    as.ldi(R_BESTF, -1);
+    as.ldi(R_BESTI, 0);
+    as.ldi(R_P, 0);
+    as.label("eval_p");
+    as.ldi(R_FIT, 0);
+    as.slli(R_P1, R_P, 4);  // * kLen
+    as.add(R_P1, R_POPA, R_P1);
+    as.ldi(R_B, 0);
+    as.label("eval_b");
+    as.add(R_T1, R_P1, R_B);
+    as.ldb(R_BYTE, R_T1, 0);
+    as.add(R_T1, R_TGT, R_B);
+    as.ldb(R_BYTE2, R_T1, 0);
+    // Data-dependent regular branch, as compiled code would have it:
+    // unpredictable while the population is random, biased once it
+    // converges toward the target.
+    as.cmp(CmpOp::EQ, R_C, R_BYTE, R_BYTE2);
+    as.jz(R_C, "nomatch");
+    as.addi(R_FIT, R_FIT, 1);
+    as.label("nomatch");
+    as.addi(R_B, R_B, 1);
+    as.cmp(CmpOp::LT, R_C, R_B, R_LENI);
+    as.jnz(R_C, "eval_b");
+    as.cmp(CmpOp::GT, R_C, R_FIT, R_BESTF);
+    as.sel(R_BESTF, R_C, R_FIT, R_BESTF);
+    as.sel(R_BESTI, R_C, R_P, R_BESTI);
+    as.addi(R_P, R_P, 1);
+    as.cmp(CmpOp::LT, R_C, R_P, R_POPI);
+    as.jnz(R_C, "eval_p");
+}
+
+/** Child copy loop under the current split (no branches inside). */
+void
+emitCopyChild(Assembler &as)
+{
+    as.slli(R_P1, R_BESTI, 4);
+    as.add(R_P1, R_POPA, R_P1);
+    as.slli(R_P2, R_P, 4);
+    as.add(R_P2, R_POPA, R_P2);
+    as.slli(R_CHILD, R_P, 4);
+    as.add(R_CHILD, R_POPB, R_CHILD);
+    as.ldi(R_B, 0);
+    as.label("copy_b");
+    as.cmp(CmpOp::LT, R_C, R_B, R_SPLIT);
+    as.add(R_T1, R_P1, R_B);
+    as.ldb(R_BYTE, R_T1, 0);
+    as.add(R_T1, R_P2, R_B);
+    as.ldb(R_BYTE2, R_T1, 0);
+    as.sel(R_BYTE, R_C, R_BYTE, R_BYTE2);
+    as.add(R_T1, R_CHILD, R_B);
+    as.stb(R_T1, R_BYTE, 0);
+    as.addi(R_B, R_B, 1);
+    as.cmp(CmpOp::LT, R_C, R_B, R_LENI);
+    as.jnz(R_C, "copy_b");
+}
+
+/** Buffer swap, generation counter, outputs (shared epilogue). */
+void
+emitTail(Assembler &as, const GeneticParams &p)
+{
+    as.mov(R_T1, R_POPA);
+    as.mov(R_POPA, R_POPB);
+    as.mov(R_POPB, R_T1);
+    as.addi(R_GEN, R_GEN, -1);
+    as.jnz(R_GEN, "gen");
+    as.jmp("done");
+
+    as.label("found");
+    as.ldi(R_SUCC, 1);
+    as.ldi(R_T1, static_cast<int64_t>(p.generations + 1));
+    as.sub(R_GUSED, R_T1, R_GEN);
+
+    as.label("done");
+    as.ldi(R_T1, static_cast<int64_t>(kOutBase));
+    as.i2f(R_BYTE, R_SUCC);
+    as.st(R_T1, R_BYTE, 0);
+    as.i2f(R_BYTE, R_GUSED);
+    as.st(R_T1, R_BYTE, 8);
+    as.i2f(R_BYTE, R_BESTF);
+    as.st(R_T1, R_BYTE, 16);
+    as.halt();
+}
+
+Program
+buildMarked(const GeneticParams &p)
+{
+    Assembler as;
+    rng::Rand15Emitter xs(R_XS, R_MULT, R_SCALE);
+    emitSetup(as, p, xs);
+    if (p.trace) {
+        as.ldi(R_TRC_X, static_cast<int64_t>(traceRegion(1)));
+        as.ldi(R_TRC_M, static_cast<int64_t>(traceRegion(2)));
+    }
+
+    as.label("gen");
+    emitEval(as);
+    as.cmp(CmpOp::EQ, R_C, R_BESTF, R_LENI);
+    as.jnz(R_C, "found");
+
+    // --- breed the next generation ---
+    as.ldi(R_P, 0);
+    as.label("breed");
+    // Crossover decision (probabilistic, Category-1): the split point
+    // is drawn inside the taken path.
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC_X, R_U, 0);
+        as.addi(R_TRC_X, R_TRC_X, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_XRATE);  // skip when u >= rate
+    as.probJmp(REG_ZERO, R_C, "nocross");
+    xs.emitNextDouble(as, R_U);
+    as.fmul(R_BYTE, R_U, R_LENF);
+    as.f2i(R_SPLIT, R_BYTE);
+    as.jmp("docopy");
+    as.label("nocross");
+    as.mov(R_SPLIT, R_LENI);  // full copy of parent 1
+    as.label("docopy");
+    emitCopyChild(as);
+    as.addi(R_P, R_P, 1);
+    as.cmp(CmpOp::LT, R_C, R_P, R_POPI);
+    as.jnz(R_C, "breed");
+
+    // --- mutation pass over the whole next generation (one flat
+    // loop, like the example's mutate() function) ---
+    as.ldi(R_B, 0);
+    as.ldi(R_SPLIT, kPop * kLen);  // flat bit count
+    as.label("mut");
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC_M, R_U, 0);
+        as.addi(R_TRC_M, R_TRC_M, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_MRATE);  // skip when u >= rate
+    as.probJmp(REG_ZERO, R_C, "nomut");
+    as.add(R_T1, R_POPB, R_B);
+    as.ldb(R_BYTE, R_T1, 0);
+    as.xori(R_BYTE, R_BYTE, 1);
+    as.stb(R_T1, R_BYTE, 0);
+    as.label("nomut");
+    as.addi(R_B, R_B, 1);
+    as.cmp(CmpOp::LT, R_C, R_B, R_SPLIT);
+    as.jnz(R_C, "mut");
+
+    emitTail(as, p);
+    return as.finish();
+}
+
+/**
+ * CFD variant: the separable crossover and mutation loops are each
+ * split into a predicate-producing loop and a CFD-steered consumer
+ * loop (Sheikh et al.; paper Sec. II-B).
+ */
+Program
+buildCfd(const GeneticParams &p)
+{
+    Assembler as;
+    rng::Rand15Emitter xs(R_XS, R_MULT, R_SCALE);
+    emitSetup(as, p, xs);
+
+    as.label("gen");
+    emitEval(as);
+    as.cmp(CmpOp::EQ, R_C, R_BESTF, R_LENI);
+    as.jnz(R_C, "found");
+
+    // Loop 1a: crossover predicates and split points to the queue.
+    as.ldi(R_P, 0);
+    as.label("xq");
+    xs.emitNextDouble(as, R_U);
+    as.cmp(CmpOp::FGE, R_C, R_U, R_XRATE);
+    as.slli(R_T1, R_P, 4);
+    as.addi(R_T1, R_T1, static_cast<int64_t>(kQueueBase));
+    as.st(R_T1, R_C, 0);
+    as.jnz(R_C, "xq_nocross");
+    xs.emitNextDouble(as, R_U);
+    as.fmul(R_BYTE, R_U, R_LENF);
+    as.f2i(R_SPLIT, R_BYTE);
+    as.st(R_T1, R_SPLIT, 8);
+    as.label("xq_nocross");
+    as.addi(R_P, R_P, 1);
+    as.cmp(CmpOp::LT, R_C, R_P, R_POPI);
+    as.jnz(R_C, "xq");
+
+    // Loop 1b: breed using queue-steered crossover decisions.
+    as.ldi(R_P, 0);
+    as.label("breed");
+    as.slli(R_T1, R_P, 4);
+    as.addi(R_T1, R_T1, static_cast<int64_t>(kQueueBase));
+    as.ld(R_C, R_T1, 0);
+    as.cfdJnz(R_C, "nocross");
+    as.ld(R_SPLIT, R_T1, 8);
+    as.jmp("docopy");
+    as.label("nocross");
+    as.mov(R_SPLIT, R_LENI);
+    as.label("docopy");
+    emitCopyChild(as);
+    as.addi(R_P, R_P, 1);
+    as.cmp(CmpOp::LT, R_C, R_P, R_POPI);
+    as.jnz(R_C, "breed");
+
+    // Loop 2a: mutation predicates into the queue.
+    as.ldi(R_B, 0);
+    as.ldi(R_SPLIT, kPop * kLen);
+    as.label("mq");
+    xs.emitNextDouble(as, R_U);
+    as.cmp(CmpOp::FGE, R_C, R_U, R_MRATE);
+    as.slli(R_T1, R_B, 3);
+    as.addi(R_T1, R_T1, static_cast<int64_t>(kQueueBase + 0x1000));
+    as.st(R_T1, R_C, 0);
+    as.addi(R_B, R_B, 1);
+    as.cmp(CmpOp::LT, R_C, R_B, R_SPLIT);
+    as.jnz(R_C, "mq");
+
+    // Loop 2b: apply mutations under CFD-steered branches.
+    as.ldi(R_B, 0);
+    as.label("mut");
+    as.slli(R_T1, R_B, 3);
+    as.addi(R_T1, R_T1, static_cast<int64_t>(kQueueBase + 0x1000));
+    as.ld(R_C, R_T1, 0);
+    as.cfdJnz(R_C, "nomut");
+    as.add(R_T1, R_POPB, R_B);
+    as.ldb(R_BYTE, R_T1, 0);
+    as.xori(R_BYTE, R_BYTE, 1);
+    as.stb(R_T1, R_BYTE, 0);
+    as.label("nomut");
+    as.addi(R_B, R_B, 1);
+    as.cmp(CmpOp::LT, R_C, R_B, R_SPLIT);
+    as.jnz(R_C, "mut");
+
+    emitTail(as, p);
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    GeneticParams p(wp);
+    switch (variant) {
+      case Variant::Marked: return buildMarked(p);
+      case Variant::Cfd: return buildCfd(p);
+      case Variant::Predicated:
+        throw std::invalid_argument(
+            "genetic: predication not applicable (Table I)");
+    }
+    throw std::invalid_argument("genetic: bad variant");
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    GeneticParams p(wp);
+    std::vector<uint8_t> pop_a;
+    rng::Rand15 rng(initialPopulation(p.seed, pop_a));
+    std::vector<uint8_t> pop_b(kPop * kLen, 0);
+    std::vector<uint8_t> target(kLen, 1);
+
+    int64_t success = 0, gens_used = 0, best_fit = -1;
+    for (uint64_t g = p.generations; g > 0; g--) {
+        best_fit = -1;
+        unsigned best_idx = 0;
+        for (unsigned c = 0; c < kPop; c++) {
+            int64_t fit = 0;
+            for (unsigned b = 0; b < kLen; b++)
+                fit += pop_a[c * kLen + b] == target[b] ? 1 : 0;
+            if (fit > best_fit) {
+                best_fit = fit;
+                best_idx = c;
+            }
+        }
+        if (best_fit == int64_t(kLen)) {
+            success = 1;
+            gens_used = static_cast<int64_t>(p.generations + 1 - g);
+            break;
+        }
+        for (unsigned c = 0; c < kPop; c++) {
+            int64_t split;
+            double u = rng.nextDouble();
+            if (u < kCrossRate) {
+                split = static_cast<int64_t>(
+                    std::trunc(rng.nextDouble() * double(kLen)));
+            } else {
+                split = kLen;
+            }
+            for (unsigned b = 0; b < kLen; b++) {
+                pop_b[c * kLen + b] = int64_t(b) < split
+                    ? pop_a[best_idx * kLen + b]
+                    : pop_a[c * kLen + b];
+            }
+        }
+        for (unsigned i = 0; i < kPop * kLen; i++) {
+            if (rng.nextDouble() < kMutRate)
+                pop_b[i] ^= 1;
+        }
+        std::swap(pop_a, pop_b);
+    }
+    return {double(success), double(gens_used), double(best_fit)};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 3);
+}
+
+}  // namespace
+
+BenchmarkDesc
+geneticBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "genetic";
+    d.category = 1;
+    d.numProbBranches = 2;
+    d.predicationOk = false;
+    d.cfdOk = true;
+    d.defaultScale = 80;
+    d.uniformsPerInstance = 1;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Greeks: Monte-Carlo estimation of option sensitivities by finite
+ * differences (paper Sec. II-A2 / VI-A, after the quantstart Greeks
+ * example). One Gaussian draw prices three bumped spots (S-dS, S, S+dS);
+ * each vanilla-call payoff test is a Category-2 probabilistic branch —
+ * the terminal price is used after the branch to accumulate the payoff,
+ * and all three branches depend on the same random draw.
+ *
+ * Applicability (Table I): predication x (the compiler fails to
+ * if-convert the multi-statement payoff accumulation), CFD OK.
+ */
+
+#include <cmath>
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+struct GreeksParams
+{
+    uint64_t sims;
+    uint64_t seed;
+    double S = 100.0, K = 100.0, r = 0.05, v = 0.2, T = 1.0;
+    double dS = 1.0;
+
+    explicit GreeksParams(const WorkloadParams &p)
+        : sims(p.scale ? p.scale : 80000), seed(p.seed)
+    {}
+
+    double drift() const { return std::exp(T * (r - 0.5 * v * v)); }
+    double adjLow() const { return (S - dS) * drift(); }
+    double adjMid() const { return S * drift(); }
+    double adjHigh() const { return (S + dS) * drift(); }
+    double vol() const { return std::sqrt(v * v * T); }
+    double discOverN() const
+    {
+        return std::exp(-r * T) / static_cast<double>(sims);
+    }
+};
+
+constexpr uint8_t R_XS = 3, R_MULT = 4, R_SCALE = 5, R_TMP = 6;
+constexpr uint8_t R_NEG2 = 7, R_PX = 9, R_PY = 10;
+constexpr uint8_t R_G = 11, R_VOL = 12, R_K = 13;
+constexpr uint8_t R_ONEC = 27, R_TWO = 28, R_PS = 29;
+constexpr uint8_t R_AL = 14, R_AM = 15, R_AH = 16;
+constexpr uint8_t R_SL = 17, R_SM = 18, R_SH = 19;
+constexpr uint8_t R_S = 20, R_C = 21, R_T1 = 22, R_N = 23;
+constexpr uint8_t R_EXPG = 24, R_OUT = 25, R_QP = 26;
+
+void
+emitSetup(Assembler &as, const GreeksParams &p,
+          const rng::XorShiftEmitter &xs,
+          const rng::GaussianPolarEmitter &g)
+{
+    xs.setup(as, p.seed);
+    g.setup(as);
+    as.ldf(R_VOL, p.vol());
+    as.ldf(R_K, p.K);
+    as.ldf(R_AL, p.adjLow());
+    as.ldf(R_AM, p.adjMid());
+    as.ldf(R_AH, p.adjHigh());
+    as.ldf(R_SL, 0.0);
+    as.ldf(R_SM, 0.0);
+    as.ldf(R_SH, 0.0);
+    as.ldi(R_N, static_cast<int64_t>(p.sims));
+}
+
+void
+emitEpilogue(Assembler &as, const GreeksParams &p)
+{
+    as.ldf(R_T1, p.discOverN());
+    as.fmul(R_SL, R_SL, R_T1);
+    as.fmul(R_SM, R_SM, R_T1);
+    as.fmul(R_SH, R_SH, R_T1);
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_SL, 0);
+    as.st(R_OUT, R_SM, 8);
+    as.st(R_OUT, R_SH, 16);
+    as.halt();
+}
+
+/** exp(g * vol) shared by the three legs. */
+void
+emitExpG(Assembler &as, const rng::GaussianPolarEmitter &g)
+{
+    g.emitNext(as, R_G);
+    as.fmul(R_EXPG, R_G, R_VOL);
+    as.fexp(R_EXPG, R_EXPG);
+}
+
+Program
+buildMarked(const GreeksParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+    rng::GaussianPolarEmitter gauss(xs, R_ONEC, R_TWO, R_NEG2, R_PX,
+                                    R_PY, R_PS, R_C);
+    emitSetup(as, p, xs, gauss);
+
+    // One leg: S = adj*expg; if (S > K) sum += S - K (Category-2: S is
+    // consumed after the branch, so PBS swaps it).
+    auto leg = [&](uint8_t adj, uint8_t sum, const std::string &skip) {
+        as.fmul(R_S, R_EXPG, adj);
+        as.probCmp(CmpOp::FLE, R_C, R_S, R_K);  // skip when S <= K
+        as.probJmp(REG_ZERO, R_C, skip);
+        as.fsub(R_T1, R_S, R_K);
+        as.fadd(sum, sum, R_T1);
+        as.label(skip);
+    };
+
+    as.label("loop");
+    emitExpG(as, gauss);
+    leg(R_AL, R_SL, "skip_low");
+    leg(R_AM, R_SM, "skip_mid");
+    leg(R_AH, R_SH, "skip_high");
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildCfd(const GreeksParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+    rng::GaussianPolarEmitter gauss(xs, R_ONEC, R_TWO, R_NEG2, R_PX,
+                                    R_PY, R_PS, R_C);
+    emitSetup(as, p, xs, gauss);
+
+    // Loop 1: compute predicates and data values, push to the queue
+    // (CFD transfers both outcomes and the Category-2 data values).
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.label("loop1");
+    emitExpG(as, gauss);
+    int off = 0;
+    for (uint8_t adj : {R_AL, R_AM, R_AH}) {
+        as.fmul(R_S, R_EXPG, adj);
+        as.cmp(CmpOp::FLE, R_C, R_S, R_K);
+        as.st(R_QP, R_C, off);
+        as.st(R_QP, R_S, off + 8);
+        off += 16;
+    }
+    as.addi(R_QP, R_QP, 48);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop1");
+
+    // Loop 2: pop and accumulate; branches steered by the CFD queue.
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.ldi(R_N, static_cast<int64_t>(p.sims));
+    as.label("loop2");
+    off = 0;
+    int leg_id = 0;
+    for (uint8_t sum : {R_SL, R_SM, R_SH}) {
+        std::string skip = "skip" + std::to_string(leg_id++);
+        as.ld(R_C, R_QP, off);
+        as.cfdJnz(R_C, skip);
+        as.ld(R_S, R_QP, off + 8);
+        as.fsub(R_T1, R_S, R_K);
+        as.fadd(sum, sum, R_T1);
+        as.label(skip);
+        off += 16;
+    }
+    as.addi(R_QP, R_QP, 48);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop2");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    GreeksParams p(wp);
+    switch (variant) {
+      case Variant::Marked: return buildMarked(p);
+      case Variant::Cfd: return buildCfd(p);
+      case Variant::Predicated:
+        throw std::invalid_argument(
+            "greeks: predication not applicable (Table I)");
+    }
+    throw std::invalid_argument("greeks: bad variant");
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    GreeksParams p(wp);
+    rng::XorShift64Star rng(p.seed);
+    rng::GaussianPolar<rng::XorShift64Star> gauss(rng);
+    const double vol = p.vol();
+    const double al = p.adjLow(), am = p.adjMid(), ah = p.adjHigh();
+    double sl = 0.0, sm = 0.0, sh = 0.0;
+    for (uint64_t i = 0; i < p.sims; i++) {
+        double expg = std::exp(gauss.next() * vol);
+        double s = expg * al;
+        if (s > p.K)
+            sl += s - p.K;
+        s = expg * am;
+        if (s > p.K)
+            sm += s - p.K;
+        s = expg * ah;
+        if (s > p.K)
+            sh += s - p.K;
+    }
+    double d = p.discOverN();
+    return {sl * d, sm * d, sh * d};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 3);
+}
+
+}  // namespace
+
+BenchmarkDesc
+greeksBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "greeks";
+    d.category = 2;
+    d.numProbBranches = 3;
+    d.predicationOk = false;
+    d.cfdOk = true;
+    d.defaultScale = 80000;
+    d.uniformsPerInstance = 0;  // Gaussian-controlled
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

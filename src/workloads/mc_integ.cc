@@ -1,0 +1,202 @@
+/**
+ * @file
+ * MC-integ: Monte-Carlo integration of f(x) = x^2 over [0,1] (paper
+ * Sec. II-A5 / VI-A). Each iteration samples (x, y) and counts points
+ * under the curve. The comparison y < f(x) is canonicalized by the
+ * compiler to (y - f(x)) < 0, so the probabilistic value is tested
+ * against the constant 0 — one Category-1 probabilistic branch, taken
+ * with probability 1/3.
+ *
+ * Applicability (Table I): predication OK, CFD OK.
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr uint8_t R_LCG = 3, R_MULT = 4, R_MASK = 5, R_SCALE = 6;
+constexpr uint8_t R_X = 7, R_Y = 8, R_T = 9, R_ZEROF = 10;
+constexpr uint8_t R_C = 11, R_HITS = 12, R_N = 13, R_OUT = 14;
+constexpr uint8_t R_TRC = 15, R_QP = 16;
+
+struct McParams
+{
+    uint64_t iters;
+    uint64_t seed;
+    bool trace;
+
+    explicit McParams(const WorkloadParams &p)
+        : iters(p.scale ? p.scale : 300000), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+void
+emitSetup(Assembler &as, const McParams &p, const rng::Lcg48Emitter &lcg)
+{
+    lcg.setup(as, p.seed);
+    as.ldf(R_ZEROF, 0.0);
+    as.ldi(R_HITS, 0);
+    as.ldi(R_N, static_cast<int64_t>(p.iters));
+    if (p.trace)
+        as.ldi(R_TRC, static_cast<int64_t>(traceRegion(1)));
+}
+
+void
+emitSample(Assembler &as, const McParams &p, const rng::Lcg48Emitter &lcg)
+{
+    lcg.emitNextDouble(as, R_X);
+    lcg.emitNextDouble(as, R_Y);
+    if (p.trace) {
+        as.st(R_TRC, R_X, 0);
+        as.st(R_TRC, R_Y, 8);
+        as.addi(R_TRC, R_TRC, 16);
+    }
+    // t = y - x*x (< 0 means the point is under the curve).
+    as.fmul(R_T, R_X, R_X);
+    as.fsub(R_T, R_Y, R_T);
+}
+
+void
+emitEpilogue(Assembler &as, const McParams &p)
+{
+    as.i2f(R_T, R_HITS);
+    as.ldf(R_X, 1.0 / static_cast<double>(p.iters));
+    as.fmul(R_T, R_T, R_X);
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_T, 0);
+    as.halt();
+}
+
+Program
+buildMarked(const McParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+
+    as.label("loop");
+    emitSample(as, p, lcg);
+    as.probCmp(CmpOp::FGE, R_C, R_T, R_ZEROF);  // skip when above curve
+    as.probJmp(REG_ZERO, R_C, "skip");
+    as.addi(R_HITS, R_HITS, 1);
+    as.label("skip");
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildPredicated(const McParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+
+    as.label("loop");
+    emitSample(as, p, lcg);
+    as.cmp(CmpOp::FLT, R_C, R_T, R_ZEROF);
+    as.add(R_HITS, R_HITS, R_C);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildCfd(const McParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.label("loop1");
+    emitSample(as, p, lcg);
+    as.cmp(CmpOp::FGE, R_C, R_T, R_ZEROF);
+    as.st(R_QP, R_C, 0);
+    as.addi(R_QP, R_QP, 8);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop1");
+
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.ldi(R_N, static_cast<int64_t>(p.iters));
+    as.label("loop2");
+    as.ld(R_C, R_QP, 0);
+    as.cfdJnz(R_C, "skip");
+    as.addi(R_HITS, R_HITS, 1);
+    as.label("skip");
+    as.addi(R_QP, R_QP, 8);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop2");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    McParams p(wp);
+    switch (variant) {
+      case Variant::Marked: return buildMarked(p);
+      case Variant::Predicated: return buildPredicated(p);
+      case Variant::Cfd: return buildCfd(p);
+    }
+    throw std::invalid_argument("mc-integ: bad variant");
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    McParams p(wp);
+    rng::Lcg48 lcg(p.seed);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < p.iters; i++) {
+        double x = lcg.nextDouble();
+        double y = lcg.nextDouble();
+        if (y - x * x < 0.0)
+            hits++;
+    }
+    // Multiply by the reciprocal, matching the emitted code.
+    return {static_cast<double>(hits) *
+            (1.0 / static_cast<double>(p.iters))};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 1);
+}
+
+}  // namespace
+
+BenchmarkDesc
+mcIntegBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "mc-integ";
+    d.category = 1;
+    d.numProbBranches = 1;
+    d.predicationOk = true;
+    d.cfdOk = true;
+    d.defaultScale = 300000;
+    d.uniformsPerInstance = 2;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Photon: stochastic light transport through a translucent slab (paper
+ * Sec. II-A4 / VI-A, after the scratchapixel Monte-Carlo lesson).
+ *
+ * Each bounce draws a free path s = -ln(u)/sigma_t and tests it against
+ * the distance to the slab boundary. The comparison is canonicalized to
+ * (s - dist) > 0, so the Prob-BTB's Const-Val sees the constant 0; the
+ * path length s is consumed after the branch (position update), so the
+ * branch is Category-2 with *two* live values (t and s) — the only
+ * workload exercising the PROB_JMP value slot. The scatter/absorb
+ * roulette is a second Category-2 branch: the surviving uniform is
+ * reused to pick the new direction.
+ *
+ * The boundary distance varies across iterations, so steering this
+ * branch deviates from the original distribution — this is the paper's
+ * "caution advised" case and exactly why Photon shows the largest (but
+ * still small) output error in Sec. VII-D.
+ *
+ * Applicability (Table I): predication x, CFD x (loop-carried
+ * dependence through the photon state).
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr double kSigmaT = 2.0;
+constexpr double kDepth = 1.0;
+constexpr double kAbsorbP = 0.3;
+constexpr unsigned kMaxBounces = 64;
+constexpr unsigned kBins = 16;
+constexpr uint64_t kHistBase = kDataBase;
+
+// Registers.
+constexpr uint8_t R_LCG = 3, R_MULT = 4, R_MASK = 5, R_SCALE = 6;
+constexpr uint8_t R_NIS = 7, R_D = 8, R_AP = 9, R_SS = 10;
+constexpr uint8_t R_ONE = 11, R_ZF = 12, R_Z = 13, R_MUZ = 14;
+constexpr uint8_t R_U = 15, R_S = 16, R_DIST = 17, R_TT = 18;
+constexpr uint8_t R_C = 19, R_T1 = 20, R_T2 = 21, R_TR = 22;
+constexpr uint8_t R_RD = 23, R_NPH = 24, R_NB = 25, R_HB = 26;
+constexpr uint8_t R_BIN = 27, R_T3 = 28, R_OUT = 29;
+constexpr uint8_t R_TRC1 = 30, R_TRC2 = 31;
+
+struct PhotonParams
+{
+    uint64_t photons;
+    uint64_t seed;
+    bool trace;
+
+    explicit PhotonParams(const WorkloadParams &p)
+        : photons(p.scale ? p.scale : 40000), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+Program
+buildMarked(const PhotonParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+
+    for (unsigned b = 0; b < kBins; b++)
+        as.dataDouble(kHistBase + b * 8, 0.0);
+
+    lcg.setup(as, p.seed);
+    as.ldf(R_NIS, -1.0 / kSigmaT);
+    as.ldf(R_D, kDepth);
+    as.ldf(R_AP, kAbsorbP);
+    as.ldf(R_SS, 2.0 / (1.0 - kAbsorbP));
+    as.ldf(R_ONE, 1.0);
+    as.ldf(R_ZF, 0.0);
+    as.ldf(R_TR, 0.0);   // transmitted count
+    as.ldf(R_RD, 0.0);   // reflected count
+    as.ldi(R_HB, static_cast<int64_t>(kHistBase));
+    as.ldi(R_NPH, static_cast<int64_t>(p.photons));
+    if (p.trace) {
+        as.ldi(R_TRC1, static_cast<int64_t>(traceRegion(1)));
+        as.ldi(R_TRC2, static_cast<int64_t>(traceRegion(2)));
+    }
+
+    as.label("photon");
+    as.mov(R_Z, R_ZF);     // z = 0
+    as.mov(R_MUZ, R_ONE);  // heading into the slab
+    as.ldi(R_NB, kMaxBounces);
+
+    as.label("bounce");
+    // s = -ln(u) / sigma_t
+    lcg.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC1, R_U, 0);
+        as.addi(R_TRC1, R_TRC1, 8);
+    }
+    as.flog(R_S, R_U);
+    as.fmul(R_S, R_S, R_NIS);
+    // dist to boundary: muz>0 ? (d-z)/muz : (0-z)/muz (branchless)
+    as.cmp(CmpOp::FGT, R_C, R_MUZ, R_ZF);
+    as.fsub(R_DIST, R_D, R_Z);
+    as.fdiv(R_DIST, R_DIST, R_MUZ);
+    as.fsub(R_T1, R_ZF, R_Z);
+    as.fdiv(R_T1, R_T1, R_MUZ);
+    as.sel(R_DIST, R_C, R_DIST, R_T1);
+    // Escape test, canonicalized to compare against constant 0:
+    // tt = s - dist; if (tt > 0) escape. Category-2 with two values:
+    // tt steers, s is consumed after the branch.
+    as.fsub(R_TT, R_S, R_DIST);
+    as.probCmp(CmpOp::FGT, R_C, R_TT, R_ZF);
+    as.probJmp(R_S, R_C, "escape");
+    // Still inside: advance the photon.
+    as.fmul(R_T1, R_S, R_MUZ);
+    as.fadd(R_Z, R_Z, R_T1);
+    // Roulette: absorb or scatter. The surviving uniform is reused for
+    // the new direction (Category-2).
+    lcg.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC2, R_U, 0);
+        as.addi(R_TRC2, R_TRC2, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_AP);  // scatter when u >= aP
+    as.probJmp(REG_ZERO, R_C, "scatter");
+    // Absorbed: deposit into the z histogram, clamp bin to [0, 15].
+    as.fdiv(R_T1, R_Z, R_D);
+    as.ldf(R_T2, static_cast<double>(kBins));
+    as.fmul(R_T1, R_T1, R_T2);
+    as.f2i(R_BIN, R_T1);
+    as.ldi(R_T3, kBins - 1);
+    as.cmp(CmpOp::LT, R_C, R_BIN, REG_ZERO);
+    as.sel(R_BIN, R_C, REG_ZERO, R_BIN);
+    as.cmp(CmpOp::GT, R_C, R_BIN, R_T3);
+    as.sel(R_BIN, R_C, R_T3, R_BIN);
+    as.slli(R_BIN, R_BIN, 3);
+    as.add(R_BIN, R_HB, R_BIN);
+    as.ld(R_T1, R_BIN, 0);
+    as.fadd(R_T1, R_T1, R_ONE);
+    as.st(R_BIN, R_T1, 0);
+    as.jmp("next_photon");
+    // Scatter: muz = (u - aP) * scatScale - 1 in (-1, 1).
+    as.label("scatter");
+    as.fsub(R_T1, R_U, R_AP);
+    as.fmul(R_T1, R_T1, R_SS);
+    as.fsub(R_MUZ, R_T1, R_ONE);
+    as.addi(R_NB, R_NB, -1);
+    as.jnz(R_NB, "bounce");
+    as.jmp("next_photon");  // bounce cap: drop the photon
+    // Escape: tally transmission vs reflection — a data-dependent
+    // regular branch, exactly as the scratchapixel code writes it.
+    as.label("escape");
+    as.cmp(CmpOp::FGT, R_C, R_MUZ, R_ZF);
+    as.jz(R_C, "reflected");
+    as.fadd(R_TR, R_TR, R_ONE);
+    as.jmp("next_photon");
+    as.label("reflected");
+    as.fadd(R_RD, R_RD, R_ONE);
+    as.label("next_photon");
+    as.addi(R_NPH, R_NPH, -1);
+    as.jnz(R_NPH, "photon");
+
+    // Outputs: Tt, Rd, then the 16 histogram bins.
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_TR, 0);
+    as.st(R_OUT, R_RD, 8);
+    as.ldi(R_BIN, 0);
+    as.ldi(R_T3, kBins);
+    as.label("outloop");
+    as.slli(R_T1, R_BIN, 3);
+    as.add(R_T2, R_HB, R_T1);
+    as.ld(R_T2, R_T2, 0);
+    as.add(R_T1, R_OUT, R_T1);
+    as.st(R_T1, R_T2, 16);
+    as.addi(R_BIN, R_BIN, 1);
+    as.cmp(CmpOp::LT, R_C, R_BIN, R_T3);
+    as.jnz(R_C, "outloop");
+    as.halt();
+
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    PhotonParams p(wp);
+    if (variant != Variant::Marked) {
+        throw std::invalid_argument(
+            "photon: only the marked variant is applicable (Table I)");
+    }
+    return buildMarked(p);
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    PhotonParams p(wp);
+    rng::Lcg48 lcg(p.seed);
+    double tt_count = 0.0, rd_count = 0.0;
+    double hist[kBins] = {};
+    for (uint64_t i = 0; i < p.photons; i++) {
+        double z = 0.0, muz = 1.0;
+        for (unsigned b = 0; b < kMaxBounces; b++) {
+            double u = lcg.nextDouble();
+            double s = std::log(u) * (-1.0 / kSigmaT);
+            double d1 = (kDepth - z) / muz;
+            double d2 = (0.0 - z) / muz;
+            double dist = muz > 0.0 ? d1 : d2;
+            if (s - dist > 0.0) {
+                if (muz > 0.0)
+                    tt_count += 1.0;
+                else
+                    rd_count += 1.0;
+                break;
+            }
+            z += s * muz;
+            u = lcg.nextDouble();
+            if (!(u >= kAbsorbP)) {
+                int bin = static_cast<int>(
+                    std::trunc(z / kDepth * double(kBins)));
+                if (bin < 0)
+                    bin = 0;
+                if (bin > int(kBins) - 1)
+                    bin = kBins - 1;
+                hist[bin] += 1.0;
+                break;
+            }
+            muz = (u - kAbsorbP) * (2.0 / (1.0 - kAbsorbP)) - 1.0;
+        }
+    }
+    std::vector<double> out{tt_count, rd_count};
+    out.insert(out.end(), hist, hist + kBins);
+    return out;
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 2 + kBins);
+}
+
+}  // namespace
+
+BenchmarkDesc
+photonBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "photon";
+    d.category = 2;
+    d.numProbBranches = 2;
+    d.predicationOk = false;
+    d.cfdOk = false;
+    d.defaultScale = 40000;
+    d.uniformsPerInstance = 1;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * PI: Monte-Carlo estimation of pi (paper Sec. II-A5 / VI-A). Each
+ * iteration samples a point in the unit square and tests whether it
+ * falls inside the quarter circle — one Category-1 probabilistic branch
+ * compared against the constant 1.0, taken with probability pi/4.
+ *
+ * Applicability (Table I): predication OK, CFD OK.
+ * Uses the drand48-compatible LCG, matching the paper's code listing.
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr uint8_t R_LCG = 3, R_MULT = 4, R_MASK = 5, R_SCALE = 6;
+constexpr uint8_t R_DX = 7, R_DY = 8, R_S = 9, R_T = 10;
+constexpr uint8_t R_ONE = 11, R_C = 12, R_HITS = 13, R_N = 14;
+constexpr uint8_t R_OUT = 15, R_TRC = 16, R_QP = 17, R_ZEROI = 18;
+
+struct PiParams
+{
+    uint64_t iters;
+    uint64_t seed;
+    bool trace;
+
+    explicit PiParams(const WorkloadParams &p)
+        : iters(p.scale ? p.scale : 300000), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+void
+emitSetup(Assembler &as, const PiParams &p, const rng::Lcg48Emitter &lcg)
+{
+    lcg.setup(as, p.seed);
+    as.ldf(R_ONE, 1.0);
+    as.ldi(R_HITS, 0);
+    as.ldi(R_N, static_cast<int64_t>(p.iters));
+    if (p.trace)
+        as.ldi(R_TRC, static_cast<int64_t>(traceRegion(1)));
+}
+
+void
+emitSample(Assembler &as, const PiParams &p, const rng::Lcg48Emitter &lcg)
+{
+    lcg.emitNextDouble(as, R_DX);
+    lcg.emitNextDouble(as, R_DY);
+    if (p.trace) {
+        as.st(R_TRC, R_DX, 0);
+        as.st(R_TRC, R_DY, 8);
+        as.addi(R_TRC, R_TRC, 16);
+    }
+    as.fmul(R_S, R_DX, R_DX);
+    as.fmul(R_T, R_DY, R_DY);
+    as.fadd(R_S, R_S, R_T);
+}
+
+void
+emitEpilogue(Assembler &as, const PiParams &p)
+{
+    // pi = 4 * hits / iters
+    as.i2f(R_T, R_HITS);
+    as.ldf(R_S, 4.0 / static_cast<double>(p.iters));
+    as.fmul(R_T, R_T, R_S);
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_T, 0);
+    as.halt();
+}
+
+Program
+buildMarked(const PiParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+
+    as.label("loop");
+    emitSample(as, p, lcg);
+    as.probCmp(CmpOp::FGE, R_C, R_S, R_ONE);  // skip when outside
+    as.probJmp(REG_ZERO, R_C, "skip");
+    as.addi(R_HITS, R_HITS, 1);
+    as.label("skip");
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildPredicated(const PiParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+    as.ldi(R_ZEROI, 0);
+
+    as.label("loop");
+    emitSample(as, p, lcg);
+    as.cmp(CmpOp::FLT, R_C, R_S, R_ONE);
+    as.add(R_HITS, R_HITS, R_C);  // hits += (s < 1)
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+buildCfd(const PiParams &p)
+{
+    Assembler as;
+    rng::Lcg48Emitter lcg(R_LCG, R_MULT, R_MASK, R_SCALE);
+    emitSetup(as, p, lcg);
+
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.label("loop1");
+    emitSample(as, p, lcg);
+    as.cmp(CmpOp::FGE, R_C, R_S, R_ONE);
+    as.st(R_QP, R_C, 0);
+    as.addi(R_QP, R_QP, 8);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop1");
+
+    as.ldi(R_QP, static_cast<int64_t>(kQueueBase));
+    as.ldi(R_N, static_cast<int64_t>(p.iters));
+    as.label("loop2");
+    as.ld(R_C, R_QP, 0);
+    as.cfdJnz(R_C, "skip");
+    as.addi(R_HITS, R_HITS, 1);
+    as.label("skip");
+    as.addi(R_QP, R_QP, 8);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "loop2");
+
+    emitEpilogue(as, p);
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    PiParams p(wp);
+    switch (variant) {
+      case Variant::Marked: return buildMarked(p);
+      case Variant::Predicated: return buildPredicated(p);
+      case Variant::Cfd: return buildCfd(p);
+    }
+    throw std::invalid_argument("pi: bad variant");
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    PiParams p(wp);
+    rng::Lcg48 lcg(p.seed);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < p.iters; i++) {
+        double dx = lcg.nextDouble();
+        double dy = lcg.nextDouble();
+        if (dx * dx + dy * dy < 1.0)
+            hits++;
+    }
+    return {4.0 / static_cast<double>(p.iters) *
+            static_cast<double>(hits)};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 1);
+}
+
+}  // namespace
+
+BenchmarkDesc
+piBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "pi";
+    d.category = 1;
+    d.numProbBranches = 1;
+    d.predicationOk = true;
+    d.cfdOk = true;
+    d.defaultScale = 300000;
+    d.uniformsPerInstance = 2;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

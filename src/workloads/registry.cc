@@ -1,0 +1,42 @@
+#include "workloads/common.hh"
+
+#include <stdexcept>
+
+namespace pbs::workloads {
+
+const std::vector<BenchmarkDesc> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkDesc> benchmarks = {
+        dopBenchmark(),
+        greeksBenchmark(),
+        swaptionsBenchmark(),
+        geneticBenchmark(),
+        photonBenchmark(),
+        mcIntegBenchmark(),
+        piBenchmark(),
+        banditBenchmark(),
+    };
+    return benchmarks;
+}
+
+const BenchmarkDesc &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &b : allBenchmarks()) {
+        if (b.name == name)
+            return b;
+    }
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<double>
+readOutputs(const cpu::Core &core, size_t n)
+{
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; i++)
+        out[i] = core.memory().readDouble(kOutBase + i * 8);
+    return out;
+}
+
+}  // namespace pbs::workloads

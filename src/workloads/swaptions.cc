@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Swaptions: a reduced Monte-Carlo swaption pricer with the control
+ * structure of PARSEC's swaptions (paper Sec. VI-A): the path simulation
+ * lives in a function called from the trial loop — the compiler cannot
+ * inline it, which defeats both predication and CFD (Table I). Three
+ * Category-2 probabilistic branches: per-step up/down rate jumps inside
+ * the path function (the surviving uniform scales the jump) and a
+ * per-trial re-weighting decision in the outer loop.
+ */
+
+#include "rng/isa_emit.hh"
+#include "rng/rng.hh"
+#include "workloads/common.hh"
+
+namespace pbs::workloads {
+namespace {
+
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+constexpr unsigned kSteps = 16;
+constexpr double kPUp = 0.5, kDUp = 0.02;
+constexpr double kPDown = 0.5, kDDown = 0.02;
+constexpr double kPWeight = 0.5, kWScale = 2.0;
+constexpr double kRate0 = 0.05, kStrike = 0.040;
+
+// Registers.
+constexpr uint8_t R_XS = 3, R_MULT = 4, R_SCALE = 5, R_TMP = 6;
+constexpr uint8_t R_PUP = 7, R_DUP = 8, R_PDN = 9, R_DDN = 10;
+constexpr uint8_t R_PW = 11, R_WS = 12, R_STRIKE = 13, R_R0 = 14;
+constexpr uint8_t R_INVT = 15, R_N = 16, R_SUM = 17, R_W = 18;
+constexpr uint8_t R_U = 19, R_C = 20, R_RATE = 21, R_DISC = 22;
+constexpr uint8_t R_STEP = 23, R_PAY = 24, R_T1 = 25, R_ONE = 26;
+constexpr uint8_t R_ZF = 27, R_TRC_W = 28, R_TRC_U = 29, R_TRC_D = 30;
+constexpr uint8_t R_OUT = 31;
+
+struct SwaptionsParams
+{
+    uint64_t trials;
+    uint64_t seed;
+    bool trace;
+
+    explicit SwaptionsParams(const WorkloadParams &p)
+        : trials(p.scale ? p.scale : 8000), seed(p.seed),
+          trace(p.traceUniforms)
+    {}
+};
+
+Program
+buildMarked(const SwaptionsParams &p)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(R_XS, R_MULT, R_SCALE, R_TMP);
+
+    xs.setup(as, p.seed);
+    as.ldf(R_PUP, kPUp);
+    as.ldf(R_DUP, kDUp);
+    as.ldf(R_PDN, kPDown);
+    as.ldf(R_DDN, kDDown);
+    as.ldf(R_PW, kPWeight);
+    as.ldf(R_WS, kWScale);
+    as.ldf(R_STRIKE, kStrike);
+    as.ldf(R_R0, kRate0);
+    as.ldf(R_INVT, 1.0 / static_cast<double>(kSteps));
+    as.ldf(R_SUM, 0.0);
+    as.ldf(R_ONE, 1.0);
+    as.ldf(R_ZF, 0.0);
+    as.ldi(R_N, static_cast<int64_t>(p.trials));
+    if (p.trace) {
+        as.ldi(R_TRC_W, static_cast<int64_t>(traceRegion(1)));
+        as.ldi(R_TRC_U, static_cast<int64_t>(traceRegion(2)));
+        as.ldi(R_TRC_D, static_cast<int64_t>(traceRegion(3)));
+    }
+
+    as.label("trial");
+    // Trial re-weighting (probabilistic, Category-2: u reused as w).
+    as.mov(R_W, R_ONE);
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC_W, R_U, 0);
+        as.addi(R_TRC_W, R_TRC_W, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_PW);  // keep w=1 when u >= pW
+    as.probJmp(REG_ZERO, R_C, "noweight");
+    as.fmul(R_W, R_U, R_WS);
+    as.label("noweight");
+    as.call("simpath");
+    as.fmul(R_PAY, R_PAY, R_W);
+    as.fadd(R_SUM, R_SUM, R_PAY);
+    as.addi(R_N, R_N, -1);
+    as.jnz(R_N, "trial");
+
+    as.ldf(R_T1, 1.0 / static_cast<double>(p.trials));
+    as.fmul(R_SUM, R_SUM, R_T1);
+    as.ldi(R_OUT, static_cast<int64_t>(kOutBase));
+    as.st(R_OUT, R_SUM, 0);
+    as.halt();
+
+    // --- path simulation (returns payoff in R_PAY) ---
+    as.label("simpath");
+    as.mov(R_RATE, R_R0);
+    as.mov(R_DISC, R_ZF);
+    as.ldi(R_STEP, kSteps);
+    as.label("step");
+    // Up jump (probabilistic, Category-2: u scales the jump).
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC_U, R_U, 0);
+        as.addi(R_TRC_U, R_TRC_U, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_PUP);
+    as.probJmp(REG_ZERO, R_C, "noup");
+    as.fmul(R_T1, R_U, R_DUP);
+    as.fadd(R_RATE, R_RATE, R_T1);
+    as.label("noup");
+    // Down jump (probabilistic, Category-2).
+    xs.emitNextDouble(as, R_U);
+    if (p.trace) {
+        as.st(R_TRC_D, R_U, 0);
+        as.addi(R_TRC_D, R_TRC_D, 8);
+    }
+    as.probCmp(CmpOp::FGE, R_C, R_U, R_PDN);
+    as.probJmp(REG_ZERO, R_C, "nodown");
+    as.fmul(R_T1, R_U, R_DDN);
+    as.fsub(R_RATE, R_RATE, R_T1);
+    as.label("nodown");
+    as.fadd(R_DISC, R_DISC, R_RATE);
+    as.addi(R_STEP, R_STEP, -1);
+    as.jnz(R_STEP, "step");
+    // payoff = max(avg(rate) - strike, 0), written as the branch the
+    // source code has (mostly not-taken in-the-money: predictable).
+    as.fmul(R_PAY, R_DISC, R_INVT);
+    as.fsub(R_PAY, R_PAY, R_STRIKE);
+    as.cmp(CmpOp::FLT, R_C, R_PAY, R_ZF);
+    as.jz(R_C, "pay_ok");
+    as.mov(R_PAY, R_ZF);
+    as.label("pay_ok");
+    as.ret();
+
+    return as.finish();
+}
+
+Program
+build(const WorkloadParams &wp, Variant variant)
+{
+    SwaptionsParams p(wp);
+    if (variant != Variant::Marked) {
+        // Table I: the branches sit in a non-inlined function reached
+        // from the trial loop; neither if-conversion nor CFD loop
+        // splitting applies.
+        throw std::invalid_argument(
+            "swaptions: only the marked variant is applicable (Table I)");
+    }
+    return buildMarked(p);
+}
+
+std::vector<double>
+native(const WorkloadParams &wp)
+{
+    SwaptionsParams p(wp);
+    rng::XorShift64Star rng(p.seed);
+    double sum = 0.0;
+    for (uint64_t t = 0; t < p.trials; t++) {
+        double w = 1.0;
+        double u = rng.nextDouble();
+        if (u < kPWeight)
+            w = u * kWScale;
+        double rate = kRate0, disc = 0.0;
+        for (unsigned s = 0; s < kSteps; s++) {
+            u = rng.nextDouble();
+            if (u < kPUp)
+                rate += u * kDUp;
+            u = rng.nextDouble();
+            if (u < kPDown)
+                rate -= u * kDDown;
+            disc += rate;
+        }
+        double pay = disc * (1.0 / double(kSteps)) - kStrike;
+        if (pay < 0.0)
+            pay = 0.0;
+        sum += pay * w;
+    }
+    return {sum * (1.0 / static_cast<double>(p.trials))};
+}
+
+std::vector<double>
+simOut(const cpu::Core &core)
+{
+    return readOutputs(core, 1);
+}
+
+}  // namespace
+
+BenchmarkDesc
+swaptionsBenchmark()
+{
+    BenchmarkDesc d;
+    d.name = "swaptions";
+    d.category = 2;
+    d.numProbBranches = 3;
+    d.predicationOk = false;
+    d.cfdOk = false;
+    d.defaultScale = 8000;
+    d.uniformsPerInstance = 1;
+    d.build = build;
+    d.nativeOutput = native;
+    d.simOutput = simOut;
+    return d;
+}
+
+}  // namespace pbs::workloads

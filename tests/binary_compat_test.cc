@@ -1,0 +1,96 @@
+/**
+ * @file
+ * End-to-end binary-compatibility tests (paper Sec. V-A2): a whole
+ * workload is encoded to its binary image, decoded back, and executed.
+ * A PBS-aware decode must reproduce the program exactly; a PBS-unaware
+ * (legacy) decode must still compute the original algorithm's results,
+ * because the probabilistic instructions degrade to plain compare /
+ * branch / nop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "isa/encoding.hh"
+#include "workloads/common.hh"
+
+namespace {
+
+using namespace pbs;
+using workloads::Variant;
+using workloads::WorkloadParams;
+
+class BinaryCompat
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, isa::EncodeMode>> {};
+
+TEST_P(BinaryCompat, EncodedProgramRunsIdentically)
+{
+    const auto &[name, mode] = GetParam();
+    const auto &b = workloads::benchmarkByName(name);
+    WorkloadParams p;
+    p.seed = 77;
+    p.scale = name == "genetic" ? 20 : b.defaultScale / 20;
+
+    isa::Program prog = b.build(p, Variant::Marked);
+    auto words = isa::encodeAll(prog.insts, mode);
+
+    // PBS-aware machine: identical program, identical results (and
+    // identical PBS behavior).
+    isa::Program aware = prog;
+    aware.insts = isa::decodeAll(words, mode, /*pbsAware*/ true);
+    ASSERT_EQ(aware.insts.size(), prog.insts.size());
+    for (size_t i = 0; i < prog.insts.size(); i++)
+        ASSERT_EQ(aware.insts[i], prog.insts[i]) << "instr " << i;
+
+    cpu::CoreConfig cfg;
+    cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = "bimodal";
+    cfg.pbsEnabled = true;
+    cpu::Core c1(prog, cfg);
+    c1.run();
+    cpu::Core c2(aware, cfg);
+    c2.run();
+    EXPECT_EQ(b.simOutput(c1), b.simOutput(c2));
+
+    // Legacy machine: probabilistic markings ignored; the program must
+    // still compute the *original* (native) results.
+    isa::Program legacy = prog;
+    legacy.insts = isa::decodeAll(words, mode, /*pbsAware*/ false);
+    size_t prob_ops = 0;
+    for (const auto &inst : legacy.insts)
+        prob_ops += inst.isProb();
+    EXPECT_EQ(prob_ops, 0u);
+
+    cpu::CoreConfig legacy_cfg;
+    legacy_cfg.mode = cpu::SimMode::Functional;
+    legacy_cfg.predictor = "bimodal";
+    legacy_cfg.pbsEnabled = false;
+    cpu::Core c3(legacy, legacy_cfg);
+    c3.run();
+    ASSERT_TRUE(c3.halted());
+    std::vector<double> ref = b.nativeOutput(p);
+    std::vector<double> out = b.simOutput(c3);
+    ASSERT_EQ(out.size(), ref.size());
+    for (size_t i = 0; i < out.size(); i++)
+        EXPECT_DOUBLE_EQ(out[i], ref[i]) << name << " output " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsByMode, BinaryCompat,
+    ::testing::Combine(
+        ::testing::Values("dop", "greeks", "swaptions", "genetic",
+                          "photon", "mc-integ", "pi", "bandit"),
+        ::testing::Values(isa::EncodeMode::NewOpcodes,
+                          isa::EncodeMode::LegacyBits)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + (std::get<1>(info.param) ==
+                            isa::EncodeMode::NewOpcodes
+                        ? "_new" : "_legacy");
+    });
+
+}  // namespace

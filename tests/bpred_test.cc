@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Branch predictor tests: learning behavior on canonical patterns,
+ * storage budgets (the paper's 1 KB tournament and 8 KB TAGE-SC-L),
+ * and accuracy ordering across predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bpred/factory.hh"
+#include "bpred/loop.hh"
+#include "bpred/simple.hh"
+#include "bpred/tage.hh"
+#include "bpred/tage_scl.hh"
+#include "bpred/tournament.hh"
+#include "rng/rng.hh"
+
+namespace {
+
+using namespace pbs::bpred;
+
+/** Feed a pattern; @return accuracy over the last half. */
+double
+trainAccuracy(BranchPredictor &pred, uint64_t pc,
+              const std::vector<bool> &pattern, unsigned reps)
+{
+    uint64_t correct = 0, counted = 0;
+    uint64_t total = uint64_t(pattern.size()) * reps;
+    uint64_t i = 0;
+    for (unsigned r = 0; r < reps; r++) {
+        for (bool taken : pattern) {
+            bool p = pred.predict(pc);
+            pred.update(pc, taken);
+            if (i >= total / 2) {
+                counted++;
+                correct += p == taken;
+            }
+            i++;
+        }
+    }
+    return double(correct) / double(counted);
+}
+
+TEST(BimodalTest, LearnsBias)
+{
+    BimodalPredictor pred(10);
+    EXPECT_GT(trainAccuracy(pred, 0x40, {true}, 100), 0.99);
+    BimodalPredictor pred2(10);
+    EXPECT_GT(trainAccuracy(pred2, 0x40, {false}, 100), 0.99);
+}
+
+TEST(BimodalTest, AlternatingPatternFails)
+{
+    // Bimodal cannot learn T,NT,T,NT...
+    BimodalPredictor pred(10);
+    EXPECT_LT(trainAccuracy(pred, 0x40, {true, false}, 200), 0.6);
+}
+
+TEST(GshareTest, LearnsAlternatingViaHistory)
+{
+    GsharePredictor pred(12, 8);
+    EXPECT_GT(trainAccuracy(pred, 0x40, {true, false}, 200), 0.95);
+}
+
+TEST(GshareTest, LearnsShortPeriodicPattern)
+{
+    GsharePredictor pred(12, 10);
+    EXPECT_GT(trainAccuracy(pred, 0x40,
+                            {true, true, false, true, false}, 400),
+              0.95);
+}
+
+TEST(LocalTest, LearnsPerBranchPattern)
+{
+    LocalPredictor pred;
+    EXPECT_GT(trainAccuracy(pred, 0x40, {true, true, false}, 400), 0.95);
+}
+
+TEST(LoopTest, PerfectOnFixedTripCount)
+{
+    LoopPredictor pred;
+    // 7 taken then 1 not-taken, repeatedly (8-iteration loop).
+    std::vector<bool> trip;
+    for (int i = 0; i < 7; i++)
+        trip.push_back(true);
+    trip.push_back(false);
+    EXPECT_EQ(trainAccuracy(pred, 0x80, trip, 200), 1.0);
+}
+
+TEST(LoopTest, ConfidenceResetsOnTripChange)
+{
+    LoopPredictor pred;
+    uint64_t pc = 0x80;
+    auto runs = [&](unsigned trips, unsigned n) {
+        for (unsigned r = 0; r < n; r++) {
+            for (unsigned i = 0; i < trips; i++) {
+                pred.predict(pc);
+                pred.update(pc, true);
+            }
+            pred.predict(pc);
+            pred.update(pc, false);
+        }
+    };
+    runs(5, 10);
+    EXPECT_TRUE(pred.confident(pc));
+    runs(9, 1);  // different trip count
+    EXPECT_FALSE(pred.confident(pc));
+}
+
+TEST(TournamentTest, BudgetIsAboutOneKilobyte)
+{
+    TournamentPredictor pred;
+    size_t bytes = pred.storageBits() / 8;
+    EXPECT_GE(bytes, 800u);
+    EXPECT_LE(bytes, 1100u);
+}
+
+TEST(TageSclTest, BudgetIsAboutEightKilobytes)
+{
+    TageSclPredictor pred;
+    size_t bytes = pred.storageBits() / 8;
+    EXPECT_GE(bytes, 7000u);
+    EXPECT_LE(bytes, 9000u);
+}
+
+TEST(TageTest, GeometricHistoryLengths)
+{
+    TagePredictor pred;
+    unsigned prev = 0;
+    for (unsigned i = 0; i < 6; i++) {
+        unsigned len = pred.historyLength(i);
+        EXPECT_GT(len, prev);
+        prev = len;
+    }
+    EXPECT_EQ(pred.historyLength(0), 4u);
+    EXPECT_EQ(pred.historyLength(5), 160u);
+}
+
+TEST(TageTest, LearnsLongHistoryPattern)
+{
+    // Period-12 pattern: beyond bimodal, learnable with history.
+    std::vector<bool> pattern = {true, true, true, false, true, false,
+                                 false, true, true, false, false, false};
+    TagePredictor pred;
+    EXPECT_GT(trainAccuracy(pred, 0x100, pattern, 600), 0.97);
+}
+
+TEST(TageSclTest, BetterThanTournamentOnMixedBranches)
+{
+    // Two correlated branches + one biased branch, interleaved.
+    auto run = [](BranchPredictor &pred) {
+        pbs::rng::XorShift64Star rng(5);
+        uint64_t correct = 0, total = 0;
+        bool last = false;
+        for (int i = 0; i < 60000; i++) {
+            // Branch A: random 80% taken.
+            bool a = rng.nextDouble() < 0.8;
+            bool p = pred.predict(0x10);
+            pred.update(0x10, a);
+            correct += p == a;
+            // Branch B: equals A (correlated through history).
+            p = pred.predict(0x20);
+            pred.update(0x20, a);
+            correct += p == a;
+            // Branch C: alternates with the previous A.
+            bool c = a != last;
+            last = a;
+            p = pred.predict(0x30);
+            pred.update(0x30, c);
+            correct += p == c;
+            total += 3;
+        }
+        return double(correct) / double(total);
+    };
+    TournamentPredictor tour;
+    TageSclPredictor tage;
+    double acc_tour = run(tour);
+    double acc_tage = run(tage);
+    EXPECT_GT(acc_tage, acc_tour - 0.005);
+    EXPECT_GT(acc_tage, 0.85);
+}
+
+TEST(PredictorsTest, RandomBranchesNearFiftyPercent)
+{
+    // No predictor can learn a fair coin: check all stay near 50%.
+    for (const char *name : {"bimodal", "gshare", "tournament",
+                             "tage", "tage-sc-l"}) {
+        auto pred = makePredictor(name);
+        pbs::rng::XorShift64Star rng(11);
+        uint64_t correct = 0;
+        const int n = 40000;
+        for (int i = 0; i < n; i++) {
+            bool t = rng.nextDouble() < 0.5;
+            bool p = pred->predict(0x50);
+            pred->update(0x50, t);
+            correct += p == t;
+        }
+        double acc = double(correct) / n;
+        EXPECT_GT(acc, 0.45) << name;
+        EXPECT_LT(acc, 0.55) << name;
+    }
+}
+
+TEST(FactoryTest, AllNamesConstruct)
+{
+    for (const char *name :
+         {"bimodal", "gshare", "local", "loop", "tournament", "tage",
+          "tage-sc-l", "always-taken", "always-not-taken", "random",
+          "perfect"}) {
+        auto pred = makePredictor(name);
+        ASSERT_NE(pred, nullptr) << name;
+        EXPECT_EQ(pred->name(), name);
+    }
+    EXPECT_THROW(makePredictor("nonsense"), std::invalid_argument);
+}
+
+TEST(FactoryTest, PerfectFlag)
+{
+    EXPECT_TRUE(makePredictor("perfect")->isPerfect());
+    EXPECT_FALSE(makePredictor("tage")->isPerfect());
+}
+
+}  // namespace

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Core tests: functional semantics of every opcode class, call/ret,
+ * memory, and first-order timing properties of the OoO model (width,
+ * dependence chains, ROB, misprediction penalty, PBS steering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "rng/isa_emit.hh"
+
+namespace {
+
+using namespace pbs;
+using isa::Assembler;
+using isa::CmpOp;
+using isa::Program;
+using isa::REG_ZERO;
+
+cpu::CoreConfig
+timingConfig(const std::string &pred = "perfect")
+{
+    cpu::CoreConfig cfg;
+    cfg.predictor = pred;
+    return cfg;
+}
+
+cpu::Core
+runProgram(const Program &prog, const cpu::CoreConfig &cfg)
+{
+    cpu::Core core(prog, cfg);
+    core.run();
+    EXPECT_TRUE(core.halted());
+    return core;
+}
+
+TEST(CoreFunctional, IntegerArithmetic)
+{
+    Assembler as;
+    as.ldi(3, 20);
+    as.ldi(4, 6);
+    as.add(5, 3, 4);    // 26
+    as.sub(6, 3, 4);    // 14
+    as.mul(7, 3, 4);    // 120
+    as.div(8, 3, 4);    // 3
+    as.rem(9, 3, 4);    // 2
+    as.ldi(10, -20);
+    as.div(11, 10, 4);  // -3 (C-style truncation toward zero)
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(5), 26u);
+    EXPECT_EQ(core.reg(6), 14u);
+    EXPECT_EQ(core.reg(7), 120u);
+    EXPECT_EQ(core.reg(8), 3u);
+    EXPECT_EQ(core.reg(9), 2u);
+    EXPECT_EQ(int64_t(core.reg(11)), -3);
+}
+
+TEST(CoreFunctional, DivisionByZeroYieldsZero)
+{
+    Assembler as;
+    as.ldi(3, 42);
+    as.div(4, 3, REG_ZERO);
+    as.rem(5, 3, REG_ZERO);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(4), 0u);
+    EXPECT_EQ(core.reg(5), 0u);
+}
+
+TEST(CoreFunctional, LogicAndShifts)
+{
+    Assembler as;
+    as.ldi(3, 0b1100);
+    as.ldi(4, 0b1010);
+    as.and_(5, 3, 4);
+    as.or_(6, 3, 4);
+    as.xor_(7, 3, 4);
+    as.slli(8, 3, 2);
+    as.srli(9, 3, 2);
+    as.ldi(10, -8);
+    as.srai(11, 10, 1);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(5), 0b1000u);
+    EXPECT_EQ(core.reg(6), 0b1110u);
+    EXPECT_EQ(core.reg(7), 0b0110u);
+    EXPECT_EQ(core.reg(8), 0b110000u);
+    EXPECT_EQ(core.reg(9), 0b11u);
+    EXPECT_EQ(int64_t(core.reg(11)), -4);
+}
+
+TEST(CoreFunctional, RegisterZeroIsHardwired)
+{
+    Assembler as;
+    as.ldi(REG_ZERO, 55);
+    as.addi(3, REG_ZERO, 7);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(REG_ZERO), 0u);
+    EXPECT_EQ(core.reg(3), 7u);
+}
+
+TEST(CoreFunctional, FloatingPoint)
+{
+    Assembler as;
+    as.ldf(3, 2.25);
+    as.ldf(4, 4.0);
+    as.fadd(5, 3, 4);
+    as.fmul(6, 3, 4);
+    as.fdiv(7, 3, 4);
+    as.fsqrt(8, 4);
+    as.fneg(9, 3);
+    as.fmin(10, 3, 4);
+    as.fmax(11, 3, 4);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_DOUBLE_EQ(core.regDouble(5), 6.25);
+    EXPECT_DOUBLE_EQ(core.regDouble(6), 9.0);
+    EXPECT_DOUBLE_EQ(core.regDouble(7), 0.5625);
+    EXPECT_DOUBLE_EQ(core.regDouble(8), 2.0);
+    EXPECT_DOUBLE_EQ(core.regDouble(9), -2.25);
+    EXPECT_DOUBLE_EQ(core.regDouble(10), 2.25);
+    EXPECT_DOUBLE_EQ(core.regDouble(11), 4.0);
+}
+
+TEST(CoreFunctional, Transcendentals)
+{
+    Assembler as;
+    as.ldf(3, 1.0);
+    as.fexp(4, 3);
+    as.flog(5, 4);
+    as.ldf(6, 0.0);
+    as.fsin(7, 6);
+    as.fcos(8, 6);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_DOUBLE_EQ(core.regDouble(4), std::exp(1.0));
+    EXPECT_DOUBLE_EQ(core.regDouble(5), 1.0);
+    EXPECT_DOUBLE_EQ(core.regDouble(7), 0.0);
+    EXPECT_DOUBLE_EQ(core.regDouble(8), 1.0);
+}
+
+TEST(CoreFunctional, Conversions)
+{
+    Assembler as;
+    as.ldi(3, -7);
+    as.i2f(4, 3);
+    as.ldf(5, 3.9);
+    as.f2i(6, 5);
+    as.ldf(7, -3.9);
+    as.f2i(8, 7);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_DOUBLE_EQ(core.regDouble(4), -7.0);
+    EXPECT_EQ(int64_t(core.reg(6)), 3);    // trunc toward zero
+    EXPECT_EQ(int64_t(core.reg(8)), -3);
+}
+
+TEST(CoreFunctional, CompareAndSelect)
+{
+    Assembler as;
+    as.ldi(3, 5);
+    as.ldi(4, 9);
+    as.cmp(CmpOp::LT, 5, 3, 4);
+    as.cmp(CmpOp::GT, 6, 3, 4);
+    as.ldi(7, 100);
+    as.ldi(8, 200);
+    as.sel(9, 5, 7, 8);
+    as.sel(10, 6, 7, 8);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(5), 1u);
+    EXPECT_EQ(core.reg(6), 0u);
+    EXPECT_EQ(core.reg(9), 100u);
+    EXPECT_EQ(core.reg(10), 200u);
+}
+
+TEST(CoreFunctional, MemoryAndDataSegment)
+{
+    Assembler as;
+    as.data64(0x1000, 0xdeadbeefcafef00dull);
+    as.ldi(3, 0x1000);
+    as.ld(4, 3, 0);
+    as.st(3, 4, 8);
+    as.ld(5, 3, 8);
+    as.ldb(6, 3, 0);
+    as.ldi(7, 0xAB);
+    as.stb(3, 7, 100);
+    as.ldb(8, 3, 100);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(4), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(core.reg(5), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(core.reg(6), 0x0dull);
+    EXPECT_EQ(core.reg(8), 0xABull);
+}
+
+TEST(CoreFunctional, LoopAndBranches)
+{
+    Assembler as;
+    as.ldi(3, 10);   // counter
+    as.ldi(4, 0);    // sum
+    as.label("loop");
+    as.add(4, 4, 3);
+    as.addi(3, 3, -1);
+    as.jnz(3, "loop");
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig("tournament"));
+    EXPECT_EQ(core.reg(4), 55u);
+    EXPECT_EQ(core.stats().branches, 10u);
+}
+
+TEST(CoreFunctional, CallAndReturn)
+{
+    Assembler as;
+    as.ldi(3, 5);
+    as.call("double_it");
+    as.call("double_it");
+    as.halt();
+    as.label("double_it");
+    as.add(3, 3, 3);
+    as.ret();
+    auto core = runProgram(as.finish(), timingConfig());
+    EXPECT_EQ(core.reg(3), 20u);
+}
+
+TEST(CoreTiming, IpcBoundedByWidth)
+{
+    // A long stream of independent single-cycle ops cannot exceed the
+    // machine width in IPC, but should get close.
+    Assembler as;
+    for (int i = 0; i < 4000; i++)
+        as.addi(3 + (i % 8), REG_ZERO, i);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    double ipc = core.stats().ipc();
+    EXPECT_LE(ipc, 4.05);
+    EXPECT_GE(ipc, 2.0);
+}
+
+TEST(CoreTiming, DependenceChainSerializes)
+{
+    // fsqrt chain: each depends on the previous -> IPC well below 1.
+    Assembler as;
+    as.ldf(3, 2.0);
+    for (int i = 0; i < 500; i++)
+        as.fadd(3, 3, 3);
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig());
+    // fpAlu latency is 3: chain IPC ~ 1/3.
+    EXPECT_LT(core.stats().ipc(), 0.6);
+}
+
+TEST(CoreTiming, MispredictionsCostCycles)
+{
+    // Data-dependent unpredictable branches with a random predictor
+    // should run much slower than with a perfect predictor.
+    auto build = [] {
+        Assembler as;
+        rng::XorShiftEmitter xs(3, 4, 5, 6);
+        xs.setup(as, 99);
+        as.ldi(10, 4000);
+        as.ldi(11, 0);
+        as.label("loop");
+        xs.emitNextU64(as, 7);
+        as.andi(7, 7, 1);
+        as.jnz(7, "taken");
+        as.addi(11, 11, 1);
+        as.label("taken");
+        as.addi(10, 10, -1);
+        as.jnz(10, "loop");
+        as.halt();
+        return as.finish();
+    };
+    auto perfect = runProgram(build(), timingConfig("perfect"));
+    auto random = runProgram(build(), timingConfig("random"));
+    EXPECT_EQ(perfect.stats().mispredicts, 0u);
+    EXPECT_GT(random.stats().mispredicts,
+              random.stats().branches / 3);
+    EXPECT_GT(random.stats().cycles, perfect.stats().cycles * 3 / 2);
+}
+
+TEST(CoreTiming, WiderCoreIsFaster)
+{
+    Assembler as;
+    for (int i = 0; i < 2000; i++)
+        as.addi(3 + (i % 16), REG_ZERO, i);
+    as.halt();
+    Program prog = as.finish();
+
+    auto narrow = runProgram(prog, cpu::CoreConfig::fourWide());
+    auto wide = runProgram(prog, cpu::CoreConfig::eightWide());
+    EXPECT_GT(wide.stats().ipc(), narrow.stats().ipc() * 1.4);
+}
+
+TEST(CoreTiming, CfdJnzNeverMispredicts)
+{
+    Assembler as;
+    rng::XorShiftEmitter xs(3, 4, 5, 6);
+    xs.setup(as, 123);
+    as.ldi(10, 2000);
+    as.ldi(11, 0);
+    as.label("loop");
+    xs.emitNextU64(as, 7);
+    as.andi(7, 7, 1);
+    as.cfdJnz(7, "taken");
+    as.addi(11, 11, 1);
+    as.label("taken");
+    as.addi(10, 10, -1);
+    as.jnz(10, "loop");
+    as.halt();
+    auto core = runProgram(as.finish(), timingConfig("tournament"));
+    // Only the loop-closing branch can mispredict (once, at exit).
+    EXPECT_LE(core.stats().mispredicts, 4u);
+}
+
+TEST(CoreLimits, MaxInstructionsStopsRunaway)
+{
+    Assembler as;
+    as.label("forever");
+    as.jmp("forever");
+    as.halt();
+    cpu::CoreConfig cfg = timingConfig();
+    cfg.maxInstructions = 1000;
+    cpu::Core core(as.finish(), cfg);
+    core.run();
+    EXPECT_FALSE(core.halted());
+    EXPECT_EQ(core.stats().instructions, 1000u);
+}
+
+TEST(CoreLimits, StepExecutesExactly)
+{
+    Assembler as;
+    for (int i = 0; i < 100; i++)
+        as.nop();
+    as.halt();
+    cpu::Core core(as.finish(), timingConfig());
+    EXPECT_EQ(core.step(40), 40u);
+    EXPECT_FALSE(core.halted());
+    EXPECT_EQ(core.step(1000), 61u);  // 60 nops + halt
+    EXPECT_TRUE(core.halted());
+}
+
+}  // namespace

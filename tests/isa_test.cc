@@ -1,0 +1,260 @@
+/**
+ * @file
+ * ISA tests: instruction properties, assembler label resolution,
+ * program validation, and encode/decode round trips for both encoding
+ * modes, including PBS-unaware (legacy) decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+
+namespace {
+
+using namespace pbs::isa;
+
+TEST(OpcodeProps, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::JMP));
+    EXPECT_TRUE(isControl(Opcode::PROB_JMP));
+    EXPECT_TRUE(isControl(Opcode::CFD_JNZ));
+    EXPECT_TRUE(isControl(Opcode::RET));
+    EXPECT_FALSE(isControl(Opcode::PROB_CMP));
+    EXPECT_TRUE(isCondBranch(Opcode::JNZ));
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_TRUE(isProbOp(Opcode::PROB_CMP));
+    EXPECT_TRUE(isProbOp(Opcode::PROB_JMP));
+    EXPECT_FALSE(isProbOp(Opcode::CMP));
+}
+
+TEST(InstructionProps, SourceAndDestRegisters)
+{
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = 5;
+    add.rs1 = 6;
+    add.rs2 = 7;
+    std::array<uint8_t, 3> srcs;
+    EXPECT_EQ(add.sourceRegs(srcs), 2u);
+    EXPECT_EQ(add.destReg(), 5);
+
+    Instruction pcmp;
+    pcmp.op = Opcode::PROB_CMP;
+    pcmp.rd = 4;   // condition
+    pcmp.rs1 = 8;  // probabilistic value
+    pcmp.rs2 = 9;
+    EXPECT_EQ(pcmp.sourceRegs(srcs), 2u);
+    EXPECT_EQ(srcs[0], 8);
+    EXPECT_EQ(srcs[1], 9);
+    EXPECT_EQ(pcmp.probReg(), 8);
+
+    Instruction pjmp;
+    pjmp.op = Opcode::PROB_JMP;
+    pjmp.rd = 8;
+    pjmp.rs1 = 4;
+    pjmp.imm = 10;
+    EXPECT_EQ(pjmp.sourceRegs(srcs), 2u);
+    EXPECT_EQ(pjmp.probReg(), 8);
+    EXPECT_TRUE(pjmp.writesDest());
+
+    Instruction store;
+    store.op = Opcode::ST;
+    store.rs1 = 3;
+    store.rs2 = 4;
+    EXPECT_FALSE(store.writesDest());
+}
+
+TEST(AssemblerTest, ForwardAndBackwardLabels)
+{
+    Assembler as;
+    as.jmp("end");
+    as.label("mid");
+    as.addi(3, 3, 1);
+    as.label("end");
+    as.jmp("mid");
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.insts[0].imm, 2);  // "end"
+    EXPECT_EQ(p.insts[2].imm, 1);  // "mid"
+}
+
+TEST(AssemblerTest, UndefinedLabelThrows)
+{
+    Assembler as;
+    as.jmp("nowhere");
+    as.halt();
+    EXPECT_THROW(as.finish(), std::invalid_argument);
+}
+
+TEST(AssemblerTest, DuplicateLabelThrows)
+{
+    Assembler as;
+    as.label("a");
+    EXPECT_THROW(as.label("a"), std::invalid_argument);
+}
+
+TEST(AssemblerTest, ProbGroupIdsAssigned)
+{
+    Assembler as;
+    as.probCmp(CmpOp::FLT, 3, 4, 5);
+    as.probJmpCarrier(6);
+    as.probJmp(7, 3, "t");
+    as.probCmp(CmpOp::FGT, 3, 4, 5);
+    as.probJmp(0, 3, "t");
+    as.label("t");
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.insts[0].probId, 1);
+    EXPECT_EQ(p.insts[1].probId, 1);
+    EXPECT_EQ(p.insts[2].probId, 1);
+    EXPECT_EQ(p.insts[3].probId, 2);
+    EXPECT_EQ(p.insts[4].probId, 2);
+    EXPECT_EQ(p.distinctProbIds(), 2u);
+    EXPECT_EQ(p.staticProbBranchCount(), 2u);
+}
+
+TEST(AssemblerTest, UnterminatedProbGroupThrows)
+{
+    Assembler as;
+    as.probCmp(CmpOp::FLT, 3, 4, 5);
+    as.halt();
+    EXPECT_THROW(as.finish(), std::logic_error);
+}
+
+TEST(AssemblerTest, NestedProbGroupThrows)
+{
+    Assembler as;
+    as.probCmp(CmpOp::FLT, 3, 4, 5);
+    EXPECT_THROW(as.probCmp(CmpOp::FLT, 3, 4, 5), std::logic_error);
+}
+
+TEST(ProgramValidate, BranchTargetOutOfRange)
+{
+    Program p;
+    Instruction j;
+    j.op = Opcode::JMP;
+    j.imm = 99;
+    p.insts.push_back(j);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramValidate, ProbCmpWithoutJmp)
+{
+    Program p;
+    Instruction c;
+    c.op = Opcode::PROB_CMP;
+    c.probId = 1;
+    p.insts.push_back(c);
+    Instruction h;
+    h.op = Opcode::HALT;
+    p.insts.push_back(h);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, ListingContainsLabelsAndDisasm)
+{
+    Assembler as;
+    as.label("start");
+    as.addi(3, 3, 1);
+    as.jmp("start");
+    as.halt();
+    Program p = as.finish();
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("start:"), std::string::npos);
+    EXPECT_NE(listing.find("addi r3, r3, 1"), std::string::npos);
+}
+
+// --- encode / decode round trips ---
+
+std::vector<Instruction>
+sampleInstructions()
+{
+    Assembler as;
+    as.ldi(3, 42);
+    as.ldi(4, int64_t(0x123456789abcdef0ull));  // wide immediate
+    as.add(5, 3, 4);
+    as.fmul(6, 5, 3);
+    as.cmp(CmpOp::FLT, 7, 6, 5);
+    as.sel(8, 7, 3, 4);
+    as.ld(9, 3, -16);
+    as.st(3, 9, 24);
+    as.probCmp(CmpOp::FGE, 7, 6, 5);
+    as.probJmpCarrier(10);
+    as.probJmp(11, 7, "out");
+    as.label("out");
+    as.jnz(7, "out");
+    as.cfdJnz(7, "out");
+    as.halt();
+    return as.finish().insts;
+}
+
+class EncodingRoundTrip
+    : public ::testing::TestWithParam<EncodeMode> {};
+
+TEST_P(EncodingRoundTrip, AllInstructionsSurvive)
+{
+    auto insts = sampleInstructions();
+    auto words = encodeAll(insts, GetParam());
+    auto back = decodeAll(words, GetParam(), /*pbsAware*/ true);
+    ASSERT_EQ(back.size(), insts.size());
+    for (size_t i = 0; i < insts.size(); i++)
+        EXPECT_EQ(back[i], insts[i]) << "instruction " << i << ": "
+                                     << disassemble(insts[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, EncodingRoundTrip,
+                         ::testing::Values(EncodeMode::NewOpcodes,
+                                           EncodeMode::LegacyBits),
+                         [](const auto &info) {
+                             return info.param == EncodeMode::NewOpcodes
+                                 ? "NewOpcodes" : "LegacyBits";
+                         });
+
+TEST(EncodingLegacy, PbsUnawareMachineSeesRegularBranches)
+{
+    // Backward compatibility (paper Sec. V-A2): a legacy machine
+    // decoding the LegacyBits stream sees CMP / JNZ / NOP.
+    Assembler as;
+    as.probCmp(CmpOp::FGE, 7, 6, 5);
+    as.probJmpCarrier(10);
+    as.probJmp(11, 7, "out");
+    as.label("out");
+    as.halt();
+    auto insts = as.finish().insts;
+    auto words = encodeAll(insts, EncodeMode::LegacyBits);
+    auto legacy = decodeAll(words, EncodeMode::LegacyBits, false);
+    ASSERT_EQ(legacy.size(), 4u);
+    EXPECT_EQ(legacy[0].op, Opcode::CMP);
+    EXPECT_EQ(legacy[0].rd, 7);
+    EXPECT_EQ(legacy[0].rs1, 6);
+    EXPECT_EQ(legacy[1].op, Opcode::NOP);  // carrier neutralized
+    EXPECT_EQ(legacy[2].op, Opcode::JNZ);
+    EXPECT_EQ(legacy[2].rs1, 7);
+    EXPECT_EQ(legacy[2].imm, 3);
+}
+
+TEST(EncodingNewOpcodes, PbsUnawareDecodeFallsBack)
+{
+    Assembler as;
+    as.probCmp(CmpOp::FGE, 7, 6, 5);
+    as.probJmp(11, 7, "out");
+    as.label("out");
+    as.halt();
+    auto insts = as.finish().insts;
+    auto words = encodeAll(insts, EncodeMode::NewOpcodes);
+    auto legacy = decodeAll(words, EncodeMode::NewOpcodes, false);
+    EXPECT_EQ(legacy[0].op, Opcode::CMP);
+    EXPECT_EQ(legacy[1].op, Opcode::JNZ);
+    EXPECT_EQ(legacy[1].imm, 2);
+}
+
+TEST(EncodingTest, ImmediateTooLargeThrows)
+{
+    Instruction j;
+    j.op = Opcode::JMP;
+    j.imm = int64_t(1) << 40;
+    EXPECT_THROW(encode(j), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Memory hierarchy and statistics tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace pbs;
+
+TEST(SparseMemoryTest, ReadWriteRoundTrip)
+{
+    mem::SparseMemory m;
+    m.writeU64(0x1000, 0x1122334455667788ull);
+    EXPECT_EQ(m.readU64(0x1000), 0x1122334455667788ull);
+    EXPECT_EQ(m.readByte(0x1000), 0x88);
+    EXPECT_EQ(m.readByte(0x1007), 0x11);
+    m.writeDouble(0x2000, 3.5);
+    EXPECT_DOUBLE_EQ(m.readDouble(0x2000), 3.5);
+}
+
+TEST(SparseMemoryTest, UninitializedReadsZero)
+{
+    mem::SparseMemory m;
+    EXPECT_EQ(m.readU64(0xdead000), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(SparseMemoryTest, CrossPageAccess)
+{
+    mem::SparseMemory m;
+    uint64_t addr = mem::SparseMemory::kPageSize - 4;
+    m.writeU64(addr, 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.readU64(addr), 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(CacheTest, HitAfterMiss)
+{
+    mem::Cache c({1024, 2, 64, 1});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f));  // same 64B line as 0x100
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 2-way, 8 sets of 64B lines: lines 0x0, 0x200, 0x400 map to set 0.
+    mem::Cache c({1024, 2, 64, 1});
+    c.access(0x0);
+    c.access(0x200);
+    c.access(0x0);      // touch to make 0x200 the LRU victim
+    c.access(0x400);    // evicts 0x200
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x200));
+    EXPECT_TRUE(c.contains(0x400));
+}
+
+TEST(CacheTest, InvalidGeometryThrows)
+{
+    EXPECT_THROW(mem::Cache({1000, 3, 60, 1}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, LatencyLevels)
+{
+    mem::MemoryHierarchy h;
+    // Cold: L1 miss + L2 miss + DRAM.
+    unsigned cold = h.dataAccess(0x1000);
+    EXPECT_EQ(cold, 4u + 12u + 120u);
+    // Warm: L1 hit.
+    EXPECT_EQ(h.dataAccess(0x1000), 4u);
+    // Instruction path is independent of the data path at L1.
+    unsigned icold = h.instAccess(0x9000);
+    EXPECT_EQ(icold, 1u + 12u + 120u);
+}
+
+TEST(HierarchyTest, L2SharedBetweenPaths)
+{
+    mem::MemoryHierarchy h;
+    h.dataAccess(0x4000);           // fills L2 (and L1D)
+    unsigned i = h.instAccess(0x4000);  // L1I miss, L2 hit
+    EXPECT_EQ(i, 1u + 12u);
+}
+
+TEST(RunningStatTest, MeanVarianceCi)
+{
+    stats::RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.571428, 1e-5);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_GT(s.ci95HalfWidth(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroCi)
+{
+    stats::RunningStat s;
+    s.push(3.0);
+    EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+TEST(StatsTest, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(stats::relativeError(1.0, 1.0), 0.0);
+    EXPECT_NEAR(stats::relativeError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_TRUE(std::isinf(stats::relativeError(1.0, 0.0)));
+    EXPECT_DOUBLE_EQ(stats::relativeError(0.0, 0.0), 0.0);
+}
+
+TEST(StatsTest, RmsAndNormalizedRms)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    std::vector<double> b{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::rmsError(a, b), 0.0);
+    b[2] = 5.0;
+    EXPECT_NEAR(stats::rmsError(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+    EXPECT_NEAR(stats::normalizedRmsError(a, b),
+                std::sqrt(4.0 / 3.0) / 4.0, 1e-12);
+    EXPECT_THROW(stats::rmsError(a, {1.0}), std::invalid_argument);
+}
+
+TEST(StatsTest, GeomeanAndIntervals)
+{
+    EXPECT_DOUBLE_EQ(stats::geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(stats::mean({2.0, 8.0}), 5.0);
+    EXPECT_TRUE(stats::intervalsOverlap(0.0, 1.0, 0.5, 2.0));
+    EXPECT_FALSE(stats::intervalsOverlap(0.0, 1.0, 1.1, 2.0));
+}
+
+TEST(TextTableTest, RendersAligned)
+{
+    stats::TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", stats::TextTable::num(3.14159, 2)});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_EQ(stats::TextTable::pct(0.456, 1), "45.6%");
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the individual PBS tables (Prob-BTB, SwapTable,
+ * Prob-in-Flight) and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tables.hh"
+#include "isa/assembler.hh"
+
+namespace {
+
+using namespace pbs::core;
+
+TEST(ProbBtbTest, FindRequiresContextMatch)
+{
+    ProbBtb btb{PbsConfig{}};
+    ContextKey ctx_a{0, 0x100, 0};
+    ContextKey ctx_b{1, 0x200, 0};
+    int idx = btb.allocate(0x40, ctx_a);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(btb.find(0x40, ctx_a), idx);
+    EXPECT_EQ(btb.find(0x40, ctx_b), -1);
+    EXPECT_EQ(btb.find(0x44, ctx_a), -1);
+}
+
+TEST(ProbBtbTest, CapacityAndClear)
+{
+    PbsConfig cfg;
+    cfg.numBranches = 2;
+    ProbBtb btb{cfg};
+    ContextKey ctx;
+    EXPECT_GE(btb.allocate(0x10, ctx), 0);
+    EXPECT_GE(btb.allocate(0x20, ctx), 0);
+    EXPECT_EQ(btb.allocate(0x30, ctx), -1);
+    btb.clear(btb.find(0x10, ctx));
+    EXPECT_GE(btb.allocate(0x30, ctx), 0);
+    EXPECT_EQ(btb.find(0x10, ctx), -1);
+}
+
+TEST(ProbBtbTest, ClearContextOnlyTouchesMatchingLoop)
+{
+    ProbBtb btb{PbsConfig{}};
+    ContextKey in_loop{0, 0x100, 0};
+    ContextKey other{1, 0x300, 0};
+    btb.allocate(0x10, in_loop);
+    btb.allocate(0x20, other);
+    EXPECT_EQ(btb.clearContext(0, 0x100), 1u);
+    EXPECT_EQ(btb.find(0x10, in_loop), -1);
+    EXPECT_GE(btb.find(0x20, other), 0);
+}
+
+TEST(ProbInFlightTest, FifoOrderWithinIndex)
+{
+    ProbInFlight fifo{PbsConfig{}};
+    for (uint64_t i = 0; i < 3; i++) {
+        BranchRecord rec;
+        rec.value1 = 100 + i;
+        EXPECT_TRUE(fifo.push(0, rec, /*ready*/ 10 * i));
+    }
+    EXPECT_EQ(fifo.occupancy(), 3u);
+    EXPECT_EQ(fifo.pull(0, 100)->value1, 100u);
+    EXPECT_EQ(fifo.pull(0, 100)->value1, 101u);
+    EXPECT_EQ(fifo.pull(0, 100)->value1, 102u);
+    EXPECT_FALSE(fifo.pull(0, 100).has_value());
+}
+
+TEST(ProbInFlightTest, VisibilityRespectsReadyCycle)
+{
+    ProbInFlight fifo{PbsConfig{}};
+    BranchRecord rec;
+    rec.value1 = 7;
+    fifo.push(2, rec, /*ready*/ 50);
+    EXPECT_FALSE(fifo.pull(2, 49).has_value());
+    EXPECT_EQ(fifo.earliestReady(2).value(), 50u);
+    EXPECT_FALSE(fifo.earliestReady(1).has_value());
+    EXPECT_TRUE(fifo.pull(2, 50).has_value());
+}
+
+TEST(ProbInFlightTest, IndexesAreIndependent)
+{
+    ProbInFlight fifo{PbsConfig{}};
+    BranchRecord a, b;
+    a.value1 = 1;
+    b.value1 = 2;
+    fifo.push(0, a, 0);
+    fifo.push(1, b, 0);
+    fifo.clearIndex(0);
+    EXPECT_FALSE(fifo.pull(0, 10).has_value());
+    EXPECT_EQ(fifo.pull(1, 10)->value1, 2u);
+}
+
+TEST(SwapTableTest, EntriesScaleWithValuesPerBranch)
+{
+    PbsConfig cfg;
+    cfg.numBranches = 4;
+    cfg.valuesPerBranch = 3;
+    SwapTable table{cfg};
+    EXPECT_EQ(table.numEntries(), 8u);  // (3 - 1) per branch
+    EXPECT_EQ(table.storageBits(), 8u * (48 + 3 + 8 + 1));
+}
+
+TEST(DisassemblerTest, CoversKeyFormats)
+{
+    using namespace pbs::isa;
+    Assembler as;
+    as.probCmp(CmpOp::FLT, 3, 4, 5);
+    as.probJmpCarrier(6);
+    as.probJmp(7, 3, "t");
+    as.label("t");
+    as.sel(8, 3, 4, 5);
+    as.ld(9, 2, -8);
+    as.st(2, 9, 16);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_NE(p.listing().find("prob_cmp.flt r3, r4, r5 #b1"),
+              std::string::npos);
+    EXPECT_NE(p.listing().find("<carrier>"), std::string::npos);
+    EXPECT_NE(p.listing().find("sel r8, r3, r4, r5"),
+              std::string::npos);
+    EXPECT_NE(p.listing().find("ld r9, -8(r2)"), std::string::npos);
+    EXPECT_NE(p.listing().find("st r9, 16(r2)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Workload golden tests: the simulated run of every benchmark (PBS off)
+ * must reproduce the native C++ twin bit-for-bit, for several seeds.
+ * Also checks the Table I / Table II metadata against the programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "workloads/common.hh"
+
+namespace {
+
+using namespace pbs;
+using workloads::allBenchmarks;
+using workloads::BenchmarkDesc;
+using workloads::Variant;
+using workloads::WorkloadParams;
+
+cpu::CoreConfig
+functionalConfig()
+{
+    cpu::CoreConfig cfg;
+    cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = "bimodal";
+    cfg.maxInstructions = 400'000'000ull;
+    return cfg;
+}
+
+WorkloadParams
+smallParams(const BenchmarkDesc &b, uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    // Shrink runs for test speed (keep genetic's generation count).
+    p.scale = b.name == "genetic" ? 40 : b.defaultScale / 10;
+    return p;
+}
+
+class GoldenTest : public ::testing::TestWithParam<
+    std::tuple<std::string, uint64_t>> {};
+
+TEST_P(GoldenTest, SimMatchesNativeBitExactly)
+{
+    const auto &[name, seed] = GetParam();
+    const BenchmarkDesc &b = workloads::benchmarkByName(name);
+    WorkloadParams p = smallParams(b, seed);
+
+    isa::Program prog = b.build(p, Variant::Marked);
+    cpu::Core core(prog, functionalConfig());
+    core.run();
+    ASSERT_TRUE(core.halted()) << name << ": did not reach HALT";
+
+    std::vector<double> sim = b.simOutput(core);
+    std::vector<double> ref = b.nativeOutput(p);
+    ASSERT_EQ(sim.size(), ref.size());
+    for (size_t i = 0; i < sim.size(); i++) {
+        EXPECT_DOUBLE_EQ(sim[i], ref[i])
+            << name << " output[" << i << "] mismatch";
+    }
+}
+
+std::vector<std::tuple<std::string, uint64_t>>
+goldenCases()
+{
+    std::vector<std::tuple<std::string, uint64_t>> cases;
+    for (const auto &b : allBenchmarks()) {
+        for (uint64_t seed : {1ull, 42ull, 20260610ull})
+            cases.emplace_back(b.name, seed);
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GoldenTest, ::testing::ValuesIn(goldenCases()),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_seed" +
+                           std::to_string(std::get<1>(info.param));
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadMeta, TableIIProbBranchCounts)
+{
+    for (const auto &b : allBenchmarks()) {
+        WorkloadParams p;
+        p.scale = b.name == "genetic" ? 10 : 1000;
+        isa::Program prog = b.build(p, Variant::Marked);
+        EXPECT_EQ(prog.distinctProbIds(), b.numProbBranches)
+            << b.name;
+        EXPECT_EQ(prog.staticProbBranchCount(), b.numProbBranches)
+            << b.name;
+        EXPECT_GT(prog.staticBranchCount(), b.numProbBranches)
+            << b.name << ": regular branches should outnumber "
+            << "probabilistic ones";
+    }
+}
+
+TEST(WorkloadMeta, TableIApplicability)
+{
+    // Paper Table I: which comparator transformations apply.
+    struct Row
+    {
+        const char *name;
+        bool pred, cfd;
+    };
+    const Row expected[] = {
+        {"dop", true, true},       {"greeks", false, true},
+        {"swaptions", false, false}, {"genetic", false, true},
+        {"photon", false, false},  {"mc-integ", true, true},
+        {"pi", true, true},        {"bandit", false, false},
+    };
+    for (const auto &row : expected) {
+        const BenchmarkDesc &b = workloads::benchmarkByName(row.name);
+        EXPECT_EQ(b.predicationOk, row.pred) << row.name;
+        EXPECT_EQ(b.cfdOk, row.cfd) << row.name;
+
+        WorkloadParams p;
+        p.scale = b.name == std::string("genetic") ? 5 : 500;
+        if (b.predicationOk) {
+            EXPECT_NO_THROW(b.build(p, Variant::Predicated)) << row.name;
+        } else {
+            EXPECT_THROW(b.build(p, Variant::Predicated),
+                         std::invalid_argument) << row.name;
+        }
+        if (b.cfdOk) {
+            EXPECT_NO_THROW(b.build(p, Variant::Cfd)) << row.name;
+        } else {
+            EXPECT_THROW(b.build(p, Variant::Cfd), std::invalid_argument)
+                << row.name;
+        }
+    }
+}
+
+TEST(WorkloadVariants, VariantsMatchMarkedOutputs)
+{
+    // Predicated and CFD variants compute the same results as the
+    // marked program (they only change control flow).
+    for (const auto &b : allBenchmarks()) {
+        WorkloadParams p;
+        p.seed = 7;
+        p.scale = b.name == "genetic" ? 30 : 2000;
+        std::vector<double> ref = b.nativeOutput(p);
+        for (Variant v : {Variant::Predicated, Variant::Cfd}) {
+            if ((v == Variant::Predicated && !b.predicationOk) ||
+                (v == Variant::Cfd && !b.cfdOk)) {
+                continue;
+            }
+            isa::Program prog = b.build(p, v);
+            cpu::Core core(prog, functionalConfig());
+            core.run();
+            ASSERT_TRUE(core.halted());
+            std::vector<double> sim = b.simOutput(core);
+            ASSERT_EQ(sim.size(), ref.size());
+            for (size_t i = 0; i < sim.size(); i++) {
+                EXPECT_DOUBLE_EQ(sim[i], ref[i])
+                    << b.name << " variant output[" << i << "]";
+            }
+        }
+    }
+}
+
+}  // namespace
