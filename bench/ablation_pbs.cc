@@ -1,121 +1,15 @@
 /**
  * @file
- * Ablations of the PBS design choices that DESIGN.md calls out (beyond
- * the paper's headline results, cf. Sec. V-C2's scalability
- * discussion):
- *
- *  - Prob-BTB capacity (1/2/4/8 entries)
- *  - in-flight limit (1/2/4/8 outstanding instances)
- *  - context support on/off
- *
- * Metric: fraction of dynamic probabilistic branches steered (steered
- * branches never mispredict) and resulting MPKI.
+ * PBS ablations harness: thin shim over the shared pbs_sim driver
+ * (see src/driver/reports/). Optional first argument: integer scale
+ * divisor for a quick look; also available as
+ * `pbs_sim --report ablation`.
  */
 
-#include "harness.hh"
-
-namespace {
-
-using namespace pbs;
-using namespace pbs::bench;
-
-double
-steeredFrac(const RunResult &r)
-{
-    return r.stats.probBranches
-        ? double(r.stats.steeredBranches) / double(r.stats.probBranches)
-        : 0.0;
-}
-
-}  // namespace
+#include "driver/reports.hh"
 
 int
 main(int argc, char **argv)
 {
-    unsigned div = scaleDivisor(argc, argv) * 2;
-    banner("PBS ablations: table capacities and context support", div);
-
-    const char *names[] = {"dop", "greeks", "swaptions", "photon", "pi"};
-
-    std::printf("--- Prob-BTB capacity (in-flight limit fixed at 4) "
-                "---\n");
-    stats::TextTable t1;
-    t1.header({"benchmark", "1 entry", "2", "4 (paper)", "8"});
-    for (const char *name : names) {
-        const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
-        std::vector<std::string> row{name};
-        for (unsigned entries : {1u, 2u, 4u, 8u}) {
-            auto cfg = functionalConfig("tage-sc-l", true);
-            cfg.pbs.numBranches = entries;
-            row.push_back(stats::TextTable::pct(
-                steeredFrac(runSim(b, p, cfg))));
-        }
-        t1.row(row);
-    }
-    std::printf("%s\n", t1.render().c_str());
-
-    std::printf("--- In-flight limit (Prob-BTB fixed at 4 entries) "
-                "---\n");
-    stats::TextTable t2;
-    t2.header({"benchmark", "1", "2", "4 (paper)", "8"});
-    for (const char *name : names) {
-        const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
-        std::vector<std::string> row{name};
-        for (unsigned limit : {1u, 2u, 4u, 8u}) {
-            auto cfg = functionalConfig("tage-sc-l", true);
-            cfg.pbs.inFlightLimit = limit;
-            row.push_back(stats::TextTable::pct(
-                steeredFrac(runSim(b, p, cfg))));
-        }
-        t2.row(row);
-    }
-    std::printf("%s\n", t2.render().c_str());
-
-    std::printf("--- In-flight pressure policy: stall fetch vs treat "
-                "as regular ---\n");
-    std::printf("(timing model; tight loops exceed 4 outstanding "
-                "instances)\n");
-    stats::TextTable tp;
-    tp.header({"benchmark", "ipc(no pbs)", "ipc(stall)", "ipc(regular)",
-               "mpki(stall)", "mpki(regular)"});
-    for (const char *name : {"pi", "mc-integ", "dop"}) {
-        const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
-        auto base = runSim(b, p, timingConfig("tage-sc-l", false));
-        auto stall_cfg = timingConfig("tage-sc-l", true);
-        auto fall_cfg = stall_cfg;
-        fall_cfg.pbs.stallOnBusy = false;
-        auto stall = runSim(b, p, stall_cfg);
-        auto fall = runSim(b, p, fall_cfg);
-        tp.row({name, stats::TextTable::num(base.stats.ipc(), 3),
-                stats::TextTable::num(stall.stats.ipc(), 3),
-                stats::TextTable::num(fall.stats.ipc(), 3),
-                stats::TextTable::num(stall.stats.mpki(), 2),
-                stats::TextTable::num(fall.stats.mpki(), 2)});
-    }
-    std::printf("%s\n", tp.render().c_str());
-
-    std::printf("--- Context support (Sec. V-C1) ---\n");
-    stats::TextTable t3;
-    t3.header({"benchmark", "steered(ctx on)", "steered(ctx off)",
-               "mpki(ctx on)", "mpki(ctx off)"});
-    for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        auto on_cfg = functionalConfig("tage-sc-l", true);
-        auto off_cfg = on_cfg;
-        off_cfg.pbs.contextSupport = false;
-        auto on = runSim(b, p, on_cfg);
-        auto off = runSim(b, p, off_cfg);
-        t3.row({b.name, stats::TextTable::pct(steeredFrac(on)),
-                stats::TextTable::pct(steeredFrac(off)),
-                stats::TextTable::num(on.stats.mpki(), 2),
-                stats::TextTable::num(off.stats.mpki(), 2)});
-    }
-    std::printf("%s\n", t3.render().c_str());
-    std::printf("Shape: 4 Prob-BTB entries and 4 in-flight instances "
-                "(the paper's 193-byte\nconfiguration) capture nearly "
-                "all of the benefit for these workloads.\n");
-    return 0;
+    return pbs::driver::reportMain("ablation", argc, argv);
 }

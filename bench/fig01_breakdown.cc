@@ -1,55 +1,15 @@
 /**
  * @file
- * Figure 1: probabilistic vs regular branches — share of dynamic
- * branches, and share of mispredictions under the 1 KB tournament and
- * 8 KB TAGE-SC-L predictors (PBS off).
- *
- * Paper shape: probabilistic branches are a small fraction of dynamic
- * branches but a disproportionally large fraction of mispredictions,
- * and their share of mispredictions *grows* under the better predictor.
+ * Figure 1 harness: thin shim over the shared pbs_sim driver
+ * (see src/driver/reports/). Optional first argument: integer scale
+ * divisor for a quick look; also available as
+ * `pbs_sim --report fig01`.
  */
 
-#include "harness.hh"
+#include "driver/reports.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace pbs;
-    using namespace pbs::bench;
-
-    unsigned div = scaleDivisor(argc, argv);
-    banner("Figure 1: probabilistic vs regular branch breakdown", div);
-
-    stats::TextTable table;
-    table.header({"benchmark", "prob/dyn-branches", "miss-share(tour)",
-                  "miss-share(tage-sc-l)"});
-
-    std::vector<double> share_tour, share_tage;
-    for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        auto tour = runSim(b, p, functionalConfig("tournament", false));
-        auto tage = runSim(b, p, functionalConfig("tage-sc-l", false));
-
-        double dyn_frac = double(tour.stats.probBranches) /
-                          double(tour.stats.branches);
-        double mt = tour.stats.mispredicts
-            ? double(tour.stats.probMispredicts) /
-              double(tour.stats.mispredicts) : 0.0;
-        double mg = tage.stats.mispredicts
-            ? double(tage.stats.probMispredicts) /
-              double(tage.stats.mispredicts) : 0.0;
-        share_tour.push_back(mt);
-        share_tage.push_back(mg);
-        table.row({b.name, stats::TextTable::pct(dyn_frac),
-                   stats::TextTable::pct(mt),
-                   stats::TextTable::pct(mg)});
-    }
-    table.row({"average", "",
-               stats::TextTable::pct(stats::mean(share_tour)),
-               stats::TextTable::pct(stats::mean(share_tage))});
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Paper shape check: probabilistic branches are rare but "
-                "cause an outsized\nfraction of mispredictions, larger "
-                "under TAGE-SC-L than under tournament.\n");
-    return 0;
+    return pbs::driver::reportMain("fig01", argc, argv);
 }

@@ -1,96 +1,15 @@
 /**
  * @file
- * Figure 7: normalized IPC on the 4-wide / 168-ROB core for four
- * configurations: tournament, TAGE-SC-L, tournament+PBS, TAGE-SC-L+PBS
- * (normalized to the tournament baseline).
- *
- * Paper numbers: +9% avg (up to 26%) for tournament+PBS over
- * tournament; +6.7% avg (up to 17%) for TAGE-SC-L+PBS over TAGE-SC-L;
- * tournament+PBS outperforms plain TAGE-SC-L.
- *
- * Genetic is averaged over 8 random seeds (paper Sec. VI-A).
+ * Figure 7 harness: thin shim over the shared pbs_sim driver
+ * (see src/driver/reports/). Optional first argument: integer scale
+ * divisor for a quick look; also available as
+ * `pbs_sim --report fig07`.
  */
 
-#include "harness.hh"
+#include "driver/reports.hh"
 
-namespace {
-
-using namespace pbs;
-using namespace pbs::bench;
-
-/** IPC for one benchmark/config (genetic: mean over 8 seeds). */
-double
-ipcOf(const workloads::BenchmarkDesc &b, unsigned div,
-      const cpu::CoreConfig &cfg)
-{
-    if (b.name == "genetic") {
-        stats::RunningStat s;
-        for (uint64_t seed = 1; seed <= 8; seed++) {
-            auto p = paramsFor(b, div, seed);
-            s.push(runSim(b, p, cfg).stats.ipc());
-        }
-        return s.mean();
-    }
-    return runSim(b, paramsFor(b, div), cfg).stats.ipc();
-}
-
-int
-run(int argc, char **argv, bool wide)
-{
-    unsigned div = scaleDivisor(argc, argv);
-    banner(wide ? "Figure 8: normalized IPC, 8-wide / 256-entry ROB"
-                : "Figure 7: normalized IPC, 4-wide / 168-entry ROB",
-           div);
-
-    stats::TextTable table;
-    table.header({"benchmark", "tournament", "tage-sc-l", "tour+pbs",
-                  "tage+pbs"});
-    std::vector<double> gain_tour, gain_tage, tage_norm, tourpbs_norm;
-    for (const auto &b : workloads::allBenchmarks()) {
-        double base = ipcOf(b, div, timingConfig("tournament", false,
-                                                 wide));
-        double tage = ipcOf(b, div, timingConfig("tage-sc-l", false,
-                                                 wide));
-        double tpbs = ipcOf(b, div, timingConfig("tournament", true,
-                                                 wide));
-        double gpbs = ipcOf(b, div, timingConfig("tage-sc-l", true,
-                                                 wide));
-        gain_tour.push_back(tpbs / base);
-        gain_tage.push_back(gpbs / tage);
-        tage_norm.push_back(tage / base);
-        tourpbs_norm.push_back(tpbs / base);
-        table.row({b.name, "1.000",
-                   stats::TextTable::num(tage / base, 3),
-                   stats::TextTable::num(tpbs / base, 3),
-                   stats::TextTable::num(gpbs / base, 3)});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("geomean speedup tour+PBS over tour:      %+.1f%%\n",
-                (stats::geomean(gain_tour) - 1.0) * 100.0);
-    std::printf("geomean speedup tage+PBS over tage:      %+.1f%%\n",
-                (stats::geomean(gain_tage) - 1.0) * 100.0);
-    std::printf("geomean tour+PBS vs plain tage-sc-l:     %+.1f%%\n",
-                (stats::geomean(tourpbs_norm) /
-                 stats::geomean(tage_norm) - 1.0) * 100.0);
-    std::printf("Paper (%s): %s\n", wide ? "8-wide" : "4-wide",
-                wide ? "+13.8% tour+PBS, +10.8% tage+PBS"
-                     : "+9% tour+PBS, +6.7% tage+PBS; tour+PBS beats "
-                       "plain TAGE-SC-L");
-    return 0;
-}
-
-}  // namespace
-
-#ifndef PBS_FIG_WIDE
 int
 main(int argc, char **argv)
 {
-    return run(argc, argv, false);
+    return pbs::driver::reportMain("fig07", argc, argv);
 }
-#else
-int
-main(int argc, char **argv)
-{
-    return run(argc, argv, true);
-}
-#endif

@@ -1,11 +1,15 @@
 /**
  * @file
- * Figure 8: normalized IPC on the 8-wide / 256-entry-ROB core. The
- * wider pipeline amplifies the misprediction cost, so PBS gains grow
- * (paper: +13.8% tournament+PBS, +10.8% TAGE-SC-L+PBS).
- *
- * Implementation shared with fig07 (PBS_FIG_WIDE selects the core).
+ * Figure 8 harness: thin shim over the shared pbs_sim driver
+ * (see src/driver/reports/). Optional first argument: integer scale
+ * divisor for a quick look; also available as
+ * `pbs_sim --report fig08`.
  */
 
-#define PBS_FIG_WIDE 1
-#include "fig07_ipc_4wide.cc"
+#include "driver/reports.hh"
+
+int
+main(int argc, char **argv)
+{
+    return pbs::driver::reportMain("fig08", argc, argv);
+}

@@ -1,36 +1,15 @@
 /**
  * @file
- * Table II: benchmark characteristics — probabilistic/static branch
- * counts, category, and simulated instruction counts.
+ * Table II harness: thin shim over the shared pbs_sim driver
+ * (see src/driver/reports/). Optional first argument: integer scale
+ * divisor for a quick look; also available as
+ * `pbs_sim --report table2`.
  */
 
-#include "harness.hh"
+#include "driver/reports.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace pbs;
-    using namespace pbs::bench;
-
-    unsigned div = scaleDivisor(argc, argv);
-    banner("Table II: benchmarks and their characteristics", div);
-
-    stats::TextTable table;
-    table.header({"benchmark", "prob/static-branches", "category",
-                  "simulated-insns"});
-    for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        isa::Program prog = b.build(p, workloads::Variant::Marked);
-        auto r = runSim(b, p, functionalConfig("bimodal", false));
-        table.row({b.name,
-                   std::to_string(prog.staticProbBranchCount()) + "/" +
-                       std::to_string(prog.staticBranchCount()),
-                   std::to_string(b.category),
-                   std::to_string(r.stats.instructions)});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Paper: instruction counts were 1.3-17 G on full inputs; "
-                "this reproduction\nruns inputs scaled down ~100-1000x "
-                "(rate metrics are scale-free).\n");
-    return 0;
+    return pbs::driver::reportMain("table2", argc, argv);
 }

@@ -1,0 +1,298 @@
+#include "driver/options.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace pbs::driver {
+
+namespace {
+
+/** Split "--key=value"; @return true and fills @p value on match. */
+bool
+valueOpt(const std::string &arg, const char *key, std::string &value)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    // Reject signs ourselves: strtoull silently wraps "-1".
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &s, unsigned &out)
+{
+    uint64_t v;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+}  // namespace
+
+std::string
+canonicalPredictor(const std::string &name)
+{
+    std::string n;
+    n.reserve(name.size());
+    for (char c : name)
+        n.push_back(c == '_' ? '-' : char(std::tolower(
+                        static_cast<unsigned char>(c))));
+    // Aliases for the TAGE-SC-L spelling.
+    if (n == "tage-scl" || n == "tagescl" || n == "tage-sc-l")
+        n = "tage-sc-l";
+    if (n == "tour")
+        n = "tournament";
+    if (n == "taken")
+        n = "always-taken";
+    if (n == "not-taken")
+        n = "always-not-taken";
+    for (const auto &known : predictorNames()) {
+        if (n == known)
+            return known;
+    }
+    return "";
+}
+
+const std::vector<std::string> &
+predictorNames()
+{
+    static const std::vector<std::string> names = {
+        "bimodal", "gshare", "local", "loop", "tournament", "tage",
+        "tage-sc-l", "always-taken", "always-not-taken", "random",
+        "perfect",
+    };
+    return names;
+}
+
+ParseResult
+parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; i++)
+        args.emplace_back(argv[i]);
+    return parseArgs(args);
+}
+
+ParseResult
+parseArgs(const std::vector<std::string> &args)
+{
+    ParseResult r;
+    DriverOptions &o = r.opts;
+
+    auto fail = [&](const std::string &msg) {
+        r.ok = false;
+        r.error = msg;
+        return r;
+    };
+
+    // "--key value" / "--key=value": 1 = matched (value in @p v),
+    // 0 = different option, -1 = key given without a value.
+    size_t i = 0;
+    std::string v;
+    auto takeValue = [&](const std::string &arg, const char *key) {
+        if (valueOpt(arg, key, v))
+            return 1;
+        if (arg != key)
+            return 0;
+        if (i + 1 >= args.size())
+            return -1;
+        v = args[++i];
+        return 1;
+    };
+
+    for (i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        int m;
+
+        if (arg == "--help" || arg == "-h") {
+            o.help = true;
+        } else if (arg == "--list") {
+            o.list = true;
+        } else if (arg == "--pbs") {
+            o.pbs = true;
+        } else if (arg == "--no-pbs") {
+            o.pbs = false;
+        } else if (arg == "--wide") {
+            o.wide = true;
+        } else if (arg == "--functional") {
+            o.functional = true;
+        } else if (arg == "--timing") {
+            o.functional = false;
+        } else if (arg == "--no-stall") {
+            o.noStall = true;
+        } else if (arg == "--no-context") {
+            o.noContext = true;
+        } else if (arg == "--no-guard") {
+            o.noGuard = true;
+        } else if (arg == "--trace") {
+            o.trace = true;
+        } else if ((m = takeValue(arg, "--workload")) != 0 ||
+                   (m = takeValue(arg, "--benchmark")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.workload = v;
+        } else if ((m = takeValue(arg, "--predictor")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.predictor = v;
+        } else if ((m = takeValue(arg, "--report")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.report = v;
+        } else if ((m = takeValue(arg, "--variant")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (v == "marked")
+                o.variant = workloads::Variant::Marked;
+            else if (v == "predicated")
+                o.variant = workloads::Variant::Predicated;
+            else if (v == "cfd")
+                o.variant = workloads::Variant::Cfd;
+            else
+                return fail("unknown variant: " + v);
+        } else if ((m = takeValue(arg, "--scale")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!parseU64(v, o.scale))
+                return fail("bad --scale value: " + v);
+        } else if ((m = takeValue(arg, "--div")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!parseUnsigned(v, o.divisor) || o.divisor == 0)
+                return fail("bad --div value: " + v);
+        } else if ((m = takeValue(arg, "--seed")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!parseU64(v, o.seed))
+                return fail("bad --seed value: " + v);
+        } else if ((m = takeValue(arg, "--seeds")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!parseUnsigned(v, o.seeds) || o.seeds == 0)
+                return fail("bad --seeds value: " + v);
+        } else if ((m = takeValue(arg, "--jobs")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!parseUnsigned(v, o.jobs) || o.jobs == 0)
+                return fail("bad --jobs value: " + v);
+        } else if (!arg.empty() && arg[0] != '-' && o.workload.empty()) {
+            // Positional benchmark name (pbs_run compatibility).
+            o.workload = arg;
+        } else {
+            return fail("unknown option: " + arg);
+        }
+    }
+
+    if (o.help || o.list) {
+        r.ok = true;
+        return r;
+    }
+
+    if (o.report.empty() && o.workload.empty())
+        return fail("one of --workload or --report is required");
+    if (!o.report.empty() && !o.workload.empty())
+        return fail("--workload and --report are mutually exclusive");
+
+    if (o.report.empty()) {
+        const std::string canon = canonicalPredictor(o.predictor);
+        if (canon.empty())
+            return fail("unknown predictor: " + o.predictor);
+        o.predictor = canon;
+        try {
+            workloads::benchmarkByName(o.workload);
+        } catch (const std::invalid_argument &e) {
+            return fail(e.what());
+        }
+    }
+
+    r.ok = true;
+    return r;
+}
+
+std::string
+usageText()
+{
+    std::ostringstream os;
+    os <<
+        "usage: pbs_sim --workload <name> [options]\n"
+        "       pbs_sim --report <name> [--div N]\n"
+        "       pbs_sim --list\n"
+        "\n"
+        "Simulation options:\n"
+        "  --workload <name>    benchmark to run (see --list)\n"
+        "  --predictor <name>   direction predictor (default tage-sc-l;\n"
+        "                       '_' and case are normalized, so tage_scl"
+        " works)\n"
+        "  --pbs                enable Probabilistic Branch Support\n"
+        "  --no-stall           PBS: fall back to prediction under"
+        " pressure\n"
+        "  --no-context         PBS: disable the Context-Table\n"
+        "  --no-guard           PBS: disable the Const-Val guard\n"
+        "  --wide               8-wide / 256-entry-ROB core\n"
+        "  --functional         architectural simulation only (fast)\n"
+        "  --variant <v>        marked | predicated | cfd\n"
+        "  --scale <n>          iteration count (0 = workload default)\n"
+        "  --div <n>            divide the default scale by n\n"
+        "  --trace              record the probabilistic-branch trace\n"
+        "\n"
+        "Batch options:\n"
+        "  --seed <n>           first seed (default 12345)\n"
+        "  --seeds <n>          run n consecutive seeds (default 1)\n"
+        "  --jobs <n>           worker threads for the batch (default 1)\n"
+        "\n"
+        "Reports (the paper's fig/table harnesses):\n"
+        "  --report <name>      render one report (see --list)\n"
+        "  --div <n>            quick-look scale divisor\n";
+    return os.str();
+}
+
+cpu::CoreConfig
+coreConfig(const DriverOptions &opts)
+{
+    cpu::CoreConfig cfg = opts.wide ? cpu::CoreConfig::eightWide()
+                                    : cpu::CoreConfig::fourWide();
+    if (opts.functional)
+        cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = opts.predictor;
+    cfg.pbsEnabled = opts.pbs;
+    cfg.pbs.stallOnBusy = !opts.noStall;
+    cfg.pbs.contextSupport = !opts.noContext;
+    cfg.pbs.constValGuard = !opts.noGuard;
+    cfg.traceProbBranches = opts.trace;
+    return cfg;
+}
+
+workloads::WorkloadParams
+workloadParams(const DriverOptions &opts, uint64_t seed)
+{
+    workloads::WorkloadParams p;
+    p.seed = seed;
+    if (opts.scale) {
+        p.scale = opts.scale;
+    } else {
+        const auto &b = workloads::benchmarkByName(opts.workload);
+        p.scale = std::max<uint64_t>(1, b.defaultScale / opts.divisor);
+    }
+    return p;
+}
+
+}  // namespace pbs::driver

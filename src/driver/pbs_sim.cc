@@ -1,0 +1,67 @@
+/**
+ * @file
+ * pbs_sim: the unified simulation driver.
+ *
+ *   pbs_sim --workload pi --predictor tage_scl --seeds 8 --jobs 4
+ *   pbs_sim --report fig07 --div 10
+ *   pbs_sim --list
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "driver/options.hh"
+#include "driver/reports.hh"
+#include "driver/runner.hh"
+
+namespace {
+
+using namespace pbs;
+
+void
+printLists()
+{
+    std::printf("workloads:\n");
+    for (const auto &b : workloads::allBenchmarks())
+        std::printf("  %-12s (category %d, %u prob. branch%s)\n",
+                    b.name.c_str(), b.category, b.numProbBranches,
+                    b.numProbBranches == 1 ? "" : "es");
+    std::printf("predictors:\n");
+    for (const auto &p : driver::predictorNames())
+        std::printf("  %s\n", p.c_str());
+    std::printf("reports:\n");
+    for (const auto &r : driver::allReports())
+        std::printf("  %-10s %s\n", r.name.c_str(), r.title.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto parsed = driver::parseArgs(argc, argv);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "pbs_sim: %s\n%s", parsed.error.c_str(),
+                     driver::usageText().c_str());
+        return 2;
+    }
+    const auto &opts = parsed.opts;
+
+    if (opts.help) {
+        std::printf("%s", driver::usageText().c_str());
+        return 0;
+    }
+    if (opts.list) {
+        printLists();
+        return 0;
+    }
+
+    try {
+        if (!opts.report.empty())
+            return driver::runReport(opts.report, opts.divisor);
+        return driver::runWorkload(opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pbs_sim: %s\n", e.what());
+        return 1;
+    }
+}

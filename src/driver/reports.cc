@@ -1,0 +1,53 @@
+#include "driver/reports.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pbs::driver {
+
+const std::vector<Report> &
+allReports()
+{
+    static const std::vector<Report> reports = {
+        {"fig01", "probabilistic vs regular branch breakdown",
+         reportFig01},
+        {"fig06", "MPKI reduction through PBS", reportFig06},
+        {"fig07", "normalized IPC, 4-wide / 168-entry ROB", reportFig07},
+        {"fig08", "normalized IPC, 8-wide / 256-entry ROB", reportFig08},
+        {"fig09", "predictor interference from probabilistic branches",
+         reportFig09},
+        {"table1", "applicability of predication and CFD", reportTable1},
+        {"table2", "benchmark characteristics", reportTable2},
+        {"table3", "randomness: original vs PBS consumption order",
+         reportTable3},
+        {"table4", "output accuracy under PBS", reportTable4},
+        {"ablation", "PBS table capacities and context support",
+         reportAblation},
+    };
+    return reports;
+}
+
+int
+runReport(const std::string &name, unsigned divisor)
+{
+    for (const auto &r : allReports()) {
+        if (r.name == name)
+            return r.fn(divisor);
+    }
+    std::fprintf(stderr, "unknown report: %s\n", name.c_str());
+    return 2;
+}
+
+int
+reportMain(const std::string &name, int argc, char **argv)
+{
+    unsigned divisor = 1;
+    if (argc > 1) {
+        int d = std::atoi(argv[1]);
+        if (d >= 1)
+            divisor = static_cast<unsigned>(d);
+    }
+    return runReport(name, divisor);
+}
+
+}  // namespace pbs::driver

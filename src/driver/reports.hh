@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Registry of the paper's fig/table reports. Each bench/ binary is a
+ * thin shim calling reportMain(); `pbs_sim --report <name>` reaches the
+ * same implementations.
+ */
+
+#ifndef PBS_DRIVER_REPORTS_HH
+#define PBS_DRIVER_REPORTS_HH
+
+#include <string>
+#include <vector>
+
+namespace pbs::driver {
+
+/** One fig/table harness. */
+struct Report
+{
+    std::string name;    ///< CLI name, e.g. "fig07"
+    std::string title;   ///< one-line description
+    int (*fn)(unsigned divisor);
+};
+
+/** All reports, in paper order. */
+const std::vector<Report> &allReports();
+
+/**
+ * Run report @p name at scale divisor @p divisor.
+ * @return the report's exit code; 2 when the name is unknown.
+ */
+int runReport(const std::string &name, unsigned divisor);
+
+/**
+ * Entry point for the bench/ shims: parses the harnesses' traditional
+ * optional first argument (an integer scale divisor) and dispatches.
+ */
+int reportMain(const std::string &name, int argc, char **argv);
+
+// Report implementations (src/driver/reports/).
+int reportFig01(unsigned divisor);
+int reportFig06(unsigned divisor);
+int reportFig07(unsigned divisor);
+int reportFig08(unsigned divisor);
+int reportFig09(unsigned divisor);
+int reportTable1(unsigned divisor);
+int reportTable2(unsigned divisor);
+int reportTable3(unsigned divisor);
+int reportTable4(unsigned divisor);
+int reportAblation(unsigned divisor);
+
+}  // namespace pbs::driver
+
+#endif  // PBS_DRIVER_REPORTS_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 9: negative predictor interference from probabilistic
+ * branches on the tournament predictor.
+ *
+ * Protocol (paper Sec. VII-C): run once with all branches accessing the
+ * predictor, once with probabilistic branches filtered out; the
+ * increase of the *regular-branch* MPKI when probabilistic branches
+ * share the tables measures the interference. Reported as the maximum
+ * over 7 random seeds (paper: up to 5.8%, a couple percent on average;
+ * negligible for TAGE-SC-L).
+ */
+
+#include "driver/reports.hh"
+#include "driver/runner.hh"
+
+namespace pbs::driver {
+
+int
+reportFig09(unsigned userDiv)
+{
+    unsigned div = userDiv * 2;  // MPKI-only: trim
+    banner("Figure 9: MPKI increase from probabilistic-branch "
+           "interference (tournament)", div);
+
+    // Relative interference is only meaningful when the regular-branch
+    // misprediction base is substantial; tiny bases (e.g., bandit's
+    // ~0.05 MPKI) turn a handful of history-alignment flips into wild
+    // ratios, so those rows are reported but excluded from the mean.
+    constexpr double kMinBaseMpki = 0.3;
+
+    stats::TextTable table;
+    table.header({"benchmark", "base-mpki", "max-increase(tour)",
+                  "mean(tour)", "max-increase(tage-sc-l)"});
+    std::vector<double> means;
+    for (const auto &b : workloads::allBenchmarks()) {
+        stats::RunningStat inc_tour, inc_tage, base;
+        for (uint64_t seed = 1; seed <= 7; seed++) {
+            auto p = paramsFor(b, div, seed);
+            for (const char *pred : {"tournament", "tage-sc-l"}) {
+                auto shared =
+                    runSim(b, p, functionalConfig(pred, false));
+                auto filt_cfg = functionalConfig(pred, false);
+                filt_cfg.filterProbFromPredictor = true;
+                auto filtered = runSim(b, p, filt_cfg);
+                double with = shared.stats.regularMpki();
+                double without = filtered.stats.regularMpki();
+                double inc = without > 0 ? with / without - 1.0 : 0.0;
+                bool is_tour = pred[1] == 'o';
+                (is_tour ? inc_tour : inc_tage).push(inc);
+                if (is_tour)
+                    base.push(without);
+            }
+        }
+        bool meaningful = base.mean() >= kMinBaseMpki;
+        if (meaningful)
+            means.push_back(inc_tour.mean());
+        table.row({b.name, stats::TextTable::num(base.mean(), 2),
+                   stats::TextTable::pct(inc_tour.max()),
+                   meaningful ? stats::TextTable::pct(inc_tour.mean())
+                              : "(small base)",
+                   stats::TextTable::pct(inc_tage.max())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("average interference (tournament, meaningful bases): "
+                "%s\n",
+                stats::TextTable::pct(stats::mean(means)).c_str());
+    std::printf("Paper: up to 5.8%%, a couple of percent on average for "
+                "the 1 KB tournament;\nnegligible for the larger "
+                "TAGE-SC-L.\nNote: a negative value (photon) means the "
+                "probabilistic branches' history\nbits actually help "
+                "correlated regular branches — filtering them out "
+                "loses\nthat signal. Both directions are forms of "
+                "predictor coupling.\n");
+    return 0;
+}
+
+}  // namespace pbs::driver

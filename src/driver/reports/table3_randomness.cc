@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Table III: randomness of the value stream as perceived by the
+ * algorithm — original consumption order vs PBS consumption order.
+ *
+ * Protocol (paper Sec. VII-E): for each uniform-value benchmark and
+ * each of 7 seeds, record the probabilistic values in generation order
+ * (original code) and in the order they are consumed under PBS, run the
+ * 114-instance randomness battery on both streams, and report 95%
+ * confidence intervals of the PASS/WEAK/FAIL counts. DOP and Greeks are
+ * excluded (Gaussian-controlled), as in the paper.
+ *
+ * Expectation: the intervals of the two orders overlap — PBS does not
+ * significantly affect the randomness seen by the algorithm.
+ */
+
+#include <algorithm>
+
+#include "driver/reports.hh"
+#include "driver/runner.hh"
+#include "randtest/battery.hh"
+
+namespace pbs::driver {
+
+namespace {
+
+/** Pull the uniform stream out of a finished simulation. */
+std::vector<double>
+extractStream(const cpu::Core &core, const workloads::BenchmarkDesc &b,
+              bool consumedOrder)
+{
+    std::vector<double> out;
+    const unsigned k = b.uniformsPerInstance;
+    for (const auto &e : core.probTrace()) {
+        uint64_t seq = consumedOrder ? e.consumedSeq : e.selfSeq;
+        uint64_t base = workloads::traceRegion(e.probId) +
+                        seq * uint64_t(k) * 8;
+        for (unsigned j = 0; j < k; j++)
+            out.push_back(core.memory().readDouble(base + j * 8));
+    }
+    return out;
+}
+
+randtest::Tally
+runTally(const workloads::BenchmarkDesc &b,
+         const workloads::WorkloadParams &p, bool pbs)
+{
+    cpu::CoreConfig cfg;
+    cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = "bimodal";
+    cfg.pbsEnabled = pbs;
+    cfg.traceProbBranches = true;
+    cpu::Core core(b.build(p, workloads::Variant::Marked), cfg);
+    core.run();
+    auto stream = extractStream(core, b, /*consumedOrder*/ pbs);
+    return randtest::tallyResults(randtest::runBattery(stream));
+}
+
+std::string
+ciRange(const stats::RunningStat &s)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.0f-%.0f",
+                  std::max(0.0, s.ci95Lo()), s.ci95Hi());
+    return buf;
+}
+
+}  // namespace
+
+int
+reportTable3(unsigned div)
+{
+    banner("Table III: randomness tests (114 instances), original vs "
+           "PBS order", div);
+
+    stats::TextTable table;
+    table.header({"benchmark", "orig PASS", "orig WEAK", "orig FAIL",
+                  "pbs PASS", "pbs WEAK", "pbs FAIL", "overlap"});
+
+    for (const auto &b : workloads::allBenchmarks()) {
+        if (b.uniformsPerInstance == 0)
+            continue;  // Gaussian-controlled: excluded, as in the paper
+
+        stats::RunningStat op, ow, of, pp, pw, pf;
+        for (uint64_t seed = 1; seed <= 7; seed++) {
+            auto p = paramsFor(b, div, seed);
+            p.traceUniforms = true;
+            auto orig = runTally(b, p, false);
+            auto pbs_t = runTally(b, p, true);
+            op.push(orig.pass);
+            ow.push(orig.weak);
+            of.push(orig.fail);
+            pp.push(pbs_t.pass);
+            pw.push(pbs_t.weak);
+            pf.push(pbs_t.fail);
+        }
+        bool overlap =
+            stats::intervalsOverlap(op.ci95Lo(), op.ci95Hi(),
+                                    pp.ci95Lo(), pp.ci95Hi()) &&
+            stats::intervalsOverlap(of.ci95Lo(), of.ci95Hi(),
+                                    pf.ci95Lo(), pf.ci95Hi());
+        table.row({b.name, ciRange(op), ciRange(ow), ciRange(of),
+                   ciRange(pp), ciRange(pw), ciRange(pf),
+                   overlap ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: the PASS/WEAK/FAIL confidence intervals of the "
+                "original and PBS\nstreams overlap significantly for "
+                "all benchmarks — PBS does not alter the\nperceived "
+                "randomness.\n");
+    return 0;
+}
+
+}  // namespace pbs::driver

@@ -1,0 +1,114 @@
+#include "driver/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace pbs::driver {
+
+RunResult
+runSim(const workloads::BenchmarkDesc &b,
+       const workloads::WorkloadParams &p, const cpu::CoreConfig &cfg,
+       workloads::Variant variant)
+{
+    cpu::Core core(b.build(p, variant), cfg);
+    core.run();
+    RunResult r;
+    r.stats = core.stats();
+    r.pbs = core.pbs().stats();
+    r.outputs = b.simOutput(core);
+    r.trace = core.probTrace();
+    return r;
+}
+
+std::vector<SeedResult>
+runBatch(const DriverOptions &opts)
+{
+    const auto &b = workloads::benchmarkByName(opts.workload);
+    const cpu::CoreConfig cfg = coreConfig(opts);
+    const unsigned n = opts.seeds;
+
+    std::vector<SeedResult> results(n);
+    std::atomic<unsigned> next{0};
+
+    auto worker = [&]() {
+        for (unsigned i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            const uint64_t seed = opts.seed + i;
+            results[i].seed = seed;
+            results[i].run =
+                runSim(b, workloadParams(opts, seed), cfg, opts.variant);
+        }
+    };
+
+    const unsigned jobs = std::max(1u, std::min(opts.jobs, n));
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; t++)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return results;
+}
+
+std::string
+formatBatch(const DriverOptions &, const std::vector<SeedResult> &results)
+{
+    stats::TextTable table;
+    table.header({"seed", "instructions", "cycles", "ipc", "mpki",
+                  "prob-branches", "steered", "output[0]"});
+
+    stats::RunningStat ipc, mpki, steered;
+    for (const auto &r : results) {
+        const auto &s = r.run.stats;
+        double steeredFrac = s.probBranches
+            ? double(s.steeredBranches) / double(s.probBranches) : 0.0;
+        ipc.push(s.ipc());
+        mpki.push(s.mpki());
+        steered.push(steeredFrac);
+        table.row({std::to_string(r.seed),
+                   std::to_string(s.instructions),
+                   std::to_string(s.cycles),
+                   stats::TextTable::num(s.ipc(), 3),
+                   stats::TextTable::num(s.mpki(), 2),
+                   std::to_string(s.probBranches),
+                   stats::TextTable::pct(steeredFrac),
+                   r.run.outputs.empty()
+                       ? "-"
+                       : stats::TextTable::num(r.run.outputs[0], 5)});
+    }
+
+    std::string out = table.render();
+    if (results.size() > 1) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\n%zu seeds: ipc %.3f +/- %.3f, mpki %.2f +/- "
+                      "%.2f, steered %.1f%%\n",
+                      results.size(), ipc.mean(), ipc.ci95HalfWidth(),
+                      mpki.mean(), mpki.ci95HalfWidth(),
+                      steered.mean() * 100.0);
+        out += buf;
+    }
+    return out;
+}
+
+int
+runWorkload(const DriverOptions &opts)
+{
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "pbs_sim: %s, %s%s, %s%s", opts.workload.c_str(),
+                  opts.predictor.c_str(), opts.pbs ? "+pbs" : "",
+                  opts.functional ? "functional" : "timing",
+                  opts.wide ? ", 8-wide" : "");
+    banner(title, opts.divisor);
+
+    const auto results = runBatch(opts);
+    std::printf("%s\n", formatBatch(opts, results).c_str());
+    return 0;
+}
+
+}  // namespace pbs::driver

@@ -1,27 +1,25 @@
 /**
  * @file
- * Shared helpers for the per-table/per-figure benchmark harnesses.
- *
- * Every harness accepts an optional first argument: an integer divisor
- * applied to the workload scales (default 1 = the full evaluation
- * scale), so `fig07_ipc_4wide 10` gives a quick look.
+ * The simulation runner behind `pbs_sim` and every fig/table harness:
+ * single-run helpers (formerly bench/harness.hh) plus a deterministic
+ * multi-seed batch runner with a `--jobs` thread pool.
  */
 
-#ifndef PBS_BENCH_HARNESS_HH
-#define PBS_BENCH_HARNESS_HH
+#ifndef PBS_DRIVER_RUNNER_HH
+#define PBS_DRIVER_RUNNER_HH
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "cpu/core.hh"
+#include "driver/options.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 #include "workloads/common.hh"
 
-namespace pbs::bench {
+namespace pbs::driver {
 
 /** Result of one simulated run. */
 struct RunResult
@@ -32,19 +30,7 @@ struct RunResult
     std::vector<cpu::ProbTraceEntry> trace;
 };
 
-/** Parse the scale divisor from argv. */
-inline unsigned
-scaleDivisor(int argc, char **argv)
-{
-    if (argc > 1) {
-        int d = std::atoi(argv[1]);
-        if (d >= 1)
-            return static_cast<unsigned>(d);
-    }
-    return 1;
-}
-
-/** Workload parameters at the harness scale. */
+/** Workload parameters at a harness scale divisor. */
 inline workloads::WorkloadParams
 paramsFor(const workloads::BenchmarkDesc &b, unsigned divisor,
           uint64_t seed = 12345)
@@ -56,20 +42,10 @@ paramsFor(const workloads::BenchmarkDesc &b, unsigned divisor,
 }
 
 /** Run one benchmark under one configuration. */
-inline RunResult
-runSim(const workloads::BenchmarkDesc &b,
-       const workloads::WorkloadParams &p, const cpu::CoreConfig &cfg,
-       workloads::Variant variant = workloads::Variant::Marked)
-{
-    cpu::Core core(b.build(p, variant), cfg);
-    core.run();
-    RunResult r;
-    r.stats = core.stats();
-    r.pbs = core.pbs().stats();
-    r.outputs = b.simOutput(core);
-    r.trace = core.probTrace();
-    return r;
-}
+RunResult runSim(const workloads::BenchmarkDesc &b,
+                 const workloads::WorkloadParams &p,
+                 const cpu::CoreConfig &cfg,
+                 workloads::Variant variant = workloads::Variant::Marked);
 
 /** Timing config matching the paper's setup. */
 inline cpu::CoreConfig
@@ -103,6 +79,27 @@ banner(const std::string &title, unsigned divisor)
     std::printf("\n");
 }
 
-}  // namespace pbs::bench
+/** One row of a batch: the seed it ran and what came out. */
+struct SeedResult
+{
+    uint64_t seed = 0;
+    RunResult run;
+};
 
-#endif  // PBS_BENCH_HARNESS_HH
+/**
+ * Run seeds opts.seed .. opts.seed+opts.seeds-1 of opts.workload on an
+ * opts.jobs-thread pool. Results are ordered by seed regardless of the
+ * worker interleaving, so a batch is bit-identical across jobs counts.
+ */
+std::vector<SeedResult> runBatch(const DriverOptions &opts);
+
+/** Render the per-seed + aggregate table `pbs_sim` prints for a batch. */
+std::string formatBatch(const DriverOptions &opts,
+                        const std::vector<SeedResult> &results);
+
+/** The `pbs_sim --workload ...` entry point. @return exit code. */
+int runWorkload(const DriverOptions &opts);
+
+}  // namespace pbs::driver
+
+#endif  // PBS_DRIVER_RUNNER_HH

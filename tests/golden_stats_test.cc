@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism regression: golden IPC/MPKI statistics for one tiny
+ * workload per predictor, pinned exactly. Any future perf PR that
+ * changes these numbers changed functional behavior, not just speed —
+ * update the goldens only with an explanation of the semantic change.
+ *
+ * Regenerate with:
+ *   PBS_PRINT_GOLDEN=1 ./build/golden_stats_test
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "driver/options.hh"
+#include "driver/runner.hh"
+
+namespace {
+
+using namespace pbs;
+
+/** One pinned configuration: pi at scale 2000, seed 12345. */
+struct Golden
+{
+    const char *predictor;
+    bool pbs;
+    uint64_t instructions;
+    uint64_t cycles;
+    uint64_t mispredicts;
+    uint64_t steered;
+};
+
+// Pinned on the seed implementation (timing model, 4-wide core).
+// clang-format off
+const Golden kGolden[] = {
+    // predictor       pbs    instructions  cycles  mispred  steered
+    {"bimodal",          false, 35586ull, 40446ull,  494ull,    0ull},
+    {"gshare",           false, 35586ull, 41932ull,  575ull,    0ull},
+    {"local",            false, 35586ull, 40627ull,  505ull,    0ull},
+    {"loop",             false, 35586ull, 71778ull, 1574ull,    0ull},
+    {"tournament",       false, 35586ull, 40881ull,  509ull,    0ull},
+    {"tage",             false, 35586ull, 39750ull,  470ull,    0ull},
+    {"tage-sc-l",        false, 35586ull, 38561ull,  429ull,    0ull},
+    {"always-taken",     false, 35586ull, 71778ull, 1574ull,    0ull},
+    {"always-not-taken", false, 35586ull, 68940ull, 2426ull,    0ull},
+    {"random",           false, 35586ull, 71097ull, 2010ull,    0ull},
+    {"perfect",          false, 35586ull, 26156ull,    0ull,    0ull},
+    {"tournament",       true,  35587ull, 33171ull,    2ull, 1998ull},
+    {"tage-sc-l",        true,  35587ull, 33171ull,    2ull, 1998ull},
+};
+// clang-format on
+
+driver::RunResult
+runPinned(const char *predictor, bool pbs)
+{
+    const auto &b = workloads::benchmarkByName("pi");
+    workloads::WorkloadParams p;
+    p.seed = 12345;
+    p.scale = 2000;
+    return driver::runSim(b, p, driver::timingConfig(predictor, pbs));
+}
+
+TEST(GoldenStats, PinnedStatsPerPredictor)
+{
+    const bool print = std::getenv("PBS_PRINT_GOLDEN") != nullptr;
+    for (const auto &g : kGolden) {
+        auto r = runPinned(g.predictor, g.pbs);
+        if (print) {
+            std::printf("    {\"%s\", %s, %lluull, %lluull, %lluull, "
+                        "%lluull},\n",
+                        g.predictor, g.pbs ? "true " : "false",
+                        (unsigned long long)r.stats.instructions,
+                        (unsigned long long)r.stats.cycles,
+                        (unsigned long long)r.stats.mispredicts,
+                        (unsigned long long)r.stats.steeredBranches);
+            continue;
+        }
+        SCOPED_TRACE(std::string(g.predictor) +
+                     (g.pbs ? "+pbs" : ""));
+        EXPECT_EQ(r.stats.instructions, g.instructions);
+        EXPECT_EQ(r.stats.cycles, g.cycles);
+        EXPECT_EQ(r.stats.mispredicts, g.mispredicts);
+        EXPECT_EQ(r.stats.steeredBranches, g.steered);
+    }
+}
+
+TEST(GoldenStats, RepeatRunsAreDeterministic)
+{
+    auto a = runPinned("tage-sc-l", true);
+    auto b = runPinned("tage-sc-l", true);
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_EQ(a.outputs, b.outputs);
+}
+
+}  // namespace
