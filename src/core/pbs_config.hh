@@ -59,6 +59,8 @@ struct PbsStats
     uint64_t contextClears = 0;    ///< entries cleared by loop events
     uint64_t entriesAllocated = 0; ///< Prob-BTB allocations
     uint64_t entriesEvicted = 0;   ///< capacity-heuristic evictions
+
+    bool operator==(const PbsStats &) const = default;
 };
 
 }  // namespace pbs::core

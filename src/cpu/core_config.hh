@@ -128,6 +128,8 @@ struct CoreStats
     uint64_t probMispredicts = 0;    ///< on probabilistic branches
     uint64_t steeredBranches = 0;    ///< PBS-steered (never mispredict)
 
+    bool operator==(const CoreStats &) const = default;
+
     double
     ipc() const
     {

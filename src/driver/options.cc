@@ -8,21 +8,26 @@
 
 namespace pbs::driver {
 
-namespace {
-
-/** Split "--key=value"; @return true and fills @p value on match. */
-bool
-valueOpt(const std::string &arg, const char *key, std::string &value)
+int
+takeOptionValue(const std::vector<std::string> &args, size_t &i,
+                const char *key, std::string &value)
 {
+    const std::string &arg = args[i];
     const std::string prefix = std::string(key) + "=";
-    if (arg.rfind(prefix, 0) != 0)
-        return false;
-    value = arg.substr(prefix.size());
-    return true;
+    if (arg.rfind(prefix, 0) == 0) {
+        value = arg.substr(prefix.size());
+        return 1;
+    }
+    if (arg != key)
+        return 0;
+    if (i + 1 >= args.size())
+        return -1;
+    value = args[++i];
+    return 1;
 }
 
 bool
-parseU64(const std::string &s, uint64_t &out)
+parseU64Arg(const std::string &s, uint64_t &out)
 {
     // Reject signs ourselves: strtoull silently wraps "-1".
     if (s.empty() || s[0] == '-' || s[0] == '+')
@@ -37,16 +42,14 @@ parseU64(const std::string &s, uint64_t &out)
 }
 
 bool
-parseUnsigned(const std::string &s, unsigned &out)
+parseUnsignedArg(const std::string &s, unsigned &out)
 {
     uint64_t v;
-    if (!parseU64(s, v) || v > 0xffffffffull)
+    if (!parseU64Arg(s, v) || v > 0xffffffffull)
         return false;
     out = static_cast<unsigned>(v);
     return true;
 }
-
-}  // namespace
 
 std::string
 canonicalPredictor(const std::string &name)
@@ -108,15 +111,8 @@ parseArgs(const std::vector<std::string> &args)
     // 0 = different option, -1 = key given without a value.
     size_t i = 0;
     std::string v;
-    auto takeValue = [&](const std::string &arg, const char *key) {
-        if (valueOpt(arg, key, v))
-            return 1;
-        if (arg != key)
-            return 0;
-        if (i + 1 >= args.size())
-            return -1;
-        v = args[++i];
-        return 1;
+    auto takeValue = [&](const std::string &, const char *key) {
+        return takeOptionValue(args, i, key, v);
     };
 
     for (i = 0; i < args.size(); i++) {
@@ -172,28 +168,35 @@ parseArgs(const std::vector<std::string> &args)
         } else if ((m = takeValue(arg, "--scale")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
-            if (!parseU64(v, o.scale))
+            if (!parseU64Arg(v, o.scale))
                 return fail("bad --scale value: " + v);
         } else if ((m = takeValue(arg, "--div")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
-            if (!parseUnsigned(v, o.divisor) || o.divisor == 0)
+            if (!parseUnsignedArg(v, o.divisor) || o.divisor == 0)
                 return fail("bad --div value: " + v);
         } else if ((m = takeValue(arg, "--seed")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
-            if (!parseU64(v, o.seed))
+            if (!parseU64Arg(v, o.seed))
                 return fail("bad --seed value: " + v);
         } else if ((m = takeValue(arg, "--seeds")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
-            if (!parseUnsigned(v, o.seeds) || o.seeds == 0)
+            if (!parseUnsignedArg(v, o.seeds) || o.seeds == 0)
                 return fail("bad --seeds value: " + v);
         } else if ((m = takeValue(arg, "--jobs")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
-            if (!parseUnsigned(v, o.jobs) || o.jobs == 0)
+            if (!parseUnsignedArg(v, o.jobs) || o.jobs == 0)
                 return fail("bad --jobs value: " + v);
+        } else if ((m = takeValue(arg, "--format")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (v != "text" && v != "json")
+                return fail("bad --format value: " + v +
+                            " (expected text or json)");
+            o.format = v;
         } else if (!arg.empty() && arg[0] != '-' && o.workload.empty()) {
             // Positional benchmark name (pbs_run compatibility).
             o.workload = arg;
@@ -206,6 +209,9 @@ parseArgs(const std::vector<std::string> &args)
         r.ok = true;
         return r;
     }
+
+    if (o.format == "json" && !o.report.empty())
+        return fail("--format json applies to --workload batch runs");
 
     if (o.report.empty() && o.workload.empty())
         return fail("one of --workload or --report is required");
@@ -258,10 +264,13 @@ usageText()
         "  --seed <n>           first seed (default 12345)\n"
         "  --seeds <n>          run n consecutive seeds (default 1)\n"
         "  --jobs <n>           worker threads for the batch (default 1)\n"
+        "  --format <f>         batch output: text (default) or json\n"
+        "                       (the pbs-batch-v1 schema; see README)\n"
         "\n"
         "Reports (the paper's fig/table harnesses):\n"
         "  --report <name>      render one report (see --list)\n"
-        "  --div <n>            quick-look scale divisor\n";
+        "  --div <n>            quick-look scale divisor\n"
+        "  --jobs <n>           worker threads for the report's sweep\n";
     return os.str();
 }
 

@@ -49,6 +49,9 @@ struct DriverOptions
     // Batch control.
     unsigned seeds = 1;              ///< run seeds seed..seed+N-1
     unsigned jobs = 1;               ///< worker threads for the batch
+
+    // Output control.
+    std::string format = "text";     ///< "text" | "json" (batch runs)
 };
 
 /** Outcome of parsing an argv vector. */
@@ -58,6 +61,21 @@ struct ParseResult
     std::string error;               ///< set when !ok (may be empty)
     DriverOptions opts;
 };
+
+/**
+ * Scan "--key value" / "--key=value" at position @p i of @p args.
+ * @return 1 = matched (@p value filled; @p i advanced past a separate
+ *         value argument), 0 = a different option, -1 = the key is
+ *         present but missing its value.
+ */
+int takeOptionValue(const std::vector<std::string> &args, size_t &i,
+                    const char *key, std::string &value);
+
+/** Parse an unsigned 64-bit option value (rejects signs and junk). */
+bool parseU64Arg(const std::string &s, uint64_t &out);
+
+/** Parse an unsigned 32-bit option value. */
+bool parseUnsignedArg(const std::string &s, unsigned &out);
 
 /** Parse `pbs_sim` arguments (argv[0] is skipped). */
 ParseResult parseArgs(int argc, const char *const *argv);

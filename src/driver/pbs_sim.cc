@@ -13,6 +13,7 @@
 #include "driver/options.hh"
 #include "driver/reports.hh"
 #include "driver/runner.hh"
+#include "exp/artifact.hh"
 
 namespace {
 
@@ -58,7 +59,13 @@ main(int argc, char **argv)
 
     try {
         if (!opts.report.empty())
-            return driver::runReport(opts.report, opts.divisor);
+            return driver::runReport(opts.report, opts.divisor,
+                                     opts.jobs);
+        if (opts.format == "json") {
+            auto results = driver::runBatch(opts);
+            std::printf("%s", exp::batchJson(opts, results).c_str());
+            return 0;
+        }
         return driver::runWorkload(opts);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "pbs_sim: %s\n", e.what());

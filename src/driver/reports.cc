@@ -28,14 +28,24 @@ allReports()
 }
 
 int
-runReport(const std::string &name, unsigned divisor)
+runReport(const std::string &name, ReportContext &ctx)
 {
     for (const auto &r : allReports()) {
         if (r.name == name)
-            return r.fn(divisor);
+            return r.fn(ctx);
     }
     std::fprintf(stderr, "unknown report: %s\n", name.c_str());
     return 2;
+}
+
+int
+runReport(const std::string &name, unsigned divisor, unsigned jobs)
+{
+    exp::EngineConfig ecfg;
+    ecfg.jobs = jobs;
+    exp::Engine engine(ecfg);
+    ReportContext ctx{engine, divisor};
+    return runReport(name, ctx);
 }
 
 int
@@ -48,6 +58,43 @@ reportMain(const std::string &name, int argc, char **argv)
             divisor = static_cast<unsigned>(d);
     }
     return runReport(name, divisor);
+}
+
+exp::ExpPoint
+timingPoint(const workloads::BenchmarkDesc &b,
+            const std::string &predictor, bool pbs, bool wide,
+            unsigned divisor, uint64_t seed)
+{
+    exp::ExpPoint pt;
+    pt.workload = b.name;
+    pt.predictor = predictor;
+    pt.pbs = pbs;
+    pt.wide = wide;
+    pt.scale = exp::resolvedScale(b, divisor);
+    pt.seed = seed;
+    return pt;
+}
+
+exp::ExpPoint
+functionalPoint(const workloads::BenchmarkDesc &b,
+                const std::string &predictor, bool pbs,
+                unsigned divisor, uint64_t seed)
+{
+    exp::ExpPoint pt =
+        timingPoint(b, predictor, pbs, /*wide=*/false, divisor, seed);
+    pt.functional = true;
+    return pt;
+}
+
+exp::ExpPoint
+randPoint(const workloads::BenchmarkDesc &b, bool pbs, unsigned divisor,
+          uint64_t seed)
+{
+    // The Table III protocol runs the functional engine with the
+    // bimodal predictor and records the value-consumption trace.
+    exp::ExpPoint pt = functionalPoint(b, "bimodal", pbs, divisor, seed);
+    pt.kind = exp::PointKind::Rand;
+    return pt;
 }
 
 }  // namespace pbs::driver

@@ -1,8 +1,14 @@
 /**
  * @file
  * Registry of the paper's fig/table reports. Each bench/ binary is a
- * thin shim calling reportMain(); `pbs_sim --report <name>` reaches the
- * same implementations.
+ * thin shim calling reportMain(); `pbs_sim --report <name>` and
+ * `pbs_exp --report <name>` reach the same implementations.
+ *
+ * Every report is a sweep spec + a formatter: it declares its grid of
+ * ExpPoints, warms them through the experiment engine (parallel,
+ * optionally disk-cached), and renders its tables from the cached
+ * measurements. The numbers are identical whether the engine computes
+ * a point or replays it from `.pbs-cache/`.
  */
 
 #ifndef PBS_DRIVER_REPORTS_HH
@@ -11,24 +17,40 @@
 #include <string>
 #include <vector>
 
+#include "exp/engine.hh"
+#include "exp/point.hh"
+#include "workloads/common.hh"
+
 namespace pbs::driver {
+
+/** Everything a report implementation needs. */
+struct ReportContext
+{
+    exp::Engine &engine;
+    unsigned divisor = 1;
+};
 
 /** One fig/table harness. */
 struct Report
 {
     std::string name;    ///< CLI name, e.g. "fig07"
     std::string title;   ///< one-line description
-    int (*fn)(unsigned divisor);
+    int (*fn)(ReportContext &ctx);
 };
 
 /** All reports, in paper order. */
 const std::vector<Report> &allReports();
 
 /**
- * Run report @p name at scale divisor @p divisor.
+ * Run report @p name against an in-memory engine with @p jobs workers
+ * (the classic `pbs_sim --report` path: no disk cache).
  * @return the report's exit code; 2 when the name is unknown.
  */
-int runReport(const std::string &name, unsigned divisor);
+int runReport(const std::string &name, unsigned divisor,
+              unsigned jobs = 1);
+
+/** Run report @p name against a caller-provided engine (pbs_exp). */
+int runReport(const std::string &name, ReportContext &ctx);
 
 /**
  * Entry point for the bench/ shims: parses the harnesses' traditional
@@ -36,17 +58,35 @@ int runReport(const std::string &name, unsigned divisor);
  */
 int reportMain(const std::string &name, int argc, char **argv);
 
+// Point builders mirroring the classic harness configurations
+// (runner.hh's timingConfig/functionalConfig + paramsFor).
+
+/** Timing-model point at a harness scale divisor. */
+exp::ExpPoint timingPoint(const workloads::BenchmarkDesc &b,
+                          const std::string &predictor, bool pbs,
+                          bool wide, unsigned divisor,
+                          uint64_t seed = 12345);
+
+/** Functional-model point (MPKI/accuracy experiments). */
+exp::ExpPoint functionalPoint(const workloads::BenchmarkDesc &b,
+                              const std::string &predictor, bool pbs,
+                              unsigned divisor, uint64_t seed = 12345);
+
+/** Randomness-battery point (Table III protocol). */
+exp::ExpPoint randPoint(const workloads::BenchmarkDesc &b, bool pbs,
+                        unsigned divisor, uint64_t seed);
+
 // Report implementations (src/driver/reports/).
-int reportFig01(unsigned divisor);
-int reportFig06(unsigned divisor);
-int reportFig07(unsigned divisor);
-int reportFig08(unsigned divisor);
-int reportFig09(unsigned divisor);
-int reportTable1(unsigned divisor);
-int reportTable2(unsigned divisor);
-int reportTable3(unsigned divisor);
-int reportTable4(unsigned divisor);
-int reportAblation(unsigned divisor);
+int reportFig01(ReportContext &ctx);
+int reportFig06(ReportContext &ctx);
+int reportFig07(ReportContext &ctx);
+int reportFig08(ReportContext &ctx);
+int reportFig09(ReportContext &ctx);
+int reportTable1(ReportContext &ctx);
+int reportTable2(ReportContext &ctx);
+int reportTable3(ReportContext &ctx);
+int reportTable4(ReportContext &ctx);
+int reportAblation(ReportContext &ctx);
 
 }  // namespace pbs::driver
 

@@ -20,22 +20,82 @@ namespace pbs::driver {
 namespace {
 
 double
-steeredFrac(const RunResult &r)
+steeredFrac(const exp::Measurement &r)
 {
     return r.stats.probBranches
         ? double(r.stats.steeredBranches) / double(r.stats.probBranches)
         : 0.0;
 }
 
+exp::ExpPoint
+btbPoint(const workloads::BenchmarkDesc &b, unsigned div,
+         unsigned entries)
+{
+    exp::ExpPoint pt = functionalPoint(b, "tage-sc-l", true, div);
+    // The hardware default stays at the 0 sentinel so the paper-config
+    // column shares its cache entry with every non-ablation sweep.
+    pt.numBranches =
+        entries == core::PbsConfig{}.numBranches ? 0 : entries;
+    return pt;
+}
+
+exp::ExpPoint
+inFlightPoint(const workloads::BenchmarkDesc &b, unsigned div,
+              unsigned limit)
+{
+    exp::ExpPoint pt = functionalPoint(b, "tage-sc-l", true, div);
+    pt.inFlightLimit =
+        limit == core::PbsConfig{}.inFlightLimit ? 0 : limit;
+    return pt;
+}
+
+exp::ExpPoint
+contextPoint(const workloads::BenchmarkDesc &b, unsigned div, bool on)
+{
+    exp::ExpPoint pt = functionalPoint(b, "tage-sc-l", true, div);
+    pt.contextSupport = on;
+    return pt;
+}
+
+exp::ExpPoint
+pressurePoint(const workloads::BenchmarkDesc &b, unsigned div, bool pbs,
+              bool stall)
+{
+    exp::ExpPoint pt =
+        timingPoint(b, "tage-sc-l", pbs, /*wide=*/false, div);
+    pt.stallOnBusy = stall;
+    return pt;
+}
+
 }  // namespace
 
 int
-reportAblation(unsigned userDiv)
+reportAblation(ReportContext &ctx)
 {
-    unsigned div = userDiv * 2;
+    unsigned div = ctx.divisor * 2;
     banner("PBS ablations: table capacities and context support", div);
 
     const char *names[] = {"dop", "greeks", "swaptions", "photon", "pi"};
+
+    std::vector<exp::ExpPoint> grid;
+    for (const char *name : names) {
+        const auto &b = workloads::benchmarkByName(name);
+        for (unsigned x : {1u, 2u, 4u, 8u}) {
+            grid.push_back(btbPoint(b, div, x));
+            grid.push_back(inFlightPoint(b, div, x));
+        }
+    }
+    for (const char *name : {"pi", "mc-integ", "dop"}) {
+        const auto &b = workloads::benchmarkByName(name);
+        grid.push_back(pressurePoint(b, div, false, true));
+        grid.push_back(pressurePoint(b, div, true, true));
+        grid.push_back(pressurePoint(b, div, true, false));
+    }
+    for (const auto &b : workloads::allBenchmarks()) {
+        grid.push_back(contextPoint(b, div, true));
+        grid.push_back(contextPoint(b, div, false));
+    }
+    ctx.engine.runAll(grid);
 
     std::printf("--- Prob-BTB capacity (in-flight limit fixed at 4) "
                 "---\n");
@@ -43,13 +103,10 @@ reportAblation(unsigned userDiv)
     t1.header({"benchmark", "1 entry", "2", "4 (paper)", "8"});
     for (const char *name : names) {
         const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
         std::vector<std::string> row{name};
         for (unsigned entries : {1u, 2u, 4u, 8u}) {
-            auto cfg = functionalConfig("tage-sc-l", true);
-            cfg.pbs.numBranches = entries;
-            row.push_back(stats::TextTable::pct(
-                steeredFrac(runSim(b, p, cfg))));
+            row.push_back(stats::TextTable::pct(steeredFrac(
+                ctx.engine.measure(btbPoint(b, div, entries)))));
         }
         t1.row(row);
     }
@@ -61,13 +118,10 @@ reportAblation(unsigned userDiv)
     t2.header({"benchmark", "1", "2", "4 (paper)", "8"});
     for (const char *name : names) {
         const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
         std::vector<std::string> row{name};
         for (unsigned limit : {1u, 2u, 4u, 8u}) {
-            auto cfg = functionalConfig("tage-sc-l", true);
-            cfg.pbs.inFlightLimit = limit;
-            row.push_back(stats::TextTable::pct(
-                steeredFrac(runSim(b, p, cfg))));
+            row.push_back(stats::TextTable::pct(steeredFrac(
+                ctx.engine.measure(inFlightPoint(b, div, limit)))));
         }
         t2.row(row);
     }
@@ -82,13 +136,12 @@ reportAblation(unsigned userDiv)
                "mpki(stall)", "mpki(regular)"});
     for (const char *name : {"pi", "mc-integ", "dop"}) {
         const auto &b = workloads::benchmarkByName(name);
-        auto p = paramsFor(b, div);
-        auto base = runSim(b, p, timingConfig("tage-sc-l", false));
-        auto stall_cfg = timingConfig("tage-sc-l", true);
-        auto fall_cfg = stall_cfg;
-        fall_cfg.pbs.stallOnBusy = false;
-        auto stall = runSim(b, p, stall_cfg);
-        auto fall = runSim(b, p, fall_cfg);
+        const auto &base =
+            ctx.engine.measure(pressurePoint(b, div, false, true));
+        const auto &stall =
+            ctx.engine.measure(pressurePoint(b, div, true, true));
+        const auto &fall =
+            ctx.engine.measure(pressurePoint(b, div, true, false));
         tp.row({name, stats::TextTable::num(base.stats.ipc(), 3),
                 stats::TextTable::num(stall.stats.ipc(), 3),
                 stats::TextTable::num(fall.stats.ipc(), 3),
@@ -102,12 +155,9 @@ reportAblation(unsigned userDiv)
     t3.header({"benchmark", "steered(ctx on)", "steered(ctx off)",
                "mpki(ctx on)", "mpki(ctx off)"});
     for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        auto on_cfg = functionalConfig("tage-sc-l", true);
-        auto off_cfg = on_cfg;
-        off_cfg.pbs.contextSupport = false;
-        auto on = runSim(b, p, on_cfg);
-        auto off = runSim(b, p, off_cfg);
+        const auto &on = ctx.engine.measure(contextPoint(b, div, true));
+        const auto &off =
+            ctx.engine.measure(contextPoint(b, div, false));
         t3.row({b.name, stats::TextTable::pct(steeredFrac(on)),
                 stats::TextTable::pct(steeredFrac(off)),
                 stats::TextTable::num(on.stats.mpki(), 2),

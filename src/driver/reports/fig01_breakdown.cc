@@ -15,9 +15,18 @@
 namespace pbs::driver {
 
 int
-reportFig01(unsigned div)
+reportFig01(ReportContext &ctx)
 {
+    const unsigned div = ctx.divisor;
     banner("Figure 1: probabilistic vs regular branch breakdown", div);
+
+    // Sweep: every benchmark under both predictors, PBS off.
+    std::vector<exp::ExpPoint> pts;
+    for (const auto &b : workloads::allBenchmarks()) {
+        pts.push_back(functionalPoint(b, "tournament", false, div));
+        pts.push_back(functionalPoint(b, "tage-sc-l", false, div));
+    }
+    ctx.engine.runAll(pts);
 
     stats::TextTable table;
     table.header({"benchmark", "prob/dyn-branches", "miss-share(tour)",
@@ -25,9 +34,10 @@ reportFig01(unsigned div)
 
     std::vector<double> share_tour, share_tage;
     for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        auto tour = runSim(b, p, functionalConfig("tournament", false));
-        auto tage = runSim(b, p, functionalConfig("tage-sc-l", false));
+        const auto &tour = ctx.engine.measure(
+            functionalPoint(b, "tournament", false, div));
+        const auto &tage = ctx.engine.measure(
+            functionalPoint(b, "tage-sc-l", false, div));
 
         double dyn_frac = double(tour.stats.probBranches) /
                           double(tour.stats.branches);

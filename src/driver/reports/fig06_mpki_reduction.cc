@@ -14,29 +14,47 @@
 namespace pbs::driver {
 
 int
-reportFig06(unsigned div)
+reportFig06(ReportContext &ctx)
 {
+    const unsigned div = ctx.divisor;
     banner("Figure 6: MPKI reduction through PBS", div);
+
+    // Genetic averages 8 seeds because its trajectory (and therefore
+    // run length) diverges between runs (paper Sec. VI-A).
+    auto pointsOf = [&](const workloads::BenchmarkDesc &b,
+                        const char *pred, bool pbs) {
+        std::vector<exp::ExpPoint> pts;
+        if (b.name == "genetic") {
+            for (uint64_t seed = 1; seed <= 8; seed++)
+                pts.push_back(functionalPoint(b, pred, pbs, div, seed));
+        } else {
+            pts.push_back(functionalPoint(b, pred, pbs, div));
+        }
+        return pts;
+    };
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        for (const char *pred : {"tournament", "tage-sc-l"}) {
+            for (bool pbs : {false, true}) {
+                auto pts = pointsOf(b, pred, pbs);
+                grid.insert(grid.end(), pts.begin(), pts.end());
+            }
+        }
+    }
+    ctx.engine.runAll(grid);
+
+    auto mpki = [&](const workloads::BenchmarkDesc &b, const char *pred,
+                    bool pbs) {
+        stats::RunningStat s;
+        for (const auto &pt : pointsOf(b, pred, pbs))
+            s.push(ctx.engine.measure(pt).stats.mpki());
+        return s.mean();
+    };
 
     stats::TextTable table;
     table.header({"benchmark", "tour-mpki", "tour+pbs", "reduction",
                   "tage-mpki", "tage+pbs", "reduction"});
-
-    // MPKI per benchmark/config; genetic averages 8 seeds because its
-    // trajectory (and therefore run length) diverges between runs
-    // (paper Sec. VI-A).
-    auto mpki = [&](const workloads::BenchmarkDesc &b,
-                    const char *pred, bool pbs) {
-        auto cfg = functionalConfig(pred, pbs);
-        if (b.name == "genetic") {
-            stats::RunningStat s;
-            for (uint64_t seed = 1; seed <= 8; seed++)
-                s.push(runSim(b, paramsFor(b, div, seed), cfg)
-                           .stats.mpki());
-            return s.mean();
-        }
-        return runSim(b, paramsFor(b, div), cfg).stats.mpki();
-    };
 
     std::vector<double> red_tour, red_tage;
     for (const auto &b : workloads::allBenchmarks()) {

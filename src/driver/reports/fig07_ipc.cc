@@ -21,42 +21,58 @@ namespace pbs::driver {
 
 namespace {
 
-/** IPC for one benchmark/config (genetic: mean over 8 seeds). */
-double
-ipcOf(const workloads::BenchmarkDesc &b, unsigned div,
-      const cpu::CoreConfig &cfg)
+/** The grid points behind one benchmark/config cell. */
+std::vector<exp::ExpPoint>
+cellPoints(const workloads::BenchmarkDesc &b, unsigned div,
+           const char *pred, bool pbs, bool wide)
 {
+    std::vector<exp::ExpPoint> pts;
     if (b.name == "genetic") {
-        stats::RunningStat s;
-        for (uint64_t seed = 1; seed <= 8; seed++) {
-            auto p = paramsFor(b, div, seed);
-            s.push(runSim(b, p, cfg).stats.ipc());
-        }
-        return s.mean();
+        for (uint64_t seed = 1; seed <= 8; seed++)
+            pts.push_back(timingPoint(b, pred, pbs, wide, div, seed));
+    } else {
+        pts.push_back(timingPoint(b, pred, pbs, wide, div));
     }
-    return runSim(b, paramsFor(b, div), cfg).stats.ipc();
+    return pts;
 }
 
 int
-normalizedIpc(unsigned div, bool wide)
+normalizedIpc(ReportContext &ctx, bool wide)
 {
+    const unsigned div = ctx.divisor;
     banner(wide ? "Figure 8: normalized IPC, 8-wide / 256-entry ROB"
                 : "Figure 7: normalized IPC, 4-wide / 168-entry ROB",
            div);
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        for (const char *pred : {"tournament", "tage-sc-l"}) {
+            for (bool pbs : {false, true}) {
+                auto pts = cellPoints(b, div, pred, pbs, wide);
+                grid.insert(grid.end(), pts.begin(), pts.end());
+            }
+        }
+    }
+    ctx.engine.runAll(grid);
+
+    /** IPC for one benchmark/config (genetic: mean over 8 seeds). */
+    auto ipcOf = [&](const workloads::BenchmarkDesc &b, const char *pred,
+                     bool pbs) {
+        stats::RunningStat s;
+        for (const auto &pt : cellPoints(b, div, pred, pbs, wide))
+            s.push(ctx.engine.measure(pt).stats.ipc());
+        return s.mean();
+    };
 
     stats::TextTable table;
     table.header({"benchmark", "tournament", "tage-sc-l", "tour+pbs",
                   "tage+pbs"});
     std::vector<double> gain_tour, gain_tage, tage_norm, tourpbs_norm;
     for (const auto &b : workloads::allBenchmarks()) {
-        double base = ipcOf(b, div, timingConfig("tournament", false,
-                                                 wide));
-        double tage = ipcOf(b, div, timingConfig("tage-sc-l", false,
-                                                 wide));
-        double tpbs = ipcOf(b, div, timingConfig("tournament", true,
-                                                 wide));
-        double gpbs = ipcOf(b, div, timingConfig("tage-sc-l", true,
-                                                 wide));
+        double base = ipcOf(b, "tournament", false);
+        double tage = ipcOf(b, "tage-sc-l", false);
+        double tpbs = ipcOf(b, "tournament", true);
+        double gpbs = ipcOf(b, "tage-sc-l", true);
         gain_tour.push_back(tpbs / base);
         gain_tage.push_back(gpbs / tage);
         tage_norm.push_back(tage / base);
@@ -84,15 +100,15 @@ normalizedIpc(unsigned div, bool wide)
 }  // namespace
 
 int
-reportFig07(unsigned div)
+reportFig07(ReportContext &ctx)
 {
-    return normalizedIpc(div, false);
+    return normalizedIpc(ctx, false);
 }
 
 int
-reportFig08(unsigned div)
+reportFig08(ReportContext &ctx)
 {
-    return normalizedIpc(div, true);
+    return normalizedIpc(ctx, true);
 }
 
 }  // namespace pbs::driver

@@ -16,10 +16,23 @@
 
 namespace pbs::driver {
 
-int
-reportFig09(unsigned userDiv)
+namespace {
+
+exp::ExpPoint
+interferencePoint(const workloads::BenchmarkDesc &b, const char *pred,
+                  bool filtered, unsigned div, uint64_t seed)
 {
-    unsigned div = userDiv * 2;  // MPKI-only: trim
+    exp::ExpPoint pt = functionalPoint(b, pred, false, div, seed);
+    pt.filterProb = filtered;
+    return pt;
+}
+
+}  // namespace
+
+int
+reportFig09(ReportContext &ctx)
+{
+    unsigned div = ctx.divisor * 2;  // MPKI-only: trim
     banner("Figure 9: MPKI increase from probabilistic-branch "
            "interference (tournament)", div);
 
@@ -29,6 +42,19 @@ reportFig09(unsigned userDiv)
     // ratios, so those rows are reported but excluded from the mean.
     constexpr double kMinBaseMpki = 0.3;
 
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        for (uint64_t seed = 1; seed <= 7; seed++) {
+            for (const char *pred : {"tournament", "tage-sc-l"}) {
+                for (bool filtered : {false, true}) {
+                    grid.push_back(interferencePoint(b, pred, filtered,
+                                                     div, seed));
+                }
+            }
+        }
+    }
+    ctx.engine.runAll(grid);
+
     stats::TextTable table;
     table.header({"benchmark", "base-mpki", "max-increase(tour)",
                   "mean(tour)", "max-increase(tage-sc-l)"});
@@ -36,13 +62,11 @@ reportFig09(unsigned userDiv)
     for (const auto &b : workloads::allBenchmarks()) {
         stats::RunningStat inc_tour, inc_tage, base;
         for (uint64_t seed = 1; seed <= 7; seed++) {
-            auto p = paramsFor(b, div, seed);
             for (const char *pred : {"tournament", "tage-sc-l"}) {
-                auto shared =
-                    runSim(b, p, functionalConfig(pred, false));
-                auto filt_cfg = functionalConfig(pred, false);
-                filt_cfg.filterProbFromPredictor = true;
-                auto filtered = runSim(b, p, filt_cfg);
+                const auto &shared = ctx.engine.measure(
+                    interferencePoint(b, pred, false, div, seed));
+                const auto &filtered = ctx.engine.measure(
+                    interferencePoint(b, pred, true, div, seed));
                 double with = shared.stats.regularMpki();
                 double without = filtered.stats.regularMpki();
                 double inc = without > 0 ? with / without - 1.0 : 0.0;

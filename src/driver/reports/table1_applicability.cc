@@ -11,28 +11,55 @@
 
 namespace pbs::driver {
 
-int
-reportTable1(unsigned div)
+namespace {
+
+exp::ExpPoint
+variantPoint(const workloads::BenchmarkDesc &b, unsigned div,
+             const char *variant)
 {
+    exp::ExpPoint pt = timingPoint(b, "tage-sc-l", false,
+                                   /*wide=*/false, div);
+    pt.variant = variant;
+    return pt;
+}
+
+}  // namespace
+
+int
+reportTable1(ReportContext &ctx)
+{
+    const unsigned div = ctx.divisor;
     banner("Table I: applicability of predication and CFD", div);
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        grid.push_back(timingPoint(b, "tage-sc-l", false, false, div));
+        grid.push_back(timingPoint(b, "tage-sc-l", true, false, div));
+        if (b.predicationOk)
+            grid.push_back(variantPoint(b, div, "predicated"));
+        if (b.cfdOk)
+            grid.push_back(variantPoint(b, div, "cfd"));
+    }
+    ctx.engine.runAll(grid);
 
     stats::TextTable table;
     table.header({"benchmark", "predication", "CFD", "ipc(tage)",
                   "ipc(pred)", "ipc(cfd)", "ipc(tage+pbs)"});
     for (const auto &b : workloads::allBenchmarks()) {
-        auto p = paramsFor(b, div);
-        auto base = runSim(b, p, timingConfig("tage-sc-l", false));
-        auto pbs_run = runSim(b, p, timingConfig("tage-sc-l", true));
+        const auto &base = ctx.engine.measure(
+            timingPoint(b, "tage-sc-l", false, false, div));
+        const auto &pbs_run = ctx.engine.measure(
+            timingPoint(b, "tage-sc-l", true, false, div));
 
         std::string ipc_pred = "-", ipc_cfd = "-";
         if (b.predicationOk) {
-            auto r = runSim(b, p, timingConfig("tage-sc-l", false),
-                            workloads::Variant::Predicated);
+            const auto &r =
+                ctx.engine.measure(variantPoint(b, div, "predicated"));
             ipc_pred = stats::TextTable::num(r.stats.ipc(), 3);
         }
         if (b.cfdOk) {
-            auto r = runSim(b, p, timingConfig("tage-sc-l", false),
-                            workloads::Variant::Cfd);
+            const auto &r =
+                ctx.engine.measure(variantPoint(b, div, "cfd"));
             ipc_cfd = stats::TextTable::num(r.stats.ipc(), 3);
         }
         table.row({b.name, b.predicationOk ? "yes" : "x",

@@ -10,17 +10,26 @@
 namespace pbs::driver {
 
 int
-reportTable2(unsigned div)
+reportTable2(ReportContext &ctx)
 {
+    const unsigned div = ctx.divisor;
     banner("Table II: benchmarks and their characteristics", div);
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks())
+        grid.push_back(functionalPoint(b, "bimodal", false, div));
+    ctx.engine.runAll(grid);
 
     stats::TextTable table;
     table.header({"benchmark", "prob/static-branches", "category",
                   "simulated-insns"});
     for (const auto &b : workloads::allBenchmarks()) {
+        // Static counts come from the program image itself (cheap to
+        // build; not a simulation, so not a sweep point).
         auto p = paramsFor(b, div);
         isa::Program prog = b.build(p, workloads::Variant::Marked);
-        auto r = runSim(b, p, functionalConfig("bimodal", false));
+        const auto &r = ctx.engine.measure(
+            functionalPoint(b, "bimodal", false, div));
         table.row({b.name,
                    std::to_string(prog.staticProbBranchCount()) + "/" +
                        std::to_string(prog.staticBranchCount()),

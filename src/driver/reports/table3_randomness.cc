@@ -10,6 +10,9 @@
  * confidence intervals of the PASS/WEAK/FAIL counts. DOP and Greeks are
  * excluded (Gaussian-controlled), as in the paper.
  *
+ * The battery runs are PointKind::Rand sweep points: the engine records
+ * the consumption trace, extracts the stream, and caches the tallies.
+ *
  * Expectation: the intervals of the two orders overlap — PBS does not
  * significantly affect the randomness seen by the algorithm.
  */
@@ -18,43 +21,10 @@
 
 #include "driver/reports.hh"
 #include "driver/runner.hh"
-#include "randtest/battery.hh"
 
 namespace pbs::driver {
 
 namespace {
-
-/** Pull the uniform stream out of a finished simulation. */
-std::vector<double>
-extractStream(const cpu::Core &core, const workloads::BenchmarkDesc &b,
-              bool consumedOrder)
-{
-    std::vector<double> out;
-    const unsigned k = b.uniformsPerInstance;
-    for (const auto &e : core.probTrace()) {
-        uint64_t seq = consumedOrder ? e.consumedSeq : e.selfSeq;
-        uint64_t base = workloads::traceRegion(e.probId) +
-                        seq * uint64_t(k) * 8;
-        for (unsigned j = 0; j < k; j++)
-            out.push_back(core.memory().readDouble(base + j * 8));
-    }
-    return out;
-}
-
-randtest::Tally
-runTally(const workloads::BenchmarkDesc &b,
-         const workloads::WorkloadParams &p, bool pbs)
-{
-    cpu::CoreConfig cfg;
-    cfg.mode = cpu::SimMode::Functional;
-    cfg.predictor = "bimodal";
-    cfg.pbsEnabled = pbs;
-    cfg.traceProbBranches = true;
-    cpu::Core core(b.build(p, workloads::Variant::Marked), cfg);
-    core.run();
-    auto stream = extractStream(core, b, /*consumedOrder*/ pbs);
-    return randtest::tallyResults(randtest::runBattery(stream));
-}
 
 std::string
 ciRange(const stats::RunningStat &s)
@@ -68,10 +38,22 @@ ciRange(const stats::RunningStat &s)
 }  // namespace
 
 int
-reportTable3(unsigned div)
+reportTable3(ReportContext &ctx)
 {
+    const unsigned div = ctx.divisor;
     banner("Table III: randomness tests (114 instances), original vs "
            "PBS order", div);
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        if (b.uniformsPerInstance == 0)
+            continue;  // Gaussian-controlled: excluded, as in the paper
+        for (uint64_t seed = 1; seed <= 7; seed++) {
+            grid.push_back(randPoint(b, false, div, seed));
+            grid.push_back(randPoint(b, true, div, seed));
+        }
+    }
+    ctx.engine.runAll(grid);
 
     stats::TextTable table;
     table.header({"benchmark", "orig PASS", "orig WEAK", "orig FAIL",
@@ -79,20 +61,20 @@ reportTable3(unsigned div)
 
     for (const auto &b : workloads::allBenchmarks()) {
         if (b.uniformsPerInstance == 0)
-            continue;  // Gaussian-controlled: excluded, as in the paper
+            continue;
 
         stats::RunningStat op, ow, of, pp, pw, pf;
         for (uint64_t seed = 1; seed <= 7; seed++) {
-            auto p = paramsFor(b, div, seed);
-            p.traceUniforms = true;
-            auto orig = runTally(b, p, false);
-            auto pbs_t = runTally(b, p, true);
-            op.push(orig.pass);
-            ow.push(orig.weak);
-            of.push(orig.fail);
-            pp.push(pbs_t.pass);
-            pw.push(pbs_t.weak);
-            pf.push(pbs_t.fail);
+            const auto &orig =
+                ctx.engine.measure(randPoint(b, false, div, seed));
+            const auto &pbs_t =
+                ctx.engine.measure(randPoint(b, true, div, seed));
+            op.push(orig.randPass);
+            ow.push(orig.randWeak);
+            of.push(orig.randFail);
+            pp.push(pbs_t.randPass);
+            pw.push(pbs_t.randWeak);
+            pf.push(pbs_t.randFail);
         }
         bool overlap =
             stats::intervalsOverlap(op.ci95Lo(), op.ci95Hi(),

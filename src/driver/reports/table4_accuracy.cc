@@ -19,10 +19,36 @@
 
 namespace pbs::driver {
 
-int
-reportTable4(unsigned div)
+namespace {
+
+/** Genetic's operating point: a 6-generation budget (paper Sec VII-D). */
+exp::ExpPoint
+geneticTrialPoint(const workloads::BenchmarkDesc &b, unsigned div,
+                  uint64_t seed)
 {
+    exp::ExpPoint pt = functionalPoint(b, "tage-sc-l", true, div, seed);
+    pt.scale = 6;
+    return pt;
+}
+
+}  // namespace
+
+int
+reportTable4(ReportContext &ctx)
+{
+    const unsigned div = ctx.divisor;
     banner("Sec. VII-D: output accuracy under PBS", div);
+
+    std::vector<exp::ExpPoint> grid;
+    for (const auto &b : workloads::allBenchmarks()) {
+        if (b.name == "genetic") {
+            for (uint64_t seed = 1; seed <= 100; seed++)
+                grid.push_back(geneticTrialPoint(b, div, seed));
+        } else {
+            grid.push_back(functionalPoint(b, "tage-sc-l", true, div));
+        }
+    }
+    ctx.engine.runAll(grid);
 
     stats::TextTable table;
     table.header({"benchmark", "metric", "original", "pbs", "deviation",
@@ -40,8 +66,8 @@ reportTable4(unsigned div)
                 auto tp = paramsFor(b, div, seed);
                 tp.scale = 6;
                 orig.push(b.nativeOutput(tp)[0]);
-                auto r = runSim(b, tp,
-                                functionalConfig("tage-sc-l", true));
+                const auto &r = ctx.engine.measure(
+                    geneticTrialPoint(b, div, seed));
                 pbs_s.push(r.outputs[0]);
             }
             bool overlap = stats::intervalsOverlap(
@@ -60,7 +86,8 @@ reportTable4(unsigned div)
         }
 
         auto ref = b.nativeOutput(p);
-        auto r = runSim(b, p, functionalConfig("tage-sc-l", true));
+        const auto &r = ctx.engine.measure(
+            functionalPoint(b, "tage-sc-l", true, div));
 
         if (b.name == "photon") {
             double rms = stats::normalizedRmsError(r.outputs, ref);

@@ -1,0 +1,189 @@
+#include "exp/artifact.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pbs::exp {
+
+namespace {
+
+/** Convert a driver RunResult to the engine's measurement type. */
+Measurement
+toMeasurement(const driver::RunResult &r)
+{
+    Measurement m;
+    m.stats = r.stats;
+    m.pbs = r.pbs;
+    m.outputs = r.outputs;
+    return m;
+}
+
+void
+writeEntry(JsonWriter &w, const ExpPoint &pt, const Measurement &m)
+{
+    w.beginObject();
+    w.key("point");
+    writePoint(w, pt);
+    w.key("result");
+    writeMeasurement(w, pt.kind, m);
+    if (pt.kind == PointKind::Sim) {
+        // Convenience derived metrics (recomputable from the counters).
+        w.key("derived").beginObject();
+        w.key("ipc").value(m.stats.ipc());
+        w.key("mpki").value(m.stats.mpki());
+        w.key("regular_mpki").value(m.stats.regularMpki());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+}  // namespace
+
+std::string
+sweepJson(const std::vector<ExpPoint> &points, Engine &engine,
+          const std::string &specEcho)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-sweep-v1");
+    if (!specEcho.empty())
+        w.key("spec").raw(specEcho);
+    w.key("points").beginArray();
+    for (const auto &pt : points) {
+        w.newline();
+        writeEntry(w, pt, engine.measure(pt));
+    }
+    w.newline();
+    w.endArray();
+    w.endObject();
+    w.newline();
+    return w.str();
+}
+
+std::string
+sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
+{
+    std::string out =
+        "kind,workload,predictor,variant,wide,functional,pbs,stall,"
+        "context,guard,filter,btb_entries,in_flight,scale,seed,"
+        "instructions,cycles,ipc,mpki,branches,prob_branches,"
+        "mispredicts,regular_mispredicts,prob_mispredicts,steered,"
+        "fetch_steered,stall_cycles,output0,rand_pass,rand_weak,"
+        "rand_fail\n";
+
+    char buf[64];
+    auto u64 = [&](uint64_t v) {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        out += buf;
+        out += ',';
+    };
+    for (const auto &pt : points) {
+        const Measurement &m = engine.measure(pt);
+        out += pt.kind == PointKind::Rand ? "rand," : "sim,";
+        out += pt.workload + ',' + pt.predictor + ',' + pt.variant + ',';
+        out += pt.wide ? "1," : "0,";
+        out += pt.functional ? "1," : "0,";
+        out += pt.pbs ? "1," : "0,";
+        out += pt.stallOnBusy ? "1," : "0,";
+        out += pt.contextSupport ? "1," : "0,";
+        out += pt.constValGuard ? "1," : "0,";
+        out += pt.filterProb ? "1," : "0,";
+        u64(pt.numBranches);
+        u64(pt.inFlightLimit);
+        u64(pt.scale);
+        u64(pt.seed);
+        if (pt.kind == PointKind::Rand) {
+            out += ",,,,,,,,,,,,,";  // sim-only columns
+            out += std::to_string(m.randPass) + ',' +
+                   std::to_string(m.randWeak) + ',' +
+                   std::to_string(m.randFail) + '\n';
+            continue;
+        }
+        u64(m.stats.instructions);
+        u64(m.stats.cycles);
+        out += canonicalDouble(m.stats.ipc()) + ',';
+        out += canonicalDouble(m.stats.mpki()) + ',';
+        u64(m.stats.branches);
+        u64(m.stats.probBranches);
+        u64(m.stats.mispredicts);
+        u64(m.stats.regularMispredicts);
+        u64(m.stats.probMispredicts);
+        u64(m.stats.steeredBranches);
+        u64(m.pbs.fetchSteered);
+        u64(m.pbs.stallCycles);
+        out += m.outputs.empty() ? ""
+                                 : canonicalDouble(m.outputs[0]);
+        out += ",,,\n";  // rand-only columns
+    }
+    return out;
+}
+
+std::string
+batchJson(const driver::DriverOptions &opts,
+          const std::vector<driver::SeedResult> &results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-batch-v1");
+
+    w.key("config").beginObject();
+    w.key("workload").value(opts.workload);
+    w.key("predictor").value(opts.predictor);
+    w.key("variant").value(variantName(opts.variant));
+    w.key("wide").value(opts.wide);
+    w.key("functional").value(opts.functional);
+    w.key("pbs").value(opts.pbs);
+    w.key("stall").value(!opts.noStall);
+    w.key("context").value(!opts.noContext);
+    w.key("guard").value(!opts.noGuard);
+    // The effective per-run iteration count (0/"default" resolved).
+    w.key("scale").value(driver::workloadParams(opts, opts.seed).scale);
+    w.key("div").value(opts.divisor);
+    w.key("seed").value(opts.seed);
+    w.key("seeds").value(opts.seeds);
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const auto &r : results) {
+        w.newline();
+        w.beginObject();
+        w.key("seed").value(r.seed);
+        w.key("result");
+        writeMeasurement(w, PointKind::Sim, toMeasurement(r.run));
+        w.key("derived").beginObject();
+        w.key("ipc").value(r.run.stats.ipc());
+        w.key("mpki").value(r.run.stats.mpki());
+        w.endObject();
+        w.endObject();
+    }
+    w.newline();
+    w.endArray();
+    w.endObject();
+    w.newline();
+    return w.str();
+}
+
+std::string
+runSummaryJson(const EngineCounters &counters, size_t points,
+               uint64_t elapsedMs, const std::string &out,
+               const std::string &csv)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-exp-summary-v1");
+    w.key("points").value(uint64_t(points));
+    w.key("computed").value(counters.computed);
+    w.key("disk_hits").value(counters.diskHits);
+    w.key("mem_hits").value(counters.memHits);
+    w.key("stored").value(counters.stored);
+    w.key("elapsed_ms").value(elapsedMs);
+    if (!out.empty())
+        w.key("out").value(out);
+    if (!csv.empty())
+        w.key("csv").value(csv);
+    w.endObject();
+    w.newline();
+    return w.str();
+}
+
+}  // namespace pbs::exp

@@ -1,0 +1,167 @@
+#include "exp/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+// Build-time generated salt (git describe + dirty-diff hash); absent
+// when building outside the CMake tree.
+#if __has_include("pbs_version.hh")
+#include "pbs_version.hh"
+#endif
+
+namespace fs = std::filesystem;
+
+namespace pbs::exp {
+
+namespace {
+
+/** Bump to invalidate every existing cache entry. */
+constexpr int kCacheSchemaVersion = 1;
+
+bool
+readFile(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return in.good() || in.eof();
+}
+
+}  // namespace
+
+std::string
+versionSalt()
+{
+#ifdef PBS_CODE_VERSION
+    const char *code = PBS_CODE_VERSION;
+#else
+    const char *code = "unversioned";
+#endif
+    return std::string(code) + "/r" +
+           std::to_string(workloads::registryVersion()) + "/s" +
+           std::to_string(kCacheSchemaVersion);
+}
+
+std::string
+cacheKey(const ExpPoint &pt)
+{
+    return contentHash(pointJson(pt) + "|" + versionSalt());
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (fs::path(dir_) / (key + ".json")).string();
+}
+
+bool
+ResultCache::load(const std::string &key, PointKind kind,
+                  Measurement &out) const
+{
+    if (!enabled())
+        return false;
+    std::string text;
+    if (!readFile(entryPath(key), text))
+        return false;
+
+    JsonValue v;
+    std::string err;
+    if (!parseJson(text, v, err))
+        return false;
+    const JsonValue *salt = v.find("salt");
+    if (!salt || salt->asString() != versionSalt())
+        return false;
+    const JsonValue *result = v.find("result");
+    return result && readMeasurement(*result, kind, out);
+}
+
+bool
+ResultCache::store(const std::string &key, const ExpPoint &pt,
+                   const Measurement &m) const
+{
+    if (!enabled())
+        return false;
+
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("salt").value(versionSalt());
+    w.key("point");
+    writePoint(w, pt);
+    w.key("result");
+    writeMeasurement(w, pt.kind, m);
+    w.endObject();
+
+    // Atomic publish: write a per-key temp file, then rename. Parallel
+    // writers of the same key race benignly (identical contents).
+    const std::string path = entryPath(key);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+        if (!outFile)
+            return false;
+        outFile << w.str() << '\n';
+        if (!outFile.good())
+            return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+ResultCache::GcResult
+ResultCache::gc(bool all) const
+{
+    GcResult r;
+    if (!enabled())
+        return r;
+
+    // A failed construction (missing dir) yields the end iterator, so
+    // the loop simply does nothing.
+    std::error_code ec;
+    const std::string salt = versionSalt();
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path &path = entry.path();
+        if (path.extension() != ".json" &&
+            path.extension() != ".tmp") {
+            continue;
+        }
+
+        bool stale = true;
+        if (!all && path.extension() == ".json") {
+            std::string text;
+            JsonValue v;
+            std::string err;
+            if (readFile(path, text) && parseJson(text, v, err)) {
+                const JsonValue *s = v.find("salt");
+                stale = !s || s->asString() != salt;
+            }
+        }
+
+        if (stale) {
+            std::error_code rmEc;
+            fs::remove(path, rmEc);
+            if (!rmEc)
+                r.removed++;
+        } else {
+            r.kept++;
+        }
+    }
+    return r;
+}
+
+}  // namespace pbs::exp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Content-addressed result cache under `.pbs-cache/`.
+ *
+ * Every entry is one JSON file named by a 128-bit content hash of
+ * (canonical point JSON, workload-registry version, code-version salt).
+ * Re-running a sweep therefore recomputes only missing or invalidated
+ * points, and an interrupted sweep resumes for free. Entries embed the
+ * salt they were written under so `pbs_exp --gc` can prune the stale
+ * generations left behind by code changes.
+ */
+
+#ifndef PBS_EXP_CACHE_HH
+#define PBS_EXP_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "exp/point.hh"
+
+namespace pbs::exp {
+
+/** Default cache directory, relative to the working directory. */
+inline const char *kDefaultCacheDir = ".pbs-cache";
+
+/**
+ * The invalidation salt: code version (git describe, baked in at
+ * configure time) + workload registry version + cache schema version.
+ */
+std::string versionSalt();
+
+/** The cache key of a point under the current salt. */
+std::string cacheKey(const ExpPoint &pt);
+
+/** Disk-backed result store. A copy is cheap (it is just the path). */
+class ResultCache
+{
+  public:
+    /** @p dir empty disables the cache (all lookups miss). */
+    explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Load the entry for @p key; @return false on miss/corruption. */
+    bool load(const std::string &key, PointKind kind,
+              Measurement &out) const;
+
+    /**
+     * Store @p m under @p key (atomic write-then-rename; the directory
+     * is created on first store). @return false on I/O failure.
+     */
+    bool store(const std::string &key, const ExpPoint &pt,
+               const Measurement &m) const;
+
+    struct GcResult
+    {
+        uint64_t kept = 0;
+        uint64_t removed = 0;
+    };
+
+    /**
+     * Prune entries written under a different salt than the current
+     * one (plus anything unreadable). @p all wipes every entry.
+     */
+    GcResult gc(bool all = false) const;
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    std::string dir_;
+};
+
+}  // namespace pbs::exp
+
+#endif  // PBS_EXP_CACHE_HH

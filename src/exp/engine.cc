@@ -1,0 +1,220 @@
+#include "exp/engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "driver/runner.hh"
+#include "randtest/battery.hh"
+
+namespace pbs::exp {
+
+namespace {
+
+/**
+ * Pull the uniform-value stream out of a finished trace run, in
+ * generation order (original code) or PBS consumption order — the
+ * Table III protocol (paper Sec. VII-E).
+ */
+std::vector<double>
+extractUniformStream(const cpu::Core &core,
+                     const workloads::BenchmarkDesc &b,
+                     bool consumedOrder)
+{
+    std::vector<double> out;
+    const unsigned k = b.uniformsPerInstance;
+    for (const auto &e : core.probTrace()) {
+        uint64_t seq = consumedOrder ? e.consumedSeq : e.selfSeq;
+        uint64_t base = workloads::traceRegion(e.probId) +
+                        seq * uint64_t(k) * 8;
+        for (unsigned j = 0; j < k; j++)
+            out.push_back(core.memory().readDouble(base + j * 8));
+    }
+    return out;
+}
+
+Measurement
+computeSim(const ExpPoint &pt)
+{
+    const auto &b = workloads::benchmarkByName(pt.workload);
+    auto r = driver::runSim(b, pointParams(pt), pointCoreConfig(pt),
+                            variantFromName(pt.variant));
+    Measurement m;
+    m.stats = r.stats;
+    m.pbs = r.pbs;
+    m.outputs = std::move(r.outputs);
+    return m;
+}
+
+Measurement
+computeRand(const ExpPoint &pt)
+{
+    const auto &b = workloads::benchmarkByName(pt.workload);
+    cpu::CoreConfig cfg = pointCoreConfig(pt);
+    cfg.traceProbBranches = true;
+    workloads::WorkloadParams p = pointParams(pt);
+    p.traceUniforms = true;
+
+    cpu::Core core(b.build(p, variantFromName(pt.variant)), cfg);
+    core.run();
+    auto stream =
+        extractUniformStream(core, b, /*consumedOrder=*/pt.pbs);
+    auto tally = randtest::tallyResults(randtest::runBattery(stream));
+
+    Measurement m;
+    m.randPass = tally.pass;
+    m.randWeak = tally.weak;
+    m.randFail = tally.fail;
+    return m;
+}
+
+}  // namespace
+
+uint64_t
+pointCost(const ExpPoint &pt)
+{
+    uint64_t cost = pt.scale ? pt.scale : 1;
+    if (!pt.functional)
+        cost *= 4;  // the timing model is ~4x the functional engine
+    if (pt.wide)
+        cost *= 2;
+    if (pt.kind == PointKind::Rand)
+        cost *= 4;  // trace recording + the 114-instance battery
+    return cost;
+}
+
+Measurement
+Engine::computePoint(const ExpPoint &pt)
+{
+    return pt.kind == PointKind::Rand ? computeRand(pt) : computeSim(pt);
+}
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cacheDir)
+{
+}
+
+const Measurement *
+Engine::lookup(const std::string &key, const ExpPoint &pt)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.requested++;
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            counters_.memHits++;
+            return &it->second;
+        }
+    }
+    Measurement m;
+    if (cache_.load(key, pt.kind, m))
+        return &insert(key, pt, std::move(m), /*fromDisk=*/true);
+    return nullptr;
+}
+
+const Measurement &
+Engine::insert(const std::string &key, const ExpPoint &pt,
+               Measurement m, bool fromDisk)
+{
+    bool shouldStore = false;
+    const Measurement *result;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = memo_.emplace(key, std::move(m));
+        if (inserted) {
+            if (fromDisk) {
+                counters_.diskHits++;
+            } else {
+                counters_.computed++;
+                shouldStore = cache_.enabled();
+            }
+        }
+        result = &it->second;
+    }
+    if (shouldStore && cache_.store(key, pt, *result)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.stored++;
+    }
+    return *result;
+}
+
+const Measurement &
+Engine::measure(const ExpPoint &pt)
+{
+    const std::string key = cacheKey(pt);
+    if (const Measurement *m = lookup(key, pt))
+        return *m;
+    return insert(key, pt, computePoint(pt), /*fromDisk=*/false);
+}
+
+void
+Engine::runAll(const std::vector<ExpPoint> &points)
+{
+    // Pre-pass (serial): resolve memo/disk hits and deduplicate, so the
+    // pool only ever simulates.
+    struct Job
+    {
+        ExpPoint pt;
+        std::string key;
+        uint64_t cost;
+    };
+    std::vector<Job> jobs;
+    {
+        std::unordered_map<std::string, bool> seen;
+        for (const auto &pt : points) {
+            std::string key = cacheKey(pt);
+            if (seen.count(key))
+                continue;
+            seen.emplace(key, true);
+            if (lookup(key, pt))
+                continue;
+            jobs.push_back({pt, std::move(key), pointCost(pt)});
+        }
+    }
+    if (jobs.empty())
+        return;
+
+    // Cost-aware ordering: big points first (stable for determinism of
+    // the *schedule*; results are order-independent anyway).
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const Job &a, const Job &b) {
+                         return a.cost > b.cost;
+                     });
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+            const Job &job = jobs[i];
+            insert(job.key, job.pt, computePoint(job.pt),
+                   /*fromDisk=*/false);
+            size_t n = done.fetch_add(1) + 1;
+            if (cfg_.progress) {
+                std::fprintf(stderr,
+                             "[%zu/%zu] %s %s%s scale=%llu seed=%llu\n",
+                             n, jobs.size(), job.pt.workload.c_str(),
+                             job.pt.predictor.c_str(),
+                             job.pt.pbs ? "+pbs" : "",
+                             (unsigned long long)job.pt.scale,
+                             (unsigned long long)job.pt.seed);
+            }
+        }
+    };
+
+    const unsigned n =
+        std::max(1u, std::min<unsigned>(cfg_.jobs, jobs.size()));
+    if (n == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; t++)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+}
+
+}  // namespace pbs::exp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The experiment engine: runs grids of ExpPoints on the deterministic
+ * thread pool, memoizes results in memory, and (optionally) persists
+ * them in the content-addressed ResultCache.
+ *
+ * Scheduling is cost-aware — expensive points (large scale, timing
+ * mode, wide core) start first so the pool drains without a long tail —
+ * but results are keyed by point value, so artifacts and reports are
+ * byte-identical for any jobs count and any schedule.
+ */
+
+#ifndef PBS_EXP_ENGINE_HH
+#define PBS_EXP_ENGINE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/cache.hh"
+#include "exp/point.hh"
+
+namespace pbs::exp {
+
+/** Engine construction options. */
+struct EngineConfig
+{
+    std::string cacheDir;     ///< empty: in-memory memoization only
+    unsigned jobs = 1;        ///< worker threads for runAll()
+    bool progress = false;    ///< per-point progress lines on stderr
+};
+
+/** Cache/compute counters for one engine lifetime. */
+struct EngineCounters
+{
+    uint64_t requested = 0;   ///< measure()/runAll() point lookups
+    uint64_t memHits = 0;     ///< served from the in-memory memo
+    uint64_t diskHits = 0;    ///< loaded from the result cache
+    uint64_t computed = 0;    ///< actually simulated
+    uint64_t stored = 0;      ///< written to the result cache
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig cfg = {});
+
+    /**
+     * Result of one point: memo -> disk cache -> simulate (and
+     * persist). References stay valid for the engine's lifetime.
+     */
+    const Measurement &measure(const ExpPoint &pt);
+
+    /**
+     * Warm every point of a grid, cost-ordered on the thread pool.
+     * Subsequent measure() calls on these points are memo hits.
+     */
+    void runAll(const std::vector<ExpPoint> &points);
+
+    const EngineCounters &counters() const { return counters_; }
+    const ResultCache &cache() const { return cache_; }
+
+    /** Compute a point directly, bypassing memo and cache. */
+    static Measurement computePoint(const ExpPoint &pt);
+
+  private:
+    /** Memo lookup/disk load; nullptr when the point needs computing. */
+    const Measurement *lookup(const std::string &key,
+                              const ExpPoint &pt);
+    const Measurement &insert(const std::string &key, const ExpPoint &pt,
+                              Measurement m, bool fromDisk);
+
+    EngineConfig cfg_;
+    ResultCache cache_;
+    EngineCounters counters_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, Measurement> memo_;
+};
+
+/** Relative cost estimate used for scheduling (big first). */
+uint64_t pointCost(const ExpPoint &pt);
+
+}  // namespace pbs::exp
+
+#endif  // PBS_EXP_ENGINE_HH

@@ -1,0 +1,484 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbs::exp {
+
+std::string
+canonicalDouble(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null";  // JSON has no non-finite numbers
+
+    // Exact small integers print as integers ("2", not "2.0"); the
+    // reader recovers the same double. Preserve the sign of -0.0 so the
+    // round-tripped value is bit-identical.
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        if (v == 0.0)
+            return std::signbit(v) ? "-0" : "0";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+        return buf;
+    }
+
+    char buf[40];
+    for (int prec = 15; prec <= 17; prec++) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return buf;  // %.17g always round-trips IEEE doubles
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+// --- JsonWriter ------------------------------------------------------
+
+void
+JsonWriter::comma()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;  // the key already emitted its separator
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += jsonEscape(k);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    comma();
+    out_ += jsonEscape(s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    comma();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(uint64_t(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    out_ += canonicalDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    comma();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &fragment)
+{
+    comma();
+    out_ += fragment;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::newline()
+{
+    out_ += '\n';
+    return *this;
+}
+
+// --- JsonValue -------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &m : members) {
+        if (m.first == k)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+uint64_t
+JsonValue::asU64(uint64_t fallback) const
+{
+    if (type != Type::Number)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno || end == text.c_str())
+        return fallback;
+    return v;
+}
+
+int64_t
+JsonValue::asI64(int64_t fallback) const
+{
+    if (type != Type::Number)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno || end == text.c_str())
+        return fallback;
+    return v;
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    if (type == Type::Null)
+        return std::nan("");  // canonicalDouble maps non-finite to null
+    if (type != Type::Number)
+        return fallback;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return type == Type::Bool ? boolean : fallback;
+}
+
+std::string
+JsonValue::asString(const std::string &fallback) const
+{
+    return type == Type::String ? text : fallback;
+}
+
+// --- parser ----------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            p++;
+    }
+
+    bool fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    bool literal(const char *s)
+    {
+        size_t n = std::strlen(s);
+        if (size_t(end - p) < n || std::strncmp(p, s, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        p++;
+        out.clear();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                p++;
+                if (p >= end)
+                    return fail("bad escape");
+                switch (*p) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'n':  out += '\n'; break;
+                  case 't':  out += '\t'; break;
+                  case 'r':  out += '\r'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'u': {
+                    if (end - p < 5)
+                        return fail("bad \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 1; i <= 4; i++) {
+                        char c = p[i];
+                        cp <<= 4;
+                        if (c >= '0' && c <= '9')
+                            cp |= unsigned(c - '0');
+                        else if (c >= 'a' && c <= 'f')
+                            cp |= unsigned(c - 'a' + 10);
+                        else if (c >= 'A' && c <= 'F')
+                            cp |= unsigned(c - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // UTF-8 encode (no surrogate-pair handling; the
+                    // writer only emits \u for control characters).
+                    if (cp < 0x80) {
+                        out += char(cp);
+                    } else if (cp < 0x800) {
+                        out += char(0xc0 | (cp >> 6));
+                        out += char(0x80 | (cp & 0x3f));
+                    } else {
+                        out += char(0xe0 | (cp >> 12));
+                        out += char(0x80 | ((cp >> 6) & 0x3f));
+                        out += char(0x80 | (cp & 0x3f));
+                    }
+                    p += 4;
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                p++;
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        p++;  // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue &v, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+
+        if (*p == '{') {
+            p++;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (p < end && *p == '}') {
+                p++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                p++;
+                JsonValue child;
+                if (!parseValue(child, depth + 1))
+                    return false;
+                v.members.emplace_back(std::move(k), std::move(child));
+                skipWs();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    p++;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (*p == '[') {
+            p++;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (p < end && *p == ']') {
+                p++;
+                return true;
+            }
+            while (true) {
+                JsonValue child;
+                if (!parseValue(child, depth + 1))
+                    return false;
+                v.items.push_back(std::move(child));
+                skipWs();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    p++;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (*p == '"') {
+            v.type = JsonValue::Type::String;
+            return parseString(v.text);
+        }
+        if (literal("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            v.type = JsonValue::Type::Null;
+            return true;
+        }
+        // Number: keep the lexeme.
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            p++;
+        bool digits = false;
+        while (p < end && (std::isdigit((unsigned char)*p) || *p == '.' ||
+                           *p == 'e' || *p == 'E' || *p == '-' ||
+                           *p == '+')) {
+            if (std::isdigit((unsigned char)*p))
+                digits = true;
+            p++;
+        }
+        if (!digits)
+            return fail("unexpected token");
+        v.type = JsonValue::Type::Number;
+        v.text.assign(start, p);
+        return true;
+    }
+};
+
+}  // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    out = JsonValue{};
+    if (!parser.parseValue(out, 0)) {
+        err = parser.err;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        err = "trailing characters";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace pbs::exp

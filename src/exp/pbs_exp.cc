@@ -1,0 +1,369 @@
+/**
+ * @file
+ * pbs_exp: the experiment engine CLI.
+ *
+ *   pbs_exp --spec bench/standard.spec --out results.json --jobs 8
+ *   pbs_exp --workloads pi,dop --predictors tournament,tage-sc-l \
+ *           --pbs off,on --modes functional --seeds 4 --csv grid.csv
+ *   pbs_exp --report fig07 --div 10 --jobs 8
+ *   pbs_exp --gc
+ *
+ * Sweep results are content-address-cached under .pbs-cache/ (see
+ * --cache-dir / --no-cache); artifacts are deterministic; a volatile
+ * run summary (cache counters, elapsed time) is printed to stdout
+ * (stderr in --report mode).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/options.hh"
+#include "driver/reports.hh"
+#include "exp/artifact.hh"
+#include "exp/cache.hh"
+#include "exp/engine.hh"
+#include "exp/spec.hh"
+
+namespace {
+
+using namespace pbs;
+
+struct ExpCliOptions
+{
+    std::string specFile;
+    /** Axis flags in command-line order, applied over the spec file. */
+    std::vector<std::pair<std::string, std::string>> axes;
+
+    std::string out;
+    std::string csv;
+    std::string report;
+    unsigned divisor = 1;
+    unsigned jobs = 1;
+    std::string cacheDir = exp::kDefaultCacheDir;
+    bool noCache = false;
+    bool gc = false;
+    bool gcAll = false;
+    bool quiet = false;
+    bool list = false;
+    bool help = false;
+};
+
+const char *kUsage =
+    "usage: pbs_exp --spec <file> [axis flags] [output flags]\n"
+    "       pbs_exp --workloads <w1,w2,...> [axis flags] [output flags]\n"
+    "       pbs_exp --report <name> [--div N]\n"
+    "       pbs_exp --gc [--all]\n"
+    "       pbs_exp --list\n"
+    "\n"
+    "Sweep axes (comma-separated lists; override the spec file):\n"
+    "  --spec <file>        key=value sweep spec (see bench/*.spec)\n"
+    "  --workloads <list>   benchmarks, or 'all'\n"
+    "  --predictors <list>  direction predictors\n"
+    "  --variants <list>    marked | predicated | cfd\n"
+    "  --widths <list>      4 | 8\n"
+    "  --modes <list>       timing | functional\n"
+    "  --pbs <list>         off | on | no-stall | no-context | no-guard\n"
+    "  --scales <list>      explicit iteration counts\n"
+    "  --div <n>            divide each workload's default scale\n"
+    "  --seed <n>           first seed (default 12345)\n"
+    "  --seeds <n>          consecutive seeds per config (default 1)\n"
+    "\n"
+    "Execution and output:\n"
+    "  --jobs <n>           worker threads (default 1)\n"
+    "  --out <file>         write the JSON artifact\n"
+    "  --csv <file>         write the CSV artifact\n"
+    "  --cache-dir <dir>    result cache location (default .pbs-cache)\n"
+    "  --no-cache           disable the result cache\n"
+    "  --quiet              suppress per-point progress on stderr\n"
+    "\n"
+    "Maintenance and reports:\n"
+    "  --gc                 prune cache entries from other code versions\n"
+    "  --gc --all           prune the entire cache\n"
+    "  --report <name>      render a fig/table report through the\n"
+    "                       cached engine (identical output to pbs_sim)\n"
+    "  --list               list workloads, predictors, reports\n";
+
+int
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "pbs_exp: %s\n%s", msg.c_str(), kUsage);
+    return 2;
+}
+
+bool
+writeFileOrComplain(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "pbs_exp: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << text;
+    out.close();  // surface flush errors (e.g. disk full) in good()
+    if (!out.good()) {
+        std::fprintf(stderr, "pbs_exp: error writing %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+parseCli(int argc, char **argv, ExpCliOptions &o)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    size_t i = 0;
+    std::string v;
+    auto takeValue = [&](const std::string &, const char *key) {
+        return driver::takeOptionValue(args, i, key, v);
+    };
+
+    // Axis flags map straight onto spec keys.
+    struct AxisFlag
+    {
+        const char *flag;
+        const char *key;
+    };
+    const AxisFlag axisFlags[] = {
+        {"--workloads", "workload"},  {"--workload", "workload"},
+        {"--predictors", "predictor"}, {"--predictor", "predictor"},
+        {"--variants", "variant"},    {"--widths", "width"},
+        {"--modes", "mode"},          {"--mode", "mode"},
+        {"--pbs", "pbs"},             {"--scales", "scale"},
+        {"--scale", "scale"},         {"--seed", "seed"},
+        {"--seeds", "seeds"},
+    };
+
+    for (i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        int m;
+        if (arg == "--help" || arg == "-h") {
+            o.help = true;
+            continue;
+        }
+        if (arg == "--list") {
+            o.list = true;
+            continue;
+        }
+        if (arg == "--gc") {
+            o.gc = true;
+            continue;
+        }
+        if (arg == "--all") {
+            o.gcAll = true;
+            continue;
+        }
+        if (arg == "--no-cache") {
+            o.noCache = true;
+            continue;
+        }
+        if (arg == "--quiet") {
+            o.quiet = true;
+            continue;
+        }
+        if ((m = takeValue(arg, "--spec")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.specFile = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--out")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.out = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--csv")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.csv = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--report")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.report = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--cache-dir")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            o.cacheDir = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--jobs")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!driver::parseUnsignedArg(v, o.jobs) || o.jobs == 0)
+                return fail("bad --jobs value: " + v);
+            continue;
+        }
+        if ((m = takeValue(arg, "--div")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!driver::parseUnsignedArg(v, o.divisor) ||
+                o.divisor == 0) {
+                return fail("bad --div value: " + v);
+            }
+            o.axes.emplace_back("div", v);
+            continue;
+        }
+
+        bool matched = false;
+        for (const auto &axis : axisFlags) {
+            if ((m = takeValue(arg, axis.flag)) != 0) {
+                if (m < 0)
+                    return fail(arg + " needs a value");
+                // Validate eagerly so bad flags fail before any work.
+                exp::SweepSpec probe;
+                std::string err = exp::applySpecKey(probe, axis.key, v);
+                if (!err.empty())
+                    return fail(err);
+                o.axes.emplace_back(axis.key, v);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            return fail("unknown option: " + arg);
+    }
+    return 0;
+}
+
+void
+printLists()
+{
+    std::printf("workloads:\n");
+    for (const auto &b : workloads::allBenchmarks())
+        std::printf("  %s\n", b.name.c_str());
+    std::printf("predictors:\n");
+    for (const auto &p : driver::predictorNames())
+        std::printf("  %s\n", p.c_str());
+    std::printf("reports:\n");
+    for (const auto &r : driver::allReports())
+        std::printf("  %-10s %s\n", r.name.c_str(), r.title.c_str());
+    std::printf("spec keys: workload predictor variant width mode pbs "
+                "scale div seed seeds\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExpCliOptions o;
+    if (int rc = parseCli(argc, argv, o))
+        return rc;
+
+    if (o.help) {
+        std::printf("%s", kUsage);
+        return 0;
+    }
+    if (o.list) {
+        printLists();
+        return 0;
+    }
+
+    const std::string cacheDir = o.noCache ? "" : o.cacheDir;
+
+    if (o.gc) {
+        if (!o.specFile.empty() || !o.axes.empty() || !o.out.empty() ||
+            !o.csv.empty() || !o.report.empty()) {
+            return fail("--gc only prunes the cache; run the sweep or "
+                        "report as a separate invocation");
+        }
+        exp::ResultCache cache(cacheDir);
+        auto r = cache.gc(o.gcAll);
+        std::printf("{\"schema\":\"pbs-exp-gc-v1\",\"kept\":%llu,"
+                    "\"removed\":%llu}\n",
+                    (unsigned long long)r.kept,
+                    (unsigned long long)r.removed);
+        return 0;
+    }
+
+    exp::EngineConfig ecfg;
+    ecfg.cacheDir = cacheDir;
+    ecfg.jobs = o.jobs;
+    ecfg.progress = !o.quiet;
+    exp::Engine engine(ecfg);
+
+    try {
+        if (!o.report.empty()) {
+            // A report's grid is fixed by the report itself (--div is
+            // the one shared knob).
+            bool nonDivAxis = false;
+            for (const auto &kv : o.axes)
+                nonDivAxis = nonDivAxis || kv.first != "div";
+            if (!o.specFile.empty() || nonDivAxis)
+                return fail("--spec and axis flags have no effect with "
+                            "--report");
+            if (!o.out.empty() || !o.csv.empty())
+                return fail("--out/--csv have no effect with --report "
+                            "(reports print to stdout)");
+            // Reports print to stdout; keep the summary on stderr.
+            driver::ReportContext ctx{engine, o.divisor};
+            int rc = driver::runReport(o.report, ctx);
+            std::fprintf(stderr, "%s",
+                         exp::runSummaryJson(engine.counters(), 0, 0,
+                                             "", "").c_str());
+            return rc;
+        }
+
+        if (o.specFile.empty() && o.axes.empty())
+            return fail("one of --spec, axis flags, --report, or --gc "
+                        "is required");
+
+        exp::SweepSpec spec;
+        if (!o.specFile.empty()) {
+            auto parsed = exp::parseSpecFile(o.specFile);
+            if (!parsed.ok)
+                return fail(parsed.error);
+            spec = parsed.spec;
+        }
+        // Explicitly-passed CLI axes override the file, in CLI order.
+        for (const auto &[key, value] : o.axes) {
+            std::string err = exp::applySpecKey(spec, key, value);
+            if (!err.empty())
+                return fail(err);
+        }
+
+        auto expanded = exp::expandSpec(spec);
+        if (!expanded.ok)
+            return fail(expanded.error);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.runAll(expanded.points);
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        if (!o.out.empty()) {
+            auto text = exp::sweepJson(expanded.points, engine,
+                                       exp::specJson(spec));
+            if (!writeFileOrComplain(o.out, text))
+                return 1;
+        }
+        if (!o.csv.empty()) {
+            auto text = exp::sweepCsv(expanded.points, engine);
+            if (!writeFileOrComplain(o.csv, text))
+                return 1;
+        }
+
+        std::printf("%s",
+                    exp::runSummaryJson(engine.counters(),
+                                        expanded.points.size(),
+                                        uint64_t(elapsed), o.out,
+                                        o.csv)
+                        .c_str());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "pbs_exp: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,273 @@
+#include "exp/point.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pbs::exp {
+
+uint64_t
+resolvedScale(const workloads::BenchmarkDesc &b, unsigned divisor)
+{
+    return std::max<uint64_t>(1, b.defaultScale / divisor);
+}
+
+workloads::Variant
+variantFromName(const std::string &name)
+{
+    if (name == "predicated")
+        return workloads::Variant::Predicated;
+    if (name == "cfd")
+        return workloads::Variant::Cfd;
+    return workloads::Variant::Marked;
+}
+
+const char *
+variantName(workloads::Variant v)
+{
+    switch (v) {
+      case workloads::Variant::Predicated: return "predicated";
+      case workloads::Variant::Cfd: return "cfd";
+      default: return "marked";
+    }
+}
+
+void
+writePoint(JsonWriter &w, const ExpPoint &pt)
+{
+    w.beginObject();
+    w.key("kind").value(pt.kind == PointKind::Rand ? "rand" : "sim");
+    w.key("workload").value(pt.workload);
+    w.key("predictor").value(pt.predictor);
+    w.key("variant").value(pt.variant);
+    w.key("wide").value(pt.wide);
+    w.key("functional").value(pt.functional);
+    w.key("pbs").value(pt.pbs);
+    w.key("stall").value(pt.stallOnBusy);
+    w.key("context").value(pt.contextSupport);
+    w.key("guard").value(pt.constValGuard);
+    w.key("filter").value(pt.filterProb);
+    w.key("btb_entries").value(pt.numBranches);
+    w.key("in_flight").value(pt.inFlightLimit);
+    w.key("scale").value(pt.scale);
+    w.key("seed").value(pt.seed);
+    w.endObject();
+}
+
+std::string
+pointJson(const ExpPoint &pt)
+{
+    JsonWriter w;
+    writePoint(w, pt);
+    return w.str();
+}
+
+bool
+readPoint(const JsonValue &v, ExpPoint &out)
+{
+    if (v.type != JsonValue::Type::Object)
+        return false;
+    out = ExpPoint{};
+    const JsonValue *f;
+    if ((f = v.find("kind")))
+        out.kind = f->asString() == "rand" ? PointKind::Rand
+                                           : PointKind::Sim;
+    if ((f = v.find("workload")))
+        out.workload = f->asString();
+    if ((f = v.find("predictor")))
+        out.predictor = f->asString(out.predictor);
+    if ((f = v.find("variant")))
+        out.variant = f->asString(out.variant);
+    if ((f = v.find("wide")))
+        out.wide = f->asBool();
+    if ((f = v.find("functional")))
+        out.functional = f->asBool();
+    if ((f = v.find("pbs")))
+        out.pbs = f->asBool();
+    if ((f = v.find("stall")))
+        out.stallOnBusy = f->asBool(true);
+    if ((f = v.find("context")))
+        out.contextSupport = f->asBool(true);
+    if ((f = v.find("guard")))
+        out.constValGuard = f->asBool(true);
+    if ((f = v.find("filter")))
+        out.filterProb = f->asBool();
+    if ((f = v.find("btb_entries")))
+        out.numBranches = unsigned(f->asU64());
+    if ((f = v.find("in_flight")))
+        out.inFlightLimit = unsigned(f->asU64());
+    if ((f = v.find("scale")))
+        out.scale = f->asU64();
+    if ((f = v.find("seed")))
+        out.seed = f->asU64();
+    return !out.workload.empty();
+}
+
+cpu::CoreConfig
+pointCoreConfig(const ExpPoint &pt)
+{
+    cpu::CoreConfig cfg = pt.wide ? cpu::CoreConfig::eightWide()
+                                  : cpu::CoreConfig::fourWide();
+    if (pt.functional)
+        cfg.mode = cpu::SimMode::Functional;
+    cfg.predictor = pt.predictor;
+    cfg.pbsEnabled = pt.pbs;
+    cfg.pbs.stallOnBusy = pt.stallOnBusy;
+    cfg.pbs.contextSupport = pt.contextSupport;
+    cfg.pbs.constValGuard = pt.constValGuard;
+    cfg.filterProbFromPredictor = pt.filterProb;
+    if (pt.numBranches)
+        cfg.pbs.numBranches = pt.numBranches;
+    if (pt.inFlightLimit)
+        cfg.pbs.inFlightLimit = pt.inFlightLimit;
+    return cfg;
+}
+
+workloads::WorkloadParams
+pointParams(const ExpPoint &pt)
+{
+    workloads::WorkloadParams p;
+    p.seed = pt.seed;
+    p.scale = pt.scale;
+    return p;
+}
+
+namespace {
+
+void
+writeU64Field(JsonWriter &w, const char *k, uint64_t v)
+{
+    w.key(k).value(v);
+}
+
+}  // namespace
+
+void
+writeMeasurement(JsonWriter &w, PointKind kind, const Measurement &m)
+{
+    w.beginObject();
+    if (kind == PointKind::Rand) {
+        w.key("rand").beginObject();
+        w.key("pass").value(m.randPass);
+        w.key("weak").value(m.randWeak);
+        w.key("fail").value(m.randFail);
+        w.endObject();
+        w.endObject();
+        return;
+    }
+
+    const auto &s = m.stats;
+    w.key("stats").beginObject();
+    writeU64Field(w, "instructions", s.instructions);
+    writeU64Field(w, "cycles", s.cycles);
+    writeU64Field(w, "branches", s.branches);
+    writeU64Field(w, "prob_branches", s.probBranches);
+    writeU64Field(w, "mispredicts", s.mispredicts);
+    writeU64Field(w, "regular_mispredicts", s.regularMispredicts);
+    writeU64Field(w, "prob_mispredicts", s.probMispredicts);
+    writeU64Field(w, "steered", s.steeredBranches);
+    w.endObject();
+
+    const auto &p = m.pbs;
+    w.key("pbs").beginObject();
+    writeU64Field(w, "fetch_steered", p.fetchSteered);
+    writeU64Field(w, "fetch_stalled", p.fetchStalled);
+    writeU64Field(w, "stall_cycles", p.stallCycles);
+    writeU64Field(w, "fetch_bootstrap", p.fetchBootstrap);
+    writeU64Field(w, "fetch_unsupported", p.fetchUnsupported);
+    writeU64Field(w, "fetch_depth_limited", p.fetchDepthLimited);
+    writeU64Field(w, "records_pushed", p.recordsPushed);
+    writeU64Field(w, "records_dropped", p.recordsDropped);
+    writeU64Field(w, "const_val_flushes", p.constValFlushes);
+    writeU64Field(w, "context_clears", p.contextClears);
+    writeU64Field(w, "entries_allocated", p.entriesAllocated);
+    writeU64Field(w, "entries_evicted", p.entriesEvicted);
+    w.endObject();
+
+    w.key("outputs").beginArray();
+    for (double d : m.outputs)
+        w.value(d);
+    w.endArray();
+    w.endObject();
+}
+
+bool
+readMeasurement(const JsonValue &v, PointKind kind, Measurement &out)
+{
+    if (v.type != JsonValue::Type::Object)
+        return false;
+    out = Measurement{};
+
+    if (kind == PointKind::Rand) {
+        const JsonValue *r = v.find("rand");
+        if (!r)
+            return false;
+        const JsonValue *f;
+        if ((f = r->find("pass")))
+            out.randPass = unsigned(f->asU64());
+        if ((f = r->find("weak")))
+            out.randWeak = unsigned(f->asU64());
+        if ((f = r->find("fail")))
+            out.randFail = unsigned(f->asU64());
+        return true;
+    }
+
+    const JsonValue *s = v.find("stats");
+    const JsonValue *p = v.find("pbs");
+    const JsonValue *o = v.find("outputs");
+    if (!s || !p || !o || o->type != JsonValue::Type::Array)
+        return false;
+
+    auto u64 = [](const JsonValue *obj, const char *k) {
+        const JsonValue *f = obj->find(k);
+        return f ? f->asU64() : 0;
+    };
+    out.stats.instructions = u64(s, "instructions");
+    out.stats.cycles = u64(s, "cycles");
+    out.stats.branches = u64(s, "branches");
+    out.stats.probBranches = u64(s, "prob_branches");
+    out.stats.mispredicts = u64(s, "mispredicts");
+    out.stats.regularMispredicts = u64(s, "regular_mispredicts");
+    out.stats.probMispredicts = u64(s, "prob_mispredicts");
+    out.stats.steeredBranches = u64(s, "steered");
+
+    out.pbs.fetchSteered = u64(p, "fetch_steered");
+    out.pbs.fetchStalled = u64(p, "fetch_stalled");
+    out.pbs.stallCycles = u64(p, "stall_cycles");
+    out.pbs.fetchBootstrap = u64(p, "fetch_bootstrap");
+    out.pbs.fetchUnsupported = u64(p, "fetch_unsupported");
+    out.pbs.fetchDepthLimited = u64(p, "fetch_depth_limited");
+    out.pbs.recordsPushed = u64(p, "records_pushed");
+    out.pbs.recordsDropped = u64(p, "records_dropped");
+    out.pbs.constValFlushes = u64(p, "const_val_flushes");
+    out.pbs.contextClears = u64(p, "context_clears");
+    out.pbs.entriesAllocated = u64(p, "entries_allocated");
+    out.pbs.entriesEvicted = u64(p, "entries_evicted");
+
+    out.outputs.reserve(o->items.size());
+    for (const auto &item : o->items)
+        out.outputs.push_back(item.asDouble());
+    return true;
+}
+
+std::string
+contentHash(const std::string &data)
+{
+    // Two FNV-1a 64-bit passes with distinct offset bases give a
+    // 128-bit address: not cryptographic, but collision-safe at the
+    // scale of any realistic sweep grid.
+    auto fnv = [&](uint64_t h) {
+        for (unsigned char c : data) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        return h;
+    };
+    uint64_t a = fnv(14695981039346656037ull);
+    uint64_t b = fnv(14695981039346656037ull ^ 0x9e3779b97f4a7c15ull);
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  (unsigned long long)a, (unsigned long long)b);
+    return buf;
+}
+
+}  // namespace pbs::exp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The experiment engine's unit of work: one fully-resolved simulation
+ * point (ExpPoint) and what it measures (Measurement).
+ *
+ * An ExpPoint is a value type that pins *everything* a run depends on —
+ * workload, variant, predictor, core shape, fidelity, every PBS knob,
+ * the resolved scale and the seed — so its canonical JSON doubles as
+ * the content-address for the result cache. Scale is stored resolved
+ * (never 0/"default"): two sweeps reaching the same effective scale
+ * through different divisors share cache entries.
+ */
+
+#ifndef PBS_EXP_POINT_HH
+#define PBS_EXP_POINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pbs_config.hh"
+#include "cpu/core_config.hh"
+#include "exp/json.hh"
+#include "workloads/common.hh"
+
+namespace pbs::exp {
+
+/** What a point measures. */
+enum class PointKind {
+    Sim,   ///< core statistics + PBS counters + program outputs
+    Rand,  ///< randomness-battery PASS/WEAK/FAIL tally (Table III)
+};
+
+/** One fully-resolved grid point. */
+struct ExpPoint
+{
+    PointKind kind = PointKind::Sim;
+    std::string workload;
+    std::string predictor = "tage-sc-l";
+    std::string variant = "marked";   ///< marked | predicated | cfd
+    bool wide = false;                ///< 8-wide / 256-entry ROB
+    bool functional = false;          ///< architectural-only simulation
+    bool pbs = false;
+
+    // PBS knobs (defaults match CoreConfig's).
+    bool stallOnBusy = true;
+    bool contextSupport = true;
+    bool constValGuard = true;
+    bool filterProb = false;          ///< Fig. 9 predictor filter
+    unsigned numBranches = 0;         ///< Prob-BTB entries (0 = default)
+    unsigned inFlightLimit = 0;       ///< in-flight limit (0 = default)
+
+    uint64_t scale = 0;               ///< resolved, always > 0 when run
+    uint64_t seed = 12345;
+
+    bool operator==(const ExpPoint &) const = default;
+};
+
+/** Resolve a workload's effective scale at a divisor. */
+uint64_t resolvedScale(const workloads::BenchmarkDesc &b,
+                       unsigned divisor);
+
+/** Canonical JSON of a point (fixed key order; hash/cache input). */
+std::string pointJson(const ExpPoint &pt);
+
+/** Write the point object through an existing writer. */
+void writePoint(JsonWriter &w, const ExpPoint &pt);
+
+/** Parse a point back from its canonical JSON object. */
+bool readPoint(const JsonValue &v, ExpPoint &out);
+
+/** The core configuration a point describes. */
+cpu::CoreConfig pointCoreConfig(const ExpPoint &pt);
+
+/** The workload parameters a point describes. */
+workloads::WorkloadParams pointParams(const ExpPoint &pt);
+
+/** Variant enum from its canonical spelling ("marked" on unknown). */
+workloads::Variant variantFromName(const std::string &name);
+const char *variantName(workloads::Variant v);
+
+/** What came out of running a point. */
+struct Measurement
+{
+    cpu::CoreStats stats;
+    core::PbsStats pbs;
+    std::vector<double> outputs;
+
+    // PointKind::Rand only.
+    unsigned randPass = 0;
+    unsigned randWeak = 0;
+    unsigned randFail = 0;
+
+    bool operator==(const Measurement &) const = default;
+};
+
+/** Canonical JSON of a measurement. */
+void writeMeasurement(JsonWriter &w, PointKind kind,
+                      const Measurement &m);
+bool readMeasurement(const JsonValue &v, PointKind kind,
+                     Measurement &out);
+
+/** 128-bit FNV-1a content hash, as 32 lowercase hex characters. */
+std::string contentHash(const std::string &data);
+
+}  // namespace pbs::exp
+
+#endif  // PBS_EXP_POINT_HH

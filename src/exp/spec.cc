@@ -1,0 +1,311 @@
+#include "exp/spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "driver/options.hh"
+
+namespace pbs::exp {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = 0, b = s.size();
+    while (a < b && std::isspace((unsigned char)s[a]))
+        a++;
+    while (b > a && std::isspace((unsigned char)s[b - 1]))
+        b--;
+    return s.substr(a, b - a);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream ss(s);
+    while (std::getline(ss, cur, ',')) {
+        cur = trim(cur);
+        if (!cur.empty())
+            out.push_back(cur);
+    }
+    return out;
+}
+
+bool
+parseU64Value(const std::string &s, uint64_t &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+const char *kPbsModes[] = {"off", "on", "no-stall", "no-context",
+                           "no-guard"};
+
+}  // namespace
+
+std::string
+applySpecKey(SweepSpec &spec, const std::string &rawKey,
+             const std::string &values)
+{
+    // Accept singular and plural spellings ("workload" / "workloads").
+    std::string key = rawKey;
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+
+    auto list = splitList(values);
+    if (list.empty())
+        return "empty value for '" + rawKey + "'";
+
+    if (key == "workload" || key == "workloads") {
+        spec.workloads = list;
+        return "";
+    }
+    if (key == "predictor" || key == "predictors") {
+        spec.predictors = list;
+        return "";
+    }
+    if (key == "variant" || key == "variants") {
+        spec.variants = list;
+        return "";
+    }
+    if (key == "width" || key == "widths") {
+        spec.widths.clear();
+        for (const auto &v : list) {
+            if (v == "4")
+                spec.widths.push_back(4);
+            else if (v == "8")
+                spec.widths.push_back(8);
+            else
+                return "bad width '" + v + "' (expected 4 or 8)";
+        }
+        return "";
+    }
+    if (key == "mode" || key == "modes") {
+        for (const auto &v : list) {
+            if (v != "timing" && v != "functional")
+                return "bad mode '" + v +
+                       "' (expected timing or functional)";
+        }
+        spec.modes = list;
+        return "";
+    }
+    if (key == "pbs") {
+        for (const auto &v : list) {
+            bool known = false;
+            for (const char *m : kPbsModes)
+                known = known || v == m;
+            if (!known)
+                return "bad pbs mode '" + v +
+                       "' (off, on, no-stall, no-context, no-guard)";
+        }
+        spec.pbsModes = list;
+        return "";
+    }
+    if (key == "scale" || key == "scales") {
+        spec.scales.clear();
+        for (const auto &v : list) {
+            uint64_t s;
+            if (!parseU64Value(v, s) || s == 0)
+                return "bad scale '" + v + "'";
+            spec.scales.push_back(s);
+        }
+        return "";
+    }
+    if (key == "div") {
+        uint64_t d;
+        if (list.size() != 1 || !parseU64Value(list[0], d) || d == 0 ||
+            d > 0xffffffffull) {
+            return "bad div '" + values + "'";
+        }
+        spec.divisor = unsigned(d);
+        return "";
+    }
+    if (key == "seed") {
+        uint64_t s;
+        if (list.size() != 1 || !parseU64Value(list[0], s))
+            return "bad seed '" + values + "'";
+        spec.seed = s;
+        return "";
+    }
+    if (key == "seeds") {
+        uint64_t n;
+        if (list.size() != 1 || !parseU64Value(list[0], n) || n == 0 ||
+            n > 0xffffffffull) {
+            return "bad seeds '" + values + "'";
+        }
+        spec.seeds = unsigned(n);
+        return "";
+    }
+    return "unknown spec key '" + rawKey + "'";
+}
+
+SpecResult
+parseSpecText(const std::string &text)
+{
+    SpecResult r;
+    std::istringstream ss(text);
+    std::string line;
+    unsigned lineNo = 0;
+    while (std::getline(ss, line)) {
+        lineNo++;
+        // Strip comments and whitespace.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            r.error = "line " + std::to_string(lineNo) +
+                      ": expected 'key = values'";
+            return r;
+        }
+        std::string key = trim(line.substr(0, eq));
+        std::string values = trim(line.substr(eq + 1));
+        std::string err = applySpecKey(r.spec, key, values);
+        if (!err.empty()) {
+            r.error = "line " + std::to_string(lineNo) + ": " + err;
+            return r;
+        }
+    }
+    r.ok = true;
+    return r;
+}
+
+SpecResult
+parseSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        SpecResult r;
+        r.error = "cannot open spec file: " + path;
+        return r;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseSpecText(ss.str());
+}
+
+ExpandResult
+expandSpec(const SweepSpec &spec)
+{
+    ExpandResult r;
+
+    // Resolve the workload axis ("all" -> the registry, in order).
+    std::vector<std::string> workloads;
+    for (const auto &w : spec.workloads) {
+        if (w == "all") {
+            for (const auto &b : workloads::allBenchmarks())
+                workloads.push_back(b.name);
+        } else {
+            try {
+                workloads::benchmarkByName(w);
+            } catch (const std::exception &e) {
+                r.error = e.what();
+                return r;
+            }
+            workloads.push_back(w);
+        }
+    }
+    if (workloads.empty()) {
+        r.error = "spec selects no workloads (set 'workload = ...')";
+        return r;
+    }
+
+    std::vector<std::string> predictors;
+    for (const auto &p : spec.predictors) {
+        std::string canon = driver::canonicalPredictor(p);
+        if (canon.empty()) {
+            r.error = "unknown predictor: " + p;
+            return r;
+        }
+        predictors.push_back(canon);
+    }
+
+    for (const auto &v : spec.variants) {
+        if (v != "marked" && v != "predicated" && v != "cfd") {
+            r.error = "unknown variant: " + v;
+            return r;
+        }
+    }
+
+    for (const auto &workload : workloads) {
+        const auto &b = workloads::benchmarkByName(workload);
+        std::vector<uint64_t> scales = spec.scales;
+        if (scales.empty())
+            scales.push_back(resolvedScale(b, spec.divisor));
+
+        for (const auto &predictor : predictors)
+        for (const auto &variant : spec.variants)
+        for (unsigned width : spec.widths)
+        for (const auto &mode : spec.modes)
+        for (const auto &pbsMode : spec.pbsModes)
+        for (uint64_t scale : scales)
+        for (unsigned s = 0; s < spec.seeds; s++) {
+            ExpPoint pt;
+            pt.workload = workload;
+            pt.predictor = predictor;
+            pt.variant = variant;
+            pt.wide = width == 8;
+            pt.functional = mode == "functional";
+            pt.pbs = pbsMode != "off";
+            pt.stallOnBusy = pbsMode != "no-stall";
+            pt.contextSupport = pbsMode != "no-context";
+            pt.constValGuard = pbsMode != "no-guard";
+            pt.scale = scale;
+            pt.seed = spec.seed + s;
+            r.points.push_back(pt);
+        }
+    }
+    r.ok = true;
+    return r;
+}
+
+std::string
+specJson(const SweepSpec &spec)
+{
+    JsonWriter w;
+    auto strings = [&](const char *k,
+                       const std::vector<std::string> &xs) {
+        w.key(k).beginArray();
+        for (const auto &x : xs)
+            w.value(x);
+        w.endArray();
+    };
+    w.beginObject();
+    strings("workloads", spec.workloads);
+    strings("predictors", spec.predictors);
+    strings("variants", spec.variants);
+    w.key("widths").beginArray();
+    for (unsigned x : spec.widths)
+        w.value(x);
+    w.endArray();
+    strings("modes", spec.modes);
+    strings("pbs", spec.pbsModes);
+    w.key("scales").beginArray();
+    for (uint64_t x : spec.scales)
+        w.value(x);
+    w.endArray();
+    w.key("div").value(spec.divisor);
+    w.key("seed").value(spec.seed);
+    w.key("seeds").value(spec.seeds);
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace pbs::exp

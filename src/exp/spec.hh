@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Declarative sweep specification: a small set of axes that expands to
+ * a cartesian grid of ExpPoints.
+ *
+ * Specs are parsed from `key = v1, v2, ...` lines (spec files; `#`
+ * comments) and/or from `pbs_exp` axis flags. Axes:
+ *
+ *   workload  = pi, dop, ...   (or "all")
+ *   predictor = tournament, tage-sc-l, ...
+ *   variant   = marked | predicated | cfd
+ *   width     = 4 | 8
+ *   mode      = timing | functional
+ *   pbs       = off | on | no-stall | no-context | no-guard
+ *   scale     = explicit iteration counts (overrides div)
+ *   div       = scale divisor applied to each workload's default
+ *   seed      = first seed
+ *   seeds     = number of consecutive seeds
+ *
+ * Expansion order is fixed (workload, predictor, variant, width, mode,
+ * pbs, scale, seed — innermost last), so a spec always enumerates the
+ * same points in the same order and artifacts are reproducible byte for
+ * byte.
+ */
+
+#ifndef PBS_EXP_SPEC_HH
+#define PBS_EXP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/point.hh"
+
+namespace pbs::exp {
+
+/** A parsed sweep description (axes, not yet expanded). */
+struct SweepSpec
+{
+    std::vector<std::string> workloads;              ///< required
+    std::vector<std::string> predictors = {"tage-sc-l"};
+    std::vector<std::string> variants = {"marked"};
+    std::vector<unsigned> widths = {4};
+    std::vector<std::string> modes = {"timing"};
+    std::vector<std::string> pbsModes = {"off"};
+    std::vector<uint64_t> scales;    ///< empty: use div
+    unsigned divisor = 1;
+    uint64_t seed = 12345;
+    unsigned seeds = 1;
+};
+
+/** Outcome of parsing / expanding a spec. */
+struct SpecResult
+{
+    bool ok = false;
+    std::string error;
+    SweepSpec spec;
+};
+
+/** Parse spec-file text (`key = values` lines). */
+SpecResult parseSpecText(const std::string &text);
+
+/** Parse a spec file from disk. */
+SpecResult parseSpecFile(const std::string &path);
+
+/**
+ * Apply one axis assignment (the `pbs_exp` flag path), e.g.
+ * ("workload", "pi,dop"). @return empty string or an error message.
+ */
+std::string applySpecKey(SweepSpec &spec, const std::string &key,
+                         const std::string &values);
+
+/**
+ * Validate axis values and expand the cartesian grid in canonical
+ * order. Scales are resolved per workload.
+ */
+struct ExpandResult
+{
+    bool ok = false;
+    std::string error;
+    std::vector<ExpPoint> points;
+};
+
+ExpandResult expandSpec(const SweepSpec &spec);
+
+/** Canonical JSON echo of a spec (embedded in sweep artifacts). */
+std::string specJson(const SweepSpec &spec);
+
+}  // namespace pbs::exp
+
+#endif  // PBS_EXP_SPEC_HH

@@ -69,6 +69,13 @@ struct BenchmarkDesc
 /** All eight benchmarks, in the paper's Table II order. */
 const std::vector<BenchmarkDesc> &allBenchmarks();
 
+/**
+ * Version of the workload code generators. Bump whenever any workload's
+ * emitted program or native reference changes — cached sweep results
+ * (src/exp) are keyed on it.
+ */
+unsigned registryVersion();
+
 /** Lookup by name; throws std::invalid_argument when unknown. */
 const BenchmarkDesc &benchmarkByName(const std::string &name);
 

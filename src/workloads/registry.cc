@@ -20,6 +20,12 @@ allBenchmarks()
     return benchmarks;
 }
 
+unsigned
+registryVersion()
+{
+    return 1;
+}
+
 const BenchmarkDesc &
 benchmarkByName(const std::string &name)
 {

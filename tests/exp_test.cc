@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the experiment engine (src/exp): canonical JSON round
+ * trips, point hashing, spec parsing/expansion, the content-addressed
+ * result cache, and the determinism contract — the same sweep produces
+ * byte-identical artifacts for --jobs 1, --jobs 4, and a warm cache,
+ * and a warm-cache rerun performs zero simulation work.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "driver/reports.hh"
+#include "exp/artifact.hh"
+#include "exp/cache.hh"
+#include "exp/engine.hh"
+#include "exp/json.hh"
+#include "exp/spec.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace pbs;
+
+/** Fresh per-test cache directory under the gtest temp dir. */
+class ExpCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               (std::string("pbs-exp-test-") + info->name());
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string cacheDir() const { return dir_.string(); }
+
+    fs::path dir_;
+};
+
+exp::ExpPoint
+tinyPoint(uint64_t seed = 12345, bool pbs = true)
+{
+    exp::ExpPoint pt;
+    pt.workload = "pi";
+    pt.predictor = "tage-sc-l";
+    pt.functional = true;
+    pt.pbs = pbs;
+    pt.scale = 2000;
+    pt.seed = seed;
+    return pt;
+}
+
+// --- canonical JSON --------------------------------------------------
+
+TEST(ExpJson, CanonicalDoubleRoundTrips)
+{
+    const double values[] = {0.0,     1.0,     -1.0,   0.5,
+                             0.1,     1.0 / 3, 1e300,  -1e-300,
+                             3.14159, 2e53,    123456.75};
+    for (double v : values) {
+        const std::string s = exp::canonicalDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+    EXPECT_EQ(exp::canonicalDouble(2.0), "2");
+    EXPECT_EQ(exp::canonicalDouble(-0.0), "-0");
+    EXPECT_EQ(exp::canonicalDouble(0.5), "0.5");
+}
+
+TEST(ExpJson, WriterParserRoundTrip)
+{
+    exp::JsonWriter w;
+    w.beginObject();
+    w.key("u64").value(uint64_t(18446744073709551615ull));
+    w.key("str").value(std::string("a\"b\\c\nd\te"));
+    w.key("arr").beginArray().value(1).value(true).null().endArray();
+    w.key("nested").beginObject().key("x").value(0.25).endObject();
+    w.endObject();
+
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(w.str(), v, err)) << err;
+    EXPECT_EQ(v.find("u64")->asU64(), 18446744073709551615ull);
+    EXPECT_EQ(v.find("str")->asString(), "a\"b\\c\nd\te");
+    ASSERT_EQ(v.find("arr")->items.size(), 3u);
+    EXPECT_TRUE(v.find("arr")->items[2].isNull());
+    EXPECT_EQ(v.find("nested")->find("x")->asDouble(), 0.25);
+}
+
+TEST(ExpJson, RejectsMalformedInput)
+{
+    exp::JsonValue v;
+    std::string err;
+    EXPECT_FALSE(exp::parseJson("{", v, err));
+    EXPECT_FALSE(exp::parseJson("{\"a\":}", v, err));
+    EXPECT_FALSE(exp::parseJson("[1,2", v, err));
+    EXPECT_FALSE(exp::parseJson("12 34", v, err));
+    EXPECT_TRUE(exp::parseJson("  [1, 2]  ", v, err)) << err;
+}
+
+// --- points and hashing ----------------------------------------------
+
+TEST(ExpPoint, JsonRoundTripsAndHashesDiscriminate)
+{
+    exp::ExpPoint pt = tinyPoint(7);
+    pt.variant = "predicated";
+    pt.numBranches = 8;
+
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(exp::pointJson(pt), v, err)) << err;
+    exp::ExpPoint back;
+    ASSERT_TRUE(exp::readPoint(v, back));
+    EXPECT_EQ(back, pt);
+
+    // The cache key is stable and sensitive to every axis.
+    EXPECT_EQ(exp::cacheKey(pt), exp::cacheKey(pt));
+    exp::ExpPoint other = pt;
+    other.seed++;
+    EXPECT_NE(exp::cacheKey(pt), exp::cacheKey(other));
+    other = pt;
+    other.pbs = !other.pbs;
+    EXPECT_NE(exp::cacheKey(pt), exp::cacheKey(other));
+    other = pt;
+    other.inFlightLimit = 2;
+    EXPECT_NE(exp::cacheKey(pt), exp::cacheKey(other));
+}
+
+// --- sweep specs -----------------------------------------------------
+
+TEST(ExpSpec, ParsesKeyValueTextAndExpands)
+{
+    auto parsed = exp::parseSpecText(
+        "# comment\n"
+        "workload  = pi, dop\n"
+        "predictor = tournament, tage_scl\n"
+        "pbs       = off, on\n"
+        "mode      = functional\n"
+        "scale     = 1000\n"
+        "seeds     = 2\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    auto grid = exp::expandSpec(parsed.spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+    // 2 workloads x 2 predictors x 2 pbs x 1 scale x 2 seeds
+    ASSERT_EQ(grid.points.size(), 16u);
+    EXPECT_EQ(grid.points[0].workload, "pi");
+    EXPECT_EQ(grid.points[0].predictor, "tournament");  // canonicalized
+    EXPECT_EQ(grid.points[1].seed, 12346u);             // seed innermost
+    EXPECT_TRUE(grid.points.back().pbs);
+    EXPECT_EQ(grid.points.back().workload, "dop");
+    for (const auto &pt : grid.points) {
+        EXPECT_TRUE(pt.functional);
+        EXPECT_EQ(pt.scale, 1000u);
+    }
+}
+
+TEST(ExpSpec, RejectsBadAxesAndEmptySpecs)
+{
+    EXPECT_FALSE(exp::parseSpecText("bogus = 1\n").ok);
+    EXPECT_FALSE(exp::parseSpecText("workload pi\n").ok);
+    EXPECT_FALSE(exp::parseSpecText("width = 6\n").ok);
+    EXPECT_FALSE(exp::parseSpecText("pbs = maybe\n").ok);
+
+    auto parsed = exp::parseSpecText("predictor = tage-sc-l\n");
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_FALSE(exp::expandSpec(parsed.spec).ok);  // no workloads
+
+    auto bad = exp::parseSpecText("workload = nonesuch\n");
+    ASSERT_TRUE(bad.ok);
+    EXPECT_FALSE(exp::expandSpec(bad.spec).ok);
+}
+
+TEST(ExpSpec, AllKeywordSelectsEveryBenchmark)
+{
+    exp::SweepSpec spec;
+    spec.workloads = {"all"};
+    spec.scales = {100};
+    auto grid = exp::expandSpec(spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+    EXPECT_EQ(grid.points.size(), workloads::allBenchmarks().size());
+}
+
+// --- result cache ----------------------------------------------------
+
+TEST_F(ExpCacheTest, StoreLoadRoundTripsBitExactly)
+{
+    exp::ResultCache cache(cacheDir());
+    exp::ExpPoint pt = tinyPoint();
+    exp::Measurement m = exp::Engine::computePoint(pt);
+    const std::string key = exp::cacheKey(pt);
+
+    ASSERT_TRUE(cache.store(key, pt, m));
+    exp::Measurement loaded;
+    ASSERT_TRUE(cache.load(key, pt.kind, loaded));
+    EXPECT_EQ(loaded, m);
+
+    // Unknown keys and corrupt entries miss instead of failing.
+    EXPECT_FALSE(cache.load("0000", pt.kind, loaded));
+    std::ofstream(fs::path(cacheDir()) / (key + ".json"))
+        << "{not json";
+    EXPECT_FALSE(cache.load(key, pt.kind, loaded));
+}
+
+TEST_F(ExpCacheTest, GcPrunesStaleGenerations)
+{
+    exp::ResultCache cache(cacheDir());
+    exp::ExpPoint pt = tinyPoint();
+    exp::Measurement m = exp::Engine::computePoint(pt);
+    ASSERT_TRUE(cache.store(exp::cacheKey(pt), pt, m));
+
+    // A foreign-salt entry and a stray temp file are both stale.
+    std::ofstream(fs::path(cacheDir()) / "deadbeef.json")
+        << "{\"salt\":\"other-version/r0/s0\",\"result\":{}}";
+    std::ofstream(fs::path(cacheDir()) / "stray.json.tmp") << "x";
+
+    auto r = cache.gc();
+    EXPECT_EQ(r.kept, 1u);
+    EXPECT_EQ(r.removed, 2u);
+
+    auto all = cache.gc(/*all=*/true);
+    EXPECT_EQ(all.removed, 1u);
+    EXPECT_EQ(all.kept, 0u);
+}
+
+// --- engine ----------------------------------------------------------
+
+TEST_F(ExpCacheTest, WarmCacheIsBitIdenticalAndComputesNothing)
+{
+    exp::ExpPoint pt = tinyPoint();
+
+    exp::EngineConfig cfg;
+    cfg.cacheDir = cacheDir();
+    exp::Engine cold(cfg);
+    const auto coldResult = cold.measure(pt);
+    EXPECT_EQ(cold.counters().computed, 1u);
+    EXPECT_EQ(cold.counters().stored, 1u);
+
+    exp::Engine warm(cfg);
+    const auto &warmResult = warm.measure(pt);
+    EXPECT_EQ(warm.counters().computed, 0u);
+    EXPECT_EQ(warm.counters().diskHits, 1u);
+
+    // Bit-identical: counters and every output double.
+    EXPECT_EQ(warmResult, coldResult);
+    ASSERT_EQ(warmResult.outputs.size(), coldResult.outputs.size());
+    for (size_t i = 0; i < coldResult.outputs.size(); i++)
+        EXPECT_EQ(warmResult.outputs[i], coldResult.outputs[i]);
+}
+
+TEST_F(ExpCacheTest, SweepArtifactsAreByteIdenticalAcrossJobsAndCache)
+{
+    auto parsed = exp::parseSpecText(
+        "workload  = pi, mc-integ\n"
+        "predictor = tournament, tage-sc-l\n"
+        "pbs       = off, on\n"
+        "mode      = functional\n"
+        "div       = 100\n"
+        "seeds     = 2\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    auto grid = exp::expandSpec(parsed.spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+    const std::string echo = exp::specJson(parsed.spec);
+
+    auto renderWith = [&](unsigned jobs, exp::EngineCounters *out) {
+        exp::EngineConfig cfg;
+        cfg.cacheDir = cacheDir();
+        cfg.jobs = jobs;
+        exp::Engine engine(cfg);
+        engine.runAll(grid.points);
+        auto json = exp::sweepJson(grid.points, engine, echo);
+        auto csv = exp::sweepCsv(grid.points, engine);
+        if (out)
+            *out = engine.counters();
+        return std::make_pair(json, csv);
+    };
+
+    fs::remove_all(cacheDir());
+    exp::EngineCounters coldCounters;
+    auto serial = renderWith(1, &coldCounters);
+    EXPECT_EQ(coldCounters.computed, grid.points.size());
+
+    fs::remove_all(cacheDir());
+    auto parallel = renderWith(4, nullptr);
+
+    exp::EngineCounters warmCounters;
+    auto warm = renderWith(4, &warmCounters);
+    EXPECT_EQ(warmCounters.computed, 0u)
+        << "warm rerun must do zero simulation work";
+    EXPECT_EQ(warmCounters.diskHits, grid.points.size());
+
+    // The determinism contract: byte-identical artifacts.
+    EXPECT_EQ(serial.first, parallel.first);
+    EXPECT_EQ(serial.first, warm.first);
+    EXPECT_EQ(serial.second, parallel.second);
+    EXPECT_EQ(serial.second, warm.second);
+
+    // And the artifact parses back.
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(serial.first, v, err)) << err;
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-sweep-v1");
+    EXPECT_EQ(v.find("points")->items.size(), grid.points.size());
+}
+
+TEST_F(ExpCacheTest, ReportRendersIdenticallyColdAndWarm)
+{
+    auto render = [&]() {
+        exp::EngineConfig cfg;
+        cfg.cacheDir = cacheDir();
+        cfg.jobs = 2;
+        exp::Engine engine(cfg);
+        driver::ReportContext ctx{engine, 200};
+        ::testing::internal::CaptureStdout();
+        EXPECT_EQ(driver::runReport("fig01", ctx), 0);
+        return ::testing::internal::GetCapturedStdout();
+    };
+    const std::string cold = render();
+    const std::string warm = render();
+    EXPECT_FALSE(cold.empty());
+    EXPECT_EQ(cold, warm);
+}
+
+// --- batch JSON ------------------------------------------------------
+
+TEST(ExpArtifact, BatchJsonCarriesConfigAndPerSeedMetrics)
+{
+    auto parsed = driver::parseArgs(
+        {"--workload", "pi", "--functional", "--pbs", "--scale", "2000",
+         "--seeds", "3", "--format", "json"});
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    auto results = driver::runBatch(parsed.opts);
+    const std::string json = exp::batchJson(parsed.opts, results);
+
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(json, v, err)) << err;
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-batch-v1");
+    EXPECT_EQ(v.find("config")->find("workload")->asString(), "pi");
+    EXPECT_TRUE(v.find("config")->find("pbs")->asBool());
+    const auto *runs = v.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->items.size(), 3u);
+    EXPECT_EQ(runs->items[0].find("seed")->asU64(), 12345u);
+    const auto *stats =
+        runs->items[0].find("result")->find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GT(stats->find("instructions")->asU64(), 0u);
+}
+
+}  // namespace
