@@ -1,0 +1,334 @@
+#include "bench/bench.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "cpu/core.hh"
+#include "driver/options.hh"
+#include "exp/json.hh"
+#include "workloads/common.hh"
+
+namespace pbs::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/** FNV-1a over a string, hex-encoded. */
+std::string
+fnv1aHex(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+cpu::CoreConfig
+configFor(const BenchPoint &p)
+{
+    cpu::CoreConfig cfg;  // 4-wide timing core, the paper's baseline
+    cfg.predictor = p.predictor;
+    cfg.pbsEnabled = p.pbs;
+    return cfg;
+}
+
+/**
+ * Emit the deterministic prefix shared by the content-hash body and
+ * the artifact: schema tag + config members. One emitter for both so
+ * the hash contract cannot drift from the artifact.
+ */
+void
+writeHeaderFields(exp::JsonWriter &w, const BenchConfig &cfg)
+{
+    w.key("schema").value("pbs-bench-v1");
+    w.key("config").beginObject();
+    w.key("divisor").value(cfg.divisor);
+    w.key("seed").value(cfg.seed);
+    w.key("mode").value("timing");
+    w.endObject();
+}
+
+/** Emit one point's deterministic members (hashed; no wall times). */
+void
+writePointFields(exp::JsonWriter &w, const BenchResult &r)
+{
+    w.key("workload").value(r.point.workload);
+    w.key("predictor").value(r.point.predictor);
+    w.key("pbs").value(r.point.pbs);
+    w.key("instructions").value(r.metrics.instructions);
+    w.key("cycles").value(r.metrics.cycles);
+    w.key("branches").value(r.metrics.branches);
+    w.key("mispredicts").value(r.metrics.mispredicts);
+    w.key("steered").value(r.metrics.steered);
+}
+
+/** The deterministic body that contentHash covers. */
+std::string
+deterministicBody(const std::vector<BenchResult> &results,
+                  const BenchConfig &cfg)
+{
+    exp::JsonWriter w;
+    w.beginObject();
+    writeHeaderFields(w, cfg);
+    w.key("points").beginArray();
+    for (const auto &r : results) {
+        w.beginObject();
+        writePointFields(w, r);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace
+
+std::vector<BenchPoint>
+standardPoints()
+{
+    std::vector<BenchPoint> points;
+    const auto &preds = driver::predictorNames();
+    for (const auto &b : workloads::allBenchmarks()) {
+        for (const auto &p : preds)
+            points.push_back({b.name, p, false});
+        points.push_back({b.name, "tage-sc-l", true});
+    }
+    return points;
+}
+
+std::vector<BenchPoint>
+filterPoints(const std::vector<BenchPoint> &points,
+             const std::string &workloads, const std::string &predictors)
+{
+    auto splitCsv = [](const std::string &s) {
+        std::vector<std::string> out;
+        size_t start = 0;
+        while (start <= s.size()) {
+            size_t comma = s.find(',', start);
+            if (comma == std::string::npos)
+                comma = s.size();
+            if (comma > start)
+                out.push_back(s.substr(start, comma - start));
+            start = comma + 1;
+        }
+        return out;
+    };
+    auto contains = [](const std::vector<std::string> &v,
+                       const std::string &x) {
+        return std::find(v.begin(), v.end(), x) != v.end();
+    };
+
+    const auto ws = splitCsv(workloads);
+    std::vector<std::string> ps;
+    for (const auto &p : splitCsv(predictors)) {
+        std::string canon = driver::canonicalPredictor(p);
+        if (canon.empty())
+            throw std::invalid_argument("unknown predictor: " + p);
+        ps.push_back(canon);
+    }
+    for (const auto &w : ws)
+        workloads::benchmarkByName(w);  // throws on unknown names
+
+    std::vector<BenchPoint> out;
+    for (const auto &pt : points) {
+        if (!ws.empty() && !contains(ws, pt.workload))
+            continue;
+        if (!ps.empty() && !contains(ps, pt.predictor))
+            continue;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+std::vector<BenchResult>
+runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
+{
+    std::vector<BenchResult> results(points.size());
+    std::atomic<unsigned> next{0};
+
+    auto worker = [&]() {
+        for (unsigned i = next.fetch_add(1); i < points.size();
+             i = next.fetch_add(1)) {
+            const BenchPoint &pt = points[i];
+            const auto &b = workloads::benchmarkByName(pt.workload);
+            workloads::WorkloadParams wp;
+            wp.seed = cfg.seed;
+            wp.scale = std::max<uint64_t>(
+                1, b.defaultScale / std::max(1u, cfg.divisor));
+            const cpu::CoreConfig coreCfg = configFor(pt);
+
+            BenchResult r;
+            r.point = pt;
+            double best_ms = 0.0;
+            for (unsigned rep = 0;
+                 rep < std::max(1u, cfg.repeats); rep++) {
+                // Simulated-MIPS measures *simulation*: program
+                // emission, predecode and table construction happen
+                // outside the timed region (they are per-point
+                // constants, not per-instruction costs), so the figure
+                // tracks the hot loop the tests guard.
+                cpu::Core core(
+                    b.build(wp, workloads::Variant::Marked), coreCfg);
+                auto t0 = Clock::now();
+                core.run();
+                auto t1 = Clock::now();
+                double ms = elapsedMs(t0, t1);
+                if (rep == 0 || ms < best_ms)
+                    best_ms = ms;
+
+                const auto &s = core.stats();
+                r.metrics.instructions = s.instructions;
+                r.metrics.cycles = s.cycles;
+                r.metrics.branches = s.branches;
+                r.metrics.mispredicts = s.mispredicts;
+                r.metrics.steered = s.steeredBranches;
+            }
+            r.wallMs = best_ms;
+            r.mips = best_ms > 0.0
+                ? double(r.metrics.instructions) / best_ms / 1000.0
+                : 0.0;
+            results[i] = r;
+        }
+    };
+
+    const unsigned jobs = std::max(
+        1u, std::min<unsigned>(cfg.jobs,
+                               static_cast<unsigned>(points.size())));
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; t++)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return results;
+}
+
+std::string
+contentHash(const std::vector<BenchResult> &results,
+            const BenchConfig &cfg)
+{
+    return fnv1aHex(deterministicBody(results, cfg));
+}
+
+double
+geomeanMips(const std::vector<BenchResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double logsum = 0.0;
+    unsigned n = 0;
+    for (const auto &r : results) {
+        if (r.mips > 0.0) {
+            logsum += std::log(r.mips);
+            n++;
+        }
+    }
+    return n ? std::exp(logsum / n) : 0.0;
+}
+
+std::string
+benchJson(const std::vector<BenchResult> &results,
+          const BenchConfig &cfg)
+{
+    // The artifact interleaves the deterministic fields with the
+    // volatile timing fields per point, but the hash covers only the
+    // deterministic body (recomputable from the artifact by dropping
+    // `wall_ms`, `mips` and `timing`).
+    exp::JsonWriter w;
+    w.beginObject();
+    writeHeaderFields(w, cfg);
+    w.key("points").beginArray();
+    for (const auto &r : results) {
+        w.newline();
+        w.beginObject();
+        writePointFields(w, r);
+        w.key("wall_ms").value(r.wallMs);
+        w.key("mips").value(r.mips);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("timing").beginObject();
+    w.key("geomean_mips").value(geomeanMips(results));
+    double total = 0.0;
+    for (const auto &r : results)
+        total += r.wallMs;
+    w.key("total_wall_ms").value(total);
+    w.endObject();
+    w.key("content_hash").value(contentHash(results, cfg));
+    w.endObject();
+    return w.str() + "\n";
+}
+
+unsigned
+compareBaseline(const std::vector<BenchResult> &results,
+                const std::string &baselineJson, double maxRegress,
+                std::string &report)
+{
+    exp::JsonValue root;
+    std::string err;
+    if (!exp::parseJson(baselineJson, root, err))
+        throw std::invalid_argument("baseline: malformed JSON: " + err);
+    const exp::JsonValue *schema = root.find("schema");
+    if (!schema || schema->asString() != "pbs-bench-v1")
+        throw std::invalid_argument("baseline: not a pbs-bench-v1 file");
+    const exp::JsonValue *points = root.find("points");
+    if (!points)
+        throw std::invalid_argument("baseline: missing points");
+
+    auto baselineMips = [&](const BenchPoint &pt) -> double {
+        for (const auto &p : points->items) {
+            const auto *w = p.find("workload");
+            const auto *pr = p.find("predictor");
+            const auto *pb = p.find("pbs");
+            const auto *m = p.find("mips");
+            if (w && pr && pb && m && w->asString() == pt.workload &&
+                pr->asString() == pt.predictor &&
+                pb->asBool() == pt.pbs) {
+                return m->asDouble();
+            }
+        }
+        return 0.0;
+    };
+
+    unsigned regressions = 0;
+    char line[160];
+    for (const auto &r : results) {
+        double base = baselineMips(r.point);
+        if (base <= 0.0)
+            continue;  // point not in the baseline
+        double ratio = r.mips / base;
+        bool bad = r.mips < base * (1.0 - maxRegress);
+        std::snprintf(line, sizeof(line),
+                      "%-10s %-12s pbs=%d  %8.2f -> %8.2f MIPS (%+5.1f%%)%s\n",
+                      r.point.workload.c_str(),
+                      r.point.predictor.c_str(), r.point.pbs ? 1 : 0,
+                      base, r.mips, (ratio - 1.0) * 100.0,
+                      bad ? "  REGRESSED" : "");
+        report += line;
+        if (bad)
+            regressions++;
+    }
+    return regressions;
+}
+
+}  // namespace pbs::bench

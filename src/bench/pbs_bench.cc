@@ -1,0 +1,213 @@
+/**
+ * @file
+ * `pbs_bench`: the simulated-MIPS throughput harness.
+ *
+ * Usage:
+ *   pbs_bench [--quick] [--jobs N] [--repeats N] [--div N] [--seed S]
+ *             [--out FILE] [--baseline FILE] [--max-regress F]
+ *             [--write-baseline FILE] [--list]
+ *
+ * Measures every registered workload x predictor pair (plus PBS-on
+ * points) on the timing model and emits the canonical `pbs-bench-v1`
+ * JSON artifact (see src/bench/bench.hh for the determinism contract).
+ * With --baseline, exits non-zero when any point regresses more than
+ * --max-regress (default 0.20) below the baseline MIPS.
+ *
+ * Refreshing the checked-in baseline after an intentional perf change:
+ *   ./build/pbs_bench --quick --write-baseline bench/baseline.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench.hh"
+#include "driver/options.hh"
+
+namespace {
+
+using namespace pbs;
+
+int
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "pbs_bench: %s\n", msg);
+    std::fprintf(stderr,
+        "usage: pbs_bench [--quick] [--jobs N] [--repeats N] [--div N]\n"
+        "                 [--workloads W1,W2] [--predictors P1,P2]\n"
+        "                 [--seed S] [--out FILE] [--baseline FILE]\n"
+        "                 [--max-regress F] [--write-baseline FILE]\n"
+        "                 [--list]\n");
+    return msg ? 2 : 0;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    return os.good();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchConfig cfg;
+    std::string out, baseline, writeBaseline;
+    std::string workloads, predictors;
+    double maxRegress = 0.20;
+    bool list = false;
+    bool divisorExplicit = false;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (size_t i = 0; i < args.size(); i++) {
+        std::string v;
+        int r;
+        if (args[i] == "--quick") {
+            cfg.quick = true;
+        } else if (args[i] == "--list") {
+            list = true;
+        } else if (args[i] == "--help" || args[i] == "-h") {
+            return usage();
+        } else if ((r = driver::takeOptionValue(args, i, "--jobs", v))) {
+            if (r < 0 || !driver::parseUnsignedArg(v, cfg.jobs))
+                return usage("bad --jobs");
+        } else if ((r = driver::takeOptionValue(args, i, "--repeats",
+                                                v))) {
+            if (r < 0 || !driver::parseUnsignedArg(v, cfg.repeats))
+                return usage("bad --repeats");
+        } else if ((r = driver::takeOptionValue(args, i, "--div", v))) {
+            if (r < 0 || !driver::parseUnsignedArg(v, cfg.divisor))
+                return usage("bad --div");
+            divisorExplicit = true;
+        } else if ((r = driver::takeOptionValue(args, i, "--seed", v))) {
+            uint64_t seed;
+            if (r < 0 || !driver::parseU64Arg(v, seed))
+                return usage("bad --seed");
+            cfg.seed = seed;
+        } else if ((r = driver::takeOptionValue(args, i, "--workloads",
+                                                v))) {
+            if (r < 0)
+                return usage("bad --workloads");
+            workloads = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--predictors",
+                                                v))) {
+            if (r < 0)
+                return usage("bad --predictors");
+            predictors = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--out", v))) {
+            if (r < 0)
+                return usage("bad --out");
+            out = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--baseline",
+                                                v))) {
+            if (r < 0)
+                return usage("bad --baseline");
+            baseline = v;
+        } else if ((r = driver::takeOptionValue(args, i,
+                                                "--write-baseline", v))) {
+            if (r < 0)
+                return usage("bad --write-baseline");
+            writeBaseline = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--max-regress",
+                                                v))) {
+            char *end = nullptr;
+            maxRegress = r > 0 ? std::strtod(v.c_str(), &end) : 0.0;
+            if (r < 0 || !end || *end != '\0' || v.empty() ||
+                maxRegress < 0.0 || maxRegress >= 1.0) {
+                return usage("bad --max-regress (want a fraction in "
+                             "[0, 1))");
+            }
+        } else {
+            return usage(("unknown option: " + args[i]).c_str());
+        }
+    }
+
+    // --quick picks the CI-fast scale unless --div was given explicitly.
+    if (cfg.quick && !divisorExplicit)
+        cfg.divisor = 50;
+
+    std::vector<bench::BenchPoint> points;
+    try {
+        points = bench::filterPoints(bench::standardPoints(), workloads,
+                                     predictors);
+    } catch (const std::exception &e) {
+        return usage(e.what());
+    }
+    if (points.empty())
+        return usage("no points match the filters");
+    if (list) {
+        for (const auto &p : points)
+            std::printf("%s %s pbs=%d\n", p.workload.c_str(),
+                        p.predictor.c_str(), p.pbs ? 1 : 0);
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "pbs_bench: %zu points, div %u, %u job(s), %u repeat(s)\n",
+                 points.size(), cfg.divisor, cfg.jobs,
+                 std::max(1u, cfg.repeats));
+
+    const auto results = bench::runBench(points, cfg);
+
+    // Human-readable summary on stdout.
+    std::printf("%-10s %-16s %-4s %14s %10s %10s\n", "workload",
+                "predictor", "pbs", "instructions", "wall_ms", "mips");
+    for (const auto &r : results) {
+        std::printf("%-10s %-16s %-4d %14llu %10.2f %10.2f\n",
+                    r.point.workload.c_str(), r.point.predictor.c_str(),
+                    r.point.pbs ? 1 : 0,
+                    static_cast<unsigned long long>(
+                        r.metrics.instructions),
+                    r.wallMs, r.mips);
+    }
+    std::printf("geomean: %.2f MIPS\n", bench::geomeanMips(results));
+
+    const std::string artifact = bench::benchJson(results, cfg);
+    if (!out.empty() && !writeFile(out, artifact)) {
+        std::fprintf(stderr, "pbs_bench: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    if (!writeBaseline.empty() && !writeFile(writeBaseline, artifact)) {
+        std::fprintf(stderr, "pbs_bench: cannot write %s\n",
+                     writeBaseline.c_str());
+        return 1;
+    }
+
+    if (!baseline.empty()) {
+        std::ifstream is(baseline, std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "pbs_bench: cannot read %s\n",
+                         baseline.c_str());
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        std::string report;
+        unsigned regressions = 0;
+        try {
+            regressions = bench::compareBaseline(results, ss.str(),
+                                                 maxRegress, report);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "pbs_bench: %s\n", e.what());
+            return 1;
+        }
+        std::printf("\nbaseline comparison (max regress %.0f%%):\n%s",
+                    maxRegress * 100.0, report.c_str());
+        if (regressions) {
+            std::fprintf(stderr,
+                         "pbs_bench: %u point(s) regressed beyond "
+                         "%.0f%%\n", regressions, maxRegress * 100.0);
+            return 1;
+        }
+        std::printf("baseline comparison OK\n");
+    }
+    return 0;
+}

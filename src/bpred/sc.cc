@@ -11,6 +11,7 @@ StatisticalCorrector::StatisticalCorrector(const ScConfig &cfg)
     gehl_.assign(cfg_.histLengths.size(),
                  std::vector<SignedSatCounter<8>>(
                      size_t(1) << cfg_.log2Gehl));
+    memoGehlIdx_.assign(gehl_.size(), 0);
 }
 
 size_t
@@ -32,12 +33,20 @@ StatisticalCorrector::gehlIndex(unsigned t, uint64_t pc) const
 int
 StatisticalCorrector::sum(uint64_t pc, bool primaryPred) const
 {
-    int s = 2 * bias_[biasIndex(pc, primaryPred)].raw() + 1;
-    for (unsigned t = 0; t < gehl_.size(); t++)
-        s += 2 * gehl_[t][gehlIndex(t, pc)].raw() + 1;
+    if (memoPc_ == pc && memoPred_ == primaryPred)
+        return memoSum_;
+    memoBiasIdx_ = biasIndex(pc, primaryPred);
+    int s = 2 * bias_[memoBiasIdx_].raw() + 1;
+    for (unsigned t = 0; t < gehl_.size(); t++) {
+        memoGehlIdx_[t] = gehlIndex(t, pc);
+        s += 2 * gehl_[t][memoGehlIdx_[t]].raw() + 1;
+    }
     // Bias the sum toward the primary prediction so the corrector only
     // overrides on clear statistical evidence.
     s += primaryPred ? 2 : -2;
+    memoPc_ = pc;
+    memoPred_ = primaryPred;
+    memoSum_ = s;
     return s;
 }
 
@@ -94,12 +103,14 @@ StatisticalCorrector::update(uint64_t pc, bool primaryPred, bool taken)
                 v--;
             c.set(v);
         };
-        train(bias_[biasIndex(pc, primaryPred)]);
+        // sum(pc, primaryPred) above primed the index memo.
+        train(bias_[memoBiasIdx_]);
         for (unsigned t = 0; t < gehl_.size(); t++)
-            train(gehl_[t][gehlIndex(t, pc)]);
+            train(gehl_[t][memoGehlIdx_[t]]);
     }
 
     ghist_ = (ghist_ << 1) | (taken ? 1 : 0);
+    memoPc_ = ~uint64_t(0);
 }
 
 size_t

@@ -63,6 +63,18 @@ class StatisticalCorrector
     int threshold_;
     SignedSatCounter<6> thresholdCtr_;
     bool lastOverrode_ = false;
+
+    /**
+     * Memo of the last sum() evaluation: refine() and update() see the
+     * same (pc, primaryPred, ghist) for a given branch, so the second
+     * sum and the training-loop indices reuse the first computation.
+     * Invalidated when ghist_ shifts.
+     */
+    mutable uint64_t memoPc_ = ~uint64_t(0);
+    mutable bool memoPred_ = false;
+    mutable int memoSum_ = 0;
+    mutable size_t memoBiasIdx_ = 0;
+    mutable std::vector<size_t> memoGehlIdx_;  ///< sized to gehl_
 };
 
 }  // namespace pbs::bpred

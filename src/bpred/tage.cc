@@ -21,8 +21,11 @@ TagePredictor::TagePredictor(const TageConfig &cfg)
             histLen_[i] = histLen_[i - 1] + 1;
     }
 
-    tables_.assign(cfg_.numTables,
-                   std::vector<TaggedEntry>(size_t(1) << cfg_.log2Entries));
+    tables_.assign(size_t(cfg_.numTables) << cfg_.log2Entries,
+                   TaggedEntry{});
+    pcShift_.resize(cfg_.numTables);
+    for (unsigned t = 0; t < cfg_.numTables; t++)
+        pcShift_[t] = cfg_.log2Entries - (t % cfg_.log2Entries);
     fIdx_.resize(cfg_.numTables);
     fTag0_.resize(cfg_.numTables);
     fTag1_.resize(cfg_.numTables);
@@ -46,9 +49,9 @@ size_t
 TagePredictor::tableIndex(unsigned t, uint64_t pc) const
 {
     size_t mask = (size_t(1) << cfg_.log2Entries) - 1;
-    uint64_t h = pc ^ (pc >> (cfg_.log2Entries - (t % cfg_.log2Entries)))
-                 ^ fIdx_[t].value();
-    return h & mask;
+    uint64_t h = pc ^ (pc >> pcShift_[t]) ^ fIdx_[t].value();
+    // Flat-table addressing: offset into table t's slice.
+    return (size_t(t) << cfg_.log2Entries) | (h & mask);
 }
 
 uint16_t
@@ -83,7 +86,7 @@ TagePredictor::predict(uint64_t pc)
     // Find provider (longest hit) and alternate (next hit).
     for (int t = static_cast<int>(cfg_.numTables) - 1; t >= 0; t--) {
         size_t idx = tableIndex(t, pc);
-        if (tables_[t][idx].tag == tableTag(t, pc)) {
+        if (tables_[idx].tag == tableTag(t, pc)) {
             if (ctx_.provider < 0) {
                 ctx_.provider = t;
                 ctx_.providerIdx = idx;
@@ -97,11 +100,11 @@ TagePredictor::predict(uint64_t pc)
 
     bool bimodal_pred = bimodal_[pc & (bimodal_.size() - 1)].taken();
     ctx_.altPred = ctx_.alt >= 0
-        ? tables_[ctx_.alt][ctx_.altIdx].ctr.taken()
+        ? tables_[ctx_.altIdx].ctr.taken()
         : bimodal_pred;
 
     if (ctx_.provider >= 0) {
-        const TaggedEntry &e = tables_[ctx_.provider][ctx_.providerIdx];
+        const TaggedEntry &e = tables_[ctx_.providerIdx];
         ctx_.providerPred = e.ctr.taken();
         ctx_.providerNew = e.u == 0 && e.ctr.weak();
         bool use_alt = ctx_.providerNew && !useAltOnNa_.taken();
@@ -133,7 +136,7 @@ TagePredictor::allocate(uint64_t pc, bool taken, int fromTable)
 
     for (int t = start; t < static_cast<int>(cfg_.numTables); t++) {
         size_t idx = tableIndex(t, pc);
-        TaggedEntry &e = tables_[t][idx];
+        TaggedEntry &e = tables_[idx];
         if (e.u == 0) {
             e.tag = tableTag(t, pc);
             e.ctr.set(taken ? 0 : -1);
@@ -142,7 +145,7 @@ TagePredictor::allocate(uint64_t pc, bool taken, int fromTable)
     }
     // No free entry: decay usefulness so future allocations succeed.
     for (int t = start; t < static_cast<int>(cfg_.numTables); t++) {
-        TaggedEntry &e = tables_[t][tableIndex(t, pc)];
+        TaggedEntry &e = tables_[tableIndex(t, pc)];
         if (e.u > 0)
             e.u--;
     }
@@ -159,7 +162,7 @@ TagePredictor::update(uint64_t pc, bool taken)
     bool mispredicted = ctx_.finalPred != taken;
 
     if (ctx_.provider >= 0) {
-        TaggedEntry &e = tables_[ctx_.provider][ctx_.providerIdx];
+        TaggedEntry &e = tables_[ctx_.providerIdx];
 
         // Track whether alternate prediction beats new entries.
         if (ctx_.providerNew && ctx_.providerPred != ctx_.altPred)
@@ -186,9 +189,8 @@ TagePredictor::update(uint64_t pc, bool taken)
     // Periodic usefulness aging.
     if (++tick_ >= cfg_.resetPeriod) {
         tick_ = 0;
-        for (auto &table : tables_)
-            for (auto &e : table)
-                e.u >>= 1;
+        for (auto &e : tables_)
+            e.u >>= 1;
     }
 
     pushHistory(taken);
@@ -199,10 +201,12 @@ void
 TagePredictor::pushHistory(bool taken)
 {
     ghist_.push(taken);
+    const uint8_t newest = taken ? 1 : 0;
     for (unsigned i = 0; i < cfg_.numTables; i++) {
-        fIdx_[i].update(ghist_);
-        fTag0_[i].update(ghist_);
-        fTag1_[i].update(ghist_);
+        const uint8_t outgoing = ghist_.bit(histLen_[i]);
+        fIdx_[i].update(newest, outgoing);
+        fTag0_[i].update(newest, outgoing);
+        fTag1_[i].update(newest, outgoing);
     }
 }
 

@@ -38,13 +38,20 @@ class HistoryBuffer
 {
   public:
     explicit HistoryBuffer(size_t capacity)
-        : bits_(capacity, 0)
-    {}
+    {
+        // Power-of-two ring so hot-path indexing is a mask, not a
+        // modulo. Extra slots beyond @p capacity are never read.
+        size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        bits_.assign(cap, 0);
+        mask_ = cap - 1;
+    }
 
     void
     push(bool taken)
     {
-        head_ = (head_ + bits_.size() - 1) % bits_.size();
+        head_ = (head_ - 1) & mask_;
         bits_[head_] = taken ? 1 : 0;
     }
 
@@ -52,12 +59,13 @@ class HistoryBuffer
     uint8_t
     bit(size_t age) const
     {
-        return bits_[(head_ + age) % bits_.size()];
+        return bits_[(head_ + age) & mask_];
     }
 
   private:
     std::vector<uint8_t> bits_;
     size_t head_ = 0;
+    size_t mask_ = 0;
 };
 
 /** Incrementally folded history register (Seznec's scheme). */
@@ -69,6 +77,8 @@ class FoldedHistory
     {
         origLen_ = origLen;
         compLen_ = compLen;
+        outShift_ = origLen % compLen;
+        mask_ = (1u << compLen) - 1;
         comp_ = 0;
     }
 
@@ -76,11 +86,19 @@ class FoldedHistory
     void
     update(const HistoryBuffer &h)
     {
-        comp_ = (comp_ << 1) | h.bit(0);
-        comp_ ^= static_cast<unsigned>(h.bit(origLen_))
-                 << (origLen_ % compLen_);
+        update(h.bit(0), h.bit(origLen_));
+    }
+
+    /** Same fold with the in/out bits already read (hot path: the
+     *  caller reads h.bit(origLen) once and shares it across the
+     *  index and tag folds of the same table). */
+    void
+    update(uint8_t newestBit, uint8_t outgoingBit)
+    {
+        comp_ = (comp_ << 1) | newestBit;
+        comp_ ^= static_cast<unsigned>(outgoingBit) << outShift_;
         comp_ ^= comp_ >> compLen_;
-        comp_ &= (1u << compLen_) - 1;
+        comp_ &= mask_;
     }
 
     unsigned value() const { return comp_; }
@@ -89,6 +107,8 @@ class FoldedHistory
     unsigned comp_ = 0;
     unsigned origLen_ = 0;
     unsigned compLen_ = 1;
+    unsigned outShift_ = 0;
+    unsigned mask_ = 0;
 };
 
 /** TAGE predictor. */
@@ -145,7 +165,13 @@ class TagePredictor : public BranchPredictor
 
     TageConfig cfg_;
     std::vector<unsigned> histLen_;
-    std::vector<std::vector<TaggedEntry>> tables_;
+
+    /**
+     * All tagged tables in one contiguous array: table t occupies
+     * [t << log2Entries, (t + 1) << log2Entries).
+     */
+    std::vector<TaggedEntry> tables_;
+    std::vector<unsigned> pcShift_;  ///< per-table pc hash shift
     HistoryBuffer ghist_;
     std::vector<SatCounter<2>> bimodal_;
     std::vector<FoldedHistory> fIdx_;

@@ -4,6 +4,83 @@
 
 namespace pbs::core {
 
+PbsEngine::LiveTable::LiveTable()
+{
+    slots_.resize(64);
+    mask_ = slots_.size() - 1;
+}
+
+PbsEngine::LiveInstance *
+PbsEngine::LiveTable::find(uint64_t token)
+{
+    for (size_t i = token & mask_;; i = (i + 1) & mask_) {
+        if (slots_[i].token == token)
+            return &slots_[i].inst;
+        if (slots_[i].token == 0)
+            return nullptr;
+    }
+}
+
+const PbsEngine::LiveInstance *
+PbsEngine::LiveTable::find(uint64_t token) const
+{
+    return const_cast<LiveTable *>(this)->find(token);
+}
+
+void
+PbsEngine::LiveTable::insert(uint64_t token, const LiveInstance &inst)
+{
+    if (2 * (count_ + 1) > slots_.size())
+        grow();
+    size_t i = token & mask_;
+    while (slots_[i].token != 0)
+        i = (i + 1) & mask_;
+    slots_[i].token = token;
+    slots_[i].inst = inst;
+    count_++;
+}
+
+void
+PbsEngine::LiveTable::erase(uint64_t token)
+{
+    size_t i = token & mask_;
+    while (slots_[i].token != token) {
+        if (slots_[i].token == 0)
+            return;
+        i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion keeps every probe chain contiguous.
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask_; slots_[j].token != 0;
+         j = (j + 1) & mask_) {
+        size_t home = slots_[j].token & mask_;
+        // Move j into the hole unless j still lies on its own probe
+        // path starting at `home` without passing the hole.
+        bool between = hole <= j ? (hole < home && home <= j)
+                                 : (home <= j || hole < home);
+        if (!between) {
+            slots_[hole] = slots_[j];
+            hole = j;
+        }
+    }
+    slots_[hole].token = 0;
+    slots_[hole].inst = LiveInstance{};
+    count_--;
+}
+
+void
+PbsEngine::LiveTable::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    count_ = 0;
+    for (auto &s : old) {
+        if (s.token != 0)
+            insert(s.token, s.inst);
+    }
+}
+
 PbsEngine::PbsEngine(const PbsConfig &cfg)
     : cfg_(cfg), btb_(cfg), swapTable_(cfg), inFlight_(cfg),
       ctxTable_(cfg)
@@ -60,13 +137,13 @@ PbsEngine::onProbCmpFetch(uint64_t branchPc, uint64_t cycle)
 
     if (!enabled_) {
         inst.pub.fallback = FallbackReason::Disabled;
-        live_[inst.pub.token] = inst;
+        live_.insert(inst.pub.token, inst);
         return inst.pub;
     }
 
     if (cfg_.constValGuard && constValDisabled_.count(branchPc)) {
         inst.pub.fallback = FallbackReason::ConstValViolation;
-        live_[inst.pub.token] = inst;
+        live_.insert(inst.pub.token, inst);
         return inst.pub;
     }
 
@@ -77,7 +154,7 @@ PbsEngine::onProbCmpFetch(uint64_t branchPc, uint64_t cycle)
     if (!ctx_supported) {
         stats_.fetchDepthLimited++;
         inst.pub.fallback = FallbackReason::DepthLimit;
-        live_[inst.pub.token] = inst;
+        live_.insert(inst.pub.token, inst);
         return inst.pub;
     }
 
@@ -126,27 +203,27 @@ PbsEngine::onProbCmpFetch(uint64_t branchPc, uint64_t cycle)
         stats_.fetchBootstrap++;
     }
 
-    live_[inst.pub.token] = inst;
+    live_.insert(inst.pub.token, inst);
     return inst.pub;
 }
 
 const PbsInstance &
 PbsEngine::instance(uint64_t token) const
 {
-    auto it = live_.find(token);
-    if (it == live_.end())
+    const LiveInstance *inst = live_.find(token);
+    if (!inst)
         throw std::logic_error("PbsEngine: unknown instance token");
-    return it->second.pub;
+    return inst->pub;
 }
 
 bool
 PbsEngine::onProbCmpExec(uint64_t token, uint64_t newValue1,
                          uint64_t cmpOperand, uint64_t execCycle)
 {
-    auto it = live_.find(token);
-    if (it == live_.end())
+    LiveInstance *found = live_.find(token);
+    if (!found)
         throw std::logic_error("PbsEngine: unknown instance token");
-    LiveInstance &inst = it->second;
+    LiveInstance &inst = *found;
     inst.newValue1 = newValue1;
     inst.cmpExecCycle = execCycle;
 
@@ -186,10 +263,10 @@ PbsEngine::onProbCmpExec(uint64_t token, uint64_t newValue1,
 void
 PbsEngine::onCarrierExec(uint64_t token, uint64_t newValue2)
 {
-    auto it = live_.find(token);
-    if (it == live_.end())
+    LiveInstance *found = live_.find(token);
+    if (!found)
         throw std::logic_error("PbsEngine: unknown instance token");
-    it->second.newValue2 = newValue2;
+    found->newValue2 = newValue2;
 }
 
 void
@@ -198,11 +275,11 @@ PbsEngine::onProbJmpExec(uint64_t token, bool outcome,
                          uint64_t targetPc, uint64_t execCycle,
                          uint64_t genSeq)
 {
-    auto it = live_.find(token);
-    if (it == live_.end())
+    const LiveInstance *found = live_.find(token);
+    if (!found)
         throw std::logic_error("PbsEngine: unknown instance token");
-    LiveInstance inst = it->second;
-    live_.erase(it);
+    LiveInstance inst = *found;
+    live_.erase(token);
 
     if (!inst.recording)
         return;

@@ -32,8 +32,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/context_table.hh"
 #include "core/pbs_config.hh"
@@ -149,6 +149,43 @@ class PbsEngine
         uint64_t cmpExecCycle = 0;
     };
 
+    /**
+     * Fixed-footprint token -> LiveInstance map. Instances live only
+     * from PROB_CMP fetch to PROB_JMP execute, so occupancy is tiny
+     * (bounded by the group-window depth); open addressing with linear
+     * probing keeps the steady-state hot path allocation-free. The
+     * table only reallocates if occupancy ever crosses half capacity,
+     * which validated programs cannot reach.
+     */
+    class LiveTable
+    {
+      public:
+        LiveTable();
+
+        /** @return the instance for @p token, or nullptr. */
+        LiveInstance *find(uint64_t token);
+        const LiveInstance *find(uint64_t token) const;
+
+        /** Insert @p inst under @p token (token must be unused). */
+        void insert(uint64_t token, const LiveInstance &inst);
+
+        /** Remove @p token (backward-shift deletion). */
+        void erase(uint64_t token);
+
+      private:
+        struct Slot
+        {
+            uint64_t token = 0;  ///< 0 = empty (tokens start at 1)
+            LiveInstance inst;
+        };
+
+        void grow();
+
+        std::vector<Slot> slots_;
+        size_t mask_ = 0;
+        size_t count_ = 0;
+    };
+
     void onContextClear(int loopSlot, uint64_t loopPc);
 
     PbsConfig cfg_;
@@ -158,7 +195,7 @@ class PbsEngine
     ProbInFlight inFlight_;
     ContextTable ctxTable_;
     PbsStats stats_;
-    std::unordered_map<uint64_t, LiveInstance> live_;
+    LiveTable live_;
     uint64_t nextToken_ = 1;
 
     /**

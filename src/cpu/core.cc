@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 #include "bpred/factory.hh"
 #include "isa/assembler.hh"
@@ -10,7 +11,10 @@
 namespace pbs::cpu {
 
 using isa::CmpOp;
+using isa::DecodedOp;
+using isa::FuKind;
 using isa::Instruction;
+using isa::LatKind;
 using isa::Opcode;
 
 namespace {
@@ -58,10 +62,11 @@ signedRem(int64_t a, int64_t b)
 }  // namespace
 
 Core::Core(const isa::Program &prog, const CoreConfig &cfg)
-    : prog_(prog), cfg_(cfg), hierarchy_(cfg.memory), pbs_(cfg.pbs)
+    : prog_(prog), image_(isa::DecodedImage::decode(prog_)), cfg_(cfg),
+      hierarchy_(cfg.memory), pbs_(cfg.pbs)
 {
-    prog_.validate();
     pred_ = bpred::makePredictor(cfg_.predictor);
+    predIsPerfect_ = pred_->isPerfect();
     if (cfg_.filterProbFromPredictor)
         sidePred_ = std::make_unique<bpred::StaticPredictor>(false);
 
@@ -71,32 +76,51 @@ Core::Core(const isa::Program &prog, const CoreConfig &cfg)
     for (const auto &[addr, bytes] : prog_.dataInit)
         mem_.writeBlock(addr, bytes);
 
-    // Map each PROB_CMP to its closing PROB_JMP (the Prob-BTB key).
-    for (size_t i = 0; i < prog_.insts.size(); i++) {
-        if (prog_.insts[i].op != Opcode::PROB_CMP)
-            continue;
-        for (size_t j = i + 1; j < prog_.insts.size(); j++) {
-            const Instruction &inst = prog_.insts[j];
-            if (inst.op == Opcode::PROB_JMP &&
-                inst.probId == prog_.insts[i].probId &&
-                !inst.isCarrierProbJmp()) {
-                probJmpOf_[i] = j;
-                break;
+    // Legacy-path metadata: map each PROB_CMP to its closing PROB_JMP
+    // (the Prob-BTB key). The predecoded path carries this per-op.
+    if (cfg_.execPath == ExecPath::LegacyProgram) {
+        for (size_t i = 0; i < prog_.insts.size(); i++) {
+            if (prog_.insts[i].op != Opcode::PROB_CMP)
+                continue;
+            for (size_t j = i + 1; j < prog_.insts.size(); j++) {
+                const Instruction &inst = prog_.insts[j];
+                if (inst.op == Opcode::PROB_JMP &&
+                    inst.probId == prog_.insts[i].probId &&
+                    !inst.isCarrierProbJmp()) {
+                    probJmpOf_[i] = j;
+                    break;
+                }
             }
         }
     }
 
-    fuFreeAt_.assign(8, {});
-    fuFreeAt_[size_t(FuClass::IntAlu)].assign(cfg_.pools.intAlu, 0);
-    fuFreeAt_[size_t(FuClass::IntMul)].assign(cfg_.pools.intMul, 0);
-    fuFreeAt_[size_t(FuClass::IntDiv)].assign(cfg_.pools.intDiv, 0);
-    fuFreeAt_[size_t(FuClass::FpAlu)].assign(cfg_.pools.fpAlu, 0);
-    fuFreeAt_[size_t(FuClass::FpMul)].assign(cfg_.pools.fpMul, 0);
-    fuFreeAt_[size_t(FuClass::FpDiv)].assign(cfg_.pools.fpDiv, 0);
-    fuFreeAt_[size_t(FuClass::Load)].assign(cfg_.pools.loadPorts, 0);
-    fuFreeAt_[size_t(FuClass::Store)].assign(cfg_.pools.storePorts, 0);
+    probGroups_.assign(size_t(image_.maxProbId()) + 1, ProbGroup{});
+    probSeq_.assign(size_t(image_.maxProbId()) + 1, 0);
+
+    latOf_[size_t(LatKind::IntAlu)] = cfg_.lat.intAlu;
+    latOf_[size_t(LatKind::IntMul)] = cfg_.lat.intMul;
+    latOf_[size_t(LatKind::IntDiv)] = cfg_.lat.intDiv;
+    latOf_[size_t(LatKind::FpAlu)] = cfg_.lat.fpAlu;
+    latOf_[size_t(LatKind::FpMul)] = cfg_.lat.fpMul;
+    latOf_[size_t(LatKind::FpDiv)] = cfg_.lat.fpDiv;
+    latOf_[size_t(LatKind::FpSqrt)] = cfg_.lat.fpSqrt;
+    latOf_[size_t(LatKind::FpTrans)] = cfg_.lat.fpTrans;
+    latOf_[size_t(LatKind::LoadBase)] = 1;  // + memory latency
+    latOf_[size_t(LatKind::Store)] = cfg_.lat.store;
+
+    fuFreeAt_[size_t(FuKind::IntAlu)].assign(cfg_.pools.intAlu, 0);
+    fuFreeAt_[size_t(FuKind::IntMul)].assign(cfg_.pools.intMul, 0);
+    fuFreeAt_[size_t(FuKind::IntDiv)].assign(cfg_.pools.intDiv, 0);
+    fuFreeAt_[size_t(FuKind::FpAlu)].assign(cfg_.pools.fpAlu, 0);
+    fuFreeAt_[size_t(FuKind::FpMul)].assign(cfg_.pools.fpMul, 0);
+    fuFreeAt_[size_t(FuKind::FpDiv)].assign(cfg_.pools.fpDiv, 0);
+    fuFreeAt_[size_t(FuKind::Load)].assign(cfg_.pools.loadPorts, 0);
+    fuFreeAt_[size_t(FuKind::Store)].assign(cfg_.pools.storePorts, 0);
 
     commitRing_.assign(cfg_.robSize, 0);
+
+    if (cfg_.traceProbBranches)
+        probTrace_.reserve(4096);
 }
 
 double
@@ -147,13 +171,15 @@ Core::evalCmp(CmpOp op, uint64_t a, uint64_t b)
 Core::FuSpec
 Core::fuSpecFor(const Instruction &inst) const
 {
+    // Legacy reference path: re-derive the FU class and latency from
+    // the opcode on every dynamic instruction.
     const Latencies &lat = cfg_.lat;
     switch (inst.op) {
       case Opcode::MUL:
-        return {FuClass::IntMul, lat.intMul, true};
+        return {FuKind::IntMul, lat.intMul, true};
       case Opcode::DIV:
       case Opcode::REM:
-        return {FuClass::IntDiv, lat.intDiv, false};
+        return {FuKind::IntDiv, lat.intDiv, false};
       case Opcode::FADD:
       case Opcode::FSUB:
       case Opcode::FMIN:
@@ -162,27 +188,67 @@ Core::fuSpecFor(const Instruction &inst) const
       case Opcode::FABS:
       case Opcode::I2F:
       case Opcode::F2I:
-        return {FuClass::FpAlu, lat.fpAlu, true};
+        return {FuKind::FpAlu, lat.fpAlu, true};
       case Opcode::FMUL:
-        return {FuClass::FpMul, lat.fpMul, true};
+        return {FuKind::FpMul, lat.fpMul, true};
       case Opcode::FDIV:
-        return {FuClass::FpDiv, lat.fpDiv, false};
+        return {FuKind::FpDiv, lat.fpDiv, false};
       case Opcode::FSQRT:
-        return {FuClass::FpDiv, lat.fpSqrt, false};
+        return {FuKind::FpDiv, lat.fpSqrt, false};
       case Opcode::FEXP:
       case Opcode::FLOG:
       case Opcode::FSIN:
       case Opcode::FCOS:
-        return {FuClass::FpDiv, lat.fpTrans, false};
+        return {FuKind::FpDiv, lat.fpTrans, false};
       case Opcode::LD:
       case Opcode::LDB:
-        return {FuClass::Load, 1, true};  // + memory latency
+        return {FuKind::Load, 1, true};  // + memory latency
       case Opcode::ST:
       case Opcode::STB:
-        return {FuClass::Store, lat.store, true};
+        return {FuKind::Store, lat.store, true};
       default:
-        return {FuClass::IntAlu, lat.intAlu, true};
+        return {FuKind::IntAlu, lat.intAlu, true};
     }
+}
+
+Core::FuSpec
+Core::opFuSpec(const Core &c, const DecodedOp &op)
+{
+    return {op.fu, c.latOf_[size_t(op.lat)], !op.unpipelined()};
+}
+
+Core::FuSpec
+Core::opFuSpec(const Core &c, const Instruction &op)
+{
+    return c.fuSpecFor(op);
+}
+
+unsigned
+Core::opSrcRegs(const DecodedOp &op, std::array<uint8_t, 3> &srcs)
+{
+    srcs[0] = op.srcs[0];
+    srcs[1] = op.srcs[1];
+    srcs[2] = op.srcs[2];
+    return op.nsrc;
+}
+
+unsigned
+Core::opSrcRegs(const Instruction &op, std::array<uint8_t, 3> &srcs)
+{
+    return op.sourceRegs(srcs);
+}
+
+uint64_t
+Core::opProbJmpPc(const DecodedOp &op, uint64_t) const
+{
+    return op.probJmpPc;
+}
+
+uint64_t
+Core::opProbJmpPc(const Instruction &, uint64_t pc) const
+{
+    auto it = probJmpOf_.find(pc);
+    return it != probJmpOf_.end() ? it->second : pc;
 }
 
 uint64_t
@@ -210,7 +276,7 @@ Core::fetchTiming(uint64_t pc)
 }
 
 std::pair<uint64_t, uint64_t>
-Core::issueOn(FuClass cls, unsigned latency, bool pipelined,
+Core::issueOn(FuKind cls, unsigned latency, bool pipelined,
               uint64_t ready)
 {
     auto &units = fuFreeAt_[size_t(cls)];
@@ -225,15 +291,17 @@ Core::issueOn(FuClass cls, unsigned latency, bool pipelined,
 }
 
 uint64_t
-Core::finishTiming(const Instruction &inst, uint64_t fetch,
-                   uint64_t memLatency)
+Core::finishTiming(const FuSpec &spec, const uint8_t *srcs,
+                   uint64_t fetch, uint64_t memLatency)
 {
     // Dispatch: frontend depth, dispatch bandwidth, ROB occupancy.
     uint64_t d = bandwidthLimit(lastDispatchCycle_, dispatchedInCycle_,
                                 cfg_.width, fetch + cfg_.frontendDepth);
-    uint64_t n = stats_.instructions;
-    if (n >= cfg_.robSize)
-        d = std::max(d, commitRing_[n % cfg_.robSize] + 1);
+    // commitRing_[robSlot_] holds the commit cycle of the instruction
+    // robSize before this one (robSlot_ walks the ring once per
+    // instruction, replacing a div-heavy `n % robSize`).
+    if (stats_.instructions >= cfg_.robSize)
+        d = std::max(d, commitRing_[robSlot_] + 1);
 
     // Fetch backpressure: a bounded fetch queue keeps fetch from running
     // arbitrarily ahead of dispatch.
@@ -241,20 +309,32 @@ Core::finishTiming(const Instruction &inst, uint64_t fetch,
     if (d > slack)
         fetchCycle_ = std::max(fetchCycle_, d - slack);
 
-    // Register dependences (renaming = last-writer tracking).
+    // Register dependences (renaming = last-writer tracking). The
+    // source array is always padded to 3 entries with REG_ZERO, and
+    // regReady_[REG_ZERO] is invariantly 0, so the three maxes are
+    // unconditional (branchless) and unused slots are no-ops.
     uint64_t ready = d;
-    std::array<uint8_t, 3> srcs;
-    unsigned nsrc = inst.sourceRegs(srcs);
-    for (unsigned i = 0; i < nsrc; i++) {
-        if (srcs[i] != isa::REG_ZERO)
-            ready = std::max(ready, regReady_[srcs[i]]);
-    }
+    ready = std::max(ready, regReady_[srcs[0]]);
+    ready = std::max(ready, regReady_[srcs[1]]);
+    ready = std::max(ready, regReady_[srcs[2]]);
 
-    FuSpec spec = fuSpecFor(inst);
     unsigned latency = spec.latency + memLatency;
-    auto [issue, done] = issueOn(spec.cls, latency, spec.pipelined, ready);
+    auto [issue, done] = issueOn(spec.cls, latency, spec.pipelined,
+                                 ready);
     (void)issue;
     return done;
+}
+
+uint64_t
+Core::scanStoreQueue(uint64_t key) const
+{
+    for (unsigned k = 0; k < storeCount_; k++) {
+        const auto &e = storeQueue_[
+            (storeHead_ + kStoreQueueDepth - 1 - k) % kStoreQueueDepth];
+        if (e.first == key)
+            return e.second;
+    }
+    return 0;
 }
 
 void
@@ -262,7 +342,9 @@ Core::commitTiming(uint64_t done)
 {
     uint64_t c = bandwidthLimit(lastCommitCycle_, committedInCycle_,
                                 cfg_.width, done + 1);
-    commitRing_[stats_.instructions % cfg_.robSize] = c;
+    commitRing_[robSlot_] = c;
+    if (++robSlot_ == cfg_.robSize)
+        robSlot_ = 0;
     if (c > stats_.cycles)
         stats_.cycles = c;
 }
@@ -293,7 +375,7 @@ Core::predictAndTrain(uint64_t pc, bool taken, bool isProb,
     if (isProb && cfg_.filterProbFromPredictor) {
         predicted = sidePred_->predict(pc);
         sidePred_->update(pc, taken);
-    } else if (pred_->isPerfect()) {
+    } else if (predIsPerfect_) {
         predicted = taken;
     } else {
         predicted = pred_->predict(pc);
@@ -337,10 +419,19 @@ Core::step(uint64_t n)
 void
 Core::stepOne()
 {
-    if (pc_ >= prog_.insts.size())
+    if (pc_ >= image_.size())
         throw std::out_of_range("PC out of range: " + std::to_string(pc_));
 
-    const Instruction &inst = prog_.insts[pc_];
+    if (cfg_.execPath == ExecPath::Decoded)
+        stepOneOn(image_.at(pc_));
+    else
+        stepOneOn(prog_.insts[pc_]);
+}
+
+template <class Op>
+void
+Core::stepOneOn(const Op &inst)
+{
     const uint64_t this_pc = pc_;
     uint64_t next_pc = pc_ + 1;
 
@@ -353,8 +444,7 @@ Core::stepOne()
     // instruction's fetch cycle.
     std::optional<core::PbsInstance> prob_fetch;
     if (inst.op == Opcode::PROB_CMP && cfg_.pbsEnabled) {
-        auto it = probJmpOf_.find(this_pc);
-        uint64_t jmp_pc = it != probJmpOf_.end() ? it->second : this_pc;
+        uint64_t jmp_pc = opProbJmpPc(inst, this_pc);
         prob_fetch = pbs_.onProbCmpFetch(jmp_pc, f);
         if (prob_fetch->stallCycles > 0 && timing) {
             f += prob_fetch->stallCycles;
@@ -375,12 +465,27 @@ Core::stepOne()
         ea = readReg(inst.rs1) + static_cast<uint64_t>(inst.imm);
         if (timing) {
             mem_lat = inst.isLoad() ? hierarchy_.dataAccess(ea) : 0;
-            for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend();
-                 ++it) {
-                if (it->first == (ea >> 3)) {
-                    mem_dep_ready = it->second;
-                    break;
+            uint64_t key = ea >> 3;
+            // Newest-to-oldest search of the last kStoreQueueDepth
+            // stores. The predecoded path goes through the store
+            // index; the legacy reference path keeps the plain ring
+            // scan, so the differential suites verify the index
+            // against the scan on every load.
+            if constexpr (std::is_same_v<Op, DecodedOp>) {
+                const StoreIdxEntry &ie = storeIdx_[storeIdxSlot(key)];
+                if (ie.key == key) {
+                    // Newest store to this address; expired = absent.
+                    if (storeSeq_ - ie.seq < kStoreQueueDepth)
+                        mem_dep_ready = ie.done;
+                } else if (ie.key != kNoStoreKey) {
+                    // Collision evicted this key's index entry: fall
+                    // back to the exact scan.
+                    mem_dep_ready = scanStoreQueue(key);
                 }
+                // ie.key == kNoStoreKey: no store ever hashed here,
+                // so this address was never stored — absence proven.
+            } else {
+                mem_dep_ready = scanStoreQueue(key);
             }
         }
     }
@@ -389,7 +494,10 @@ Core::stepOne()
     // store-to-load dependence is folded in afterwards.
     uint64_t done;
     if (timing) {
-        done = finishTiming(inst, f, mem_lat);
+        std::array<uint8_t, 3> srcs{};  // REG_ZERO-padded
+        opSrcRegs(inst, srcs);
+        done = finishTiming(opFuSpec(*this, inst), srcs.data(), f,
+                            mem_lat);
         if (mem_dep_ready > done)
             done = mem_dep_ready;
     } else {
@@ -609,7 +717,10 @@ Core::stepOne()
                 // from the recorded previous execution.
                 writeReg(inst.rd, grp.old.taken ? 1 : 0);
                 writeReg(inst.rs1, grp.old.value1);
-                if (timing)
+                // Guarded so regReady_[REG_ZERO] stays 0 (the
+                // dependence maxes rely on that invariant); a zero
+                // prob register was never read back anyway.
+                if (timing && inst.rs1 != isa::REG_ZERO)
                     regReady_[inst.rs1] = done;
             } else {
                 writeReg(inst.rd, cond_new ? 1 : 0);
@@ -699,10 +810,17 @@ Core::stepOne()
         int dst = inst.destReg();
         if (dst > 0)
             regReady_[dst] = done;
-        if (inst.isStore())
-            storeQueue_.emplace_back(ea >> 3, done);
-        if (storeQueue_.size() > 64)
-            storeQueue_.pop_front();
+        if (inst.isStore()) {
+            uint64_t key = ea >> 3;
+            storeQueue_[storeHead_] = {key, done};
+            storeHead_ = (storeHead_ + 1) % kStoreQueueDepth;
+            if (storeCount_ < kStoreQueueDepth)
+                storeCount_++;
+            StoreIdxEntry &ie = storeIdx_[storeIdxSlot(key)];
+            ie.key = key;
+            ie.seq = ++storeSeq_;
+            ie.done = done;
+        }
         if (ends_group)
             endFetchGroup(f);
         commitTiming(done);
@@ -713,5 +831,8 @@ Core::stepOne()
         stats_.cycles = stats_.instructions;
     pc_ = next_pc;
 }
+
+template void Core::stepOneOn<DecodedOp>(const DecodedOp &);
+template void Core::stepOneOn<Instruction>(const Instruction &);
 
 }  // namespace pbs::cpu

@@ -16,13 +16,23 @@
  *    fetch needs no prediction and can never mispredict; value swaps are
  *    applied architecturally at the probabilistic instructions, exactly
  *    as Section V of the paper specifies.
+ *
+ * Execution paths
+ * ---------------
+ * The hot loop runs from a predecoded @ref isa::DecodedImage: operands,
+ * branch targets, FU classes and per-PC PBS metadata are resolved once
+ * at construction, and the steady-state loop performs no heap
+ * allocation (fixed rings and flat tables replace the per-instruction
+ * container churn). The original interpretation straight out of
+ * @ref isa::Program is kept selectable via CoreConfig::execPath as a
+ * differential-testing reference; both paths produce bit-identical
+ * architectural state, statistics and traces.
  */
 
 #ifndef PBS_CPU_CORE_HH
 #define PBS_CPU_CORE_HH
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "bpred/predictor.hh"
 #include "core/pbs_engine.hh"
 #include "cpu/core_config.hh"
+#include "isa/decoded_image.hh"
 #include "isa/program.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
@@ -70,6 +81,9 @@ class Core
     const mem::MemoryHierarchy &caches() const { return hierarchy_; }
     const bpred::BranchPredictor &predictor() const { return *pred_; }
 
+    /** The predecoded image the core executes from. */
+    const isa::DecodedImage &image() const { return image_; }
+
     uint64_t reg(unsigned r) const { return regs_[r]; }
     double regDouble(unsigned r) const;
     uint64_t pc() const { return pc_; }
@@ -88,24 +102,34 @@ class Core
     static bool evalCmp(isa::CmpOp op, uint64_t a, uint64_t b);
     void stepOne();
 
-    // --- timing helpers ---
-    enum class FuClass {
-        IntAlu, IntMul, IntDiv, FpAlu, FpMul, FpDiv, Load, Store
-    };
+    /**
+     * One instruction on either execution path. @tparam Op is
+     * isa::DecodedOp (predecoded path) or isa::Instruction (legacy
+     * reference path); the shared field names keep the functional
+     * semantics textually identical across both.
+     */
+    template <class Op> void stepOneOn(const Op &inst);
 
+    // --- timing helpers ---
     struct FuSpec
     {
-        FuClass cls;
+        isa::FuKind cls;
         unsigned latency;
         bool pipelined;
     };
 
     FuSpec fuSpecFor(const isa::Instruction &inst) const;
     uint64_t fetchTiming(uint64_t pc);
-    std::pair<uint64_t, uint64_t> issueOn(FuClass cls, unsigned latency,
+    std::pair<uint64_t, uint64_t> issueOn(isa::FuKind cls,
+                                          unsigned latency,
                                           bool pipelined, uint64_t ready);
-    uint64_t finishTiming(const isa::Instruction &inst, uint64_t fetch,
-                          uint64_t memLatency);
+    /** @p srcs must point at 3 REG_ZERO-padded source registers. */
+    uint64_t finishTiming(const FuSpec &spec, const uint8_t *srcs,
+                          uint64_t fetch, uint64_t memLatency);
+
+    /** Exact newest-first ring scan: completion cycle of the newest
+     *  queued store to @p key, or 0 when none is queued. */
+    uint64_t scanStoreQueue(uint64_t key) const;
     void commitTiming(uint64_t done);
     void redirect(uint64_t resolveCycle);
     void endFetchGroup(uint64_t fetchCycle);
@@ -114,8 +138,19 @@ class Core
     void predictAndTrain(uint64_t pc, bool taken, bool isProb,
                          uint64_t doneCycle);
 
+    // --- per-Op-representation accessors (predecoded vs legacy) ---
+    static FuSpec opFuSpec(const Core &c, const isa::DecodedOp &op);
+    static FuSpec opFuSpec(const Core &c, const isa::Instruction &op);
+    static unsigned opSrcRegs(const isa::DecodedOp &op,
+                              std::array<uint8_t, 3> &srcs);
+    static unsigned opSrcRegs(const isa::Instruction &op,
+                              std::array<uint8_t, 3> &srcs);
+    uint64_t opProbJmpPc(const isa::DecodedOp &op, uint64_t pc) const;
+    uint64_t opProbJmpPc(const isa::Instruction &op, uint64_t pc) const;
+
     // --- members ---
     isa::Program prog_;  // owned copy: callers may pass temporaries
+    isa::DecodedImage image_;
     CoreConfig cfg_;
 
     // Functional state.
@@ -127,10 +162,19 @@ class Core
     // Timing state.
     mem::MemoryHierarchy hierarchy_;
     std::unique_ptr<bpred::BranchPredictor> pred_;
+    bool predIsPerfect_ = false;  ///< cached virtual isPerfect()
     std::unique_ptr<bpred::BranchPredictor> sidePred_;  ///< Fig. 9 filter
     std::array<uint64_t, isa::kNumRegs> regReady_{};
-    std::vector<std::vector<uint64_t>> fuFreeAt_;
+
+    /** Per-FU-class unit pools: freeAt cycles, fixed at construction. */
+    std::array<std::vector<uint64_t>,
+               size_t(isa::FuKind::NUM_FU_KINDS)> fuFreeAt_;
+
+    /** Configured latency of each latency class (indexed by LatKind). */
+    std::array<unsigned, size_t(isa::LatKind::NUM_LAT_KINDS)> latOf_{};
+
     std::vector<uint64_t> commitRing_;   ///< commit cycles, ROB window
+    unsigned robSlot_ = 0;               ///< ring cursor (== n % robSize)
     uint64_t fetchCycle_ = 0;
     unsigned fetchedInCycle_ = 0;
     uint64_t frontendReadyAt_ = 0;       ///< redirect gate
@@ -139,11 +183,57 @@ class Core
     uint64_t lastCommitCycle_ = 0;
     unsigned committedInCycle_ = 0;
     uint64_t lastFetchLine_ = ~uint64_t(0);
-    std::deque<std::pair<uint64_t, uint64_t>> storeQueue_;  ///< addr,done
+
+    /**
+     * Store queue: the last kStoreQueueDepth stores as (addr>>3, done)
+     * pairs in a fixed ring (newest at (storeHead_ - 1) % depth).
+     */
+    static constexpr unsigned kStoreQueueDepth = 64;
+    std::array<std::pair<uint64_t, uint64_t>, kStoreQueueDepth>
+        storeQueue_{};
+    unsigned storeHead_ = 0;   ///< next slot to write
+    unsigned storeCount_ = 0;  ///< valid entries (<= depth)
+
+    /**
+     * Direct-mapped index over the store queue: the *newest* store to
+     * each address key, with its global sequence number. A load probes
+     * the index first:
+     *  - slot key matches, sequence in window  -> exact hit
+     *  - slot key matches, sequence expired    -> absence proven (the
+     *    newest store to the address left the window, so every older
+     *    one did too)
+     *  - slot empty                            -> absence proven
+     *  - slot holds a colliding key            -> fall back to the
+     *    exact ring scan
+     * so the result is always identical to scanning the ring.
+     */
+    struct StoreIdxEntry
+    {
+        uint64_t key = kNoStoreKey;
+        uint64_t seq = 0;   ///< 1-based global store number
+        uint64_t done = 0;
+    };
+
+    /** addr>>3 keys have their top bits clear, so ~0 is never a key. */
+    static constexpr uint64_t kNoStoreKey = ~uint64_t(0);
+    static constexpr unsigned kStoreIdxSlots = 256;
+
+    static unsigned
+    storeIdxSlot(uint64_t key)
+    {
+        return unsigned((key * 0x9e3779b97f4a7c15ull) >> 56) &
+               (kStoreIdxSlots - 1);
+    }
+
+    std::array<StoreIdxEntry, kStoreIdxSlots> storeIdx_{};
+    uint64_t storeSeq_ = 0;    ///< total stores so far
 
     // PBS state.
     core::PbsEngine pbs_;
-    std::unordered_map<uint64_t, uint64_t> probJmpOf_;  ///< cmp pc -> jmp pc
+
+    /** Legacy-path map: PROB_CMP pc -> closing PROB_JMP pc. */
+    std::unordered_map<uint64_t, uint64_t> probJmpOf_;
+
     struct ProbGroup
     {
         uint64_t token = 0;
@@ -153,8 +243,10 @@ class Core
         core::BranchRecord old;
         bool open = false;
     };
-    std::unordered_map<uint16_t, ProbGroup> probGroups_;
-    std::unordered_map<uint16_t, uint64_t> probSeq_;  ///< instance count
+
+    /** Flat per-probId state (indexed by probId, sized at predecode). */
+    std::vector<ProbGroup> probGroups_;
+    std::vector<uint64_t> probSeq_;      ///< instance count per probId
     std::vector<ProbTraceEntry> probTrace_;
 
     CoreStats stats_;

@@ -51,10 +51,23 @@ enum class SimMode {
     Functional,  ///< architectural state only (fast accuracy runs)
 };
 
+/**
+ * Which program representation the core executes from. Both paths are
+ * bit-identical in every architectural and statistical output; the
+ * legacy path re-derives static instruction properties per dynamic
+ * instruction and exists as the differential-testing reference for the
+ * predecoded path (tests/predecode_equiv_test.cc).
+ */
+enum class ExecPath {
+    Decoded,        ///< predecoded isa::DecodedImage (default, fast)
+    LegacyProgram,  ///< direct isa::Program interpretation (reference)
+};
+
 /** Complete core configuration. */
 struct CoreConfig
 {
     SimMode mode = SimMode::Timing;
+    ExecPath execPath = ExecPath::Decoded;
 
     unsigned width = 4;          ///< fetch/dispatch/commit width
     unsigned robSize = 168;

@@ -19,9 +19,7 @@ Assembler::fixup(const std::string &target)
 void
 Assembler::label(const std::string &name)
 {
-    if (prog_.labels.count(name))
-        throw std::invalid_argument("duplicate label: " + name);
-    prog_.labels[name] = prog_.insts.size();
+    prog_.addLabel(name, prog_.insts.size());
 }
 
 #define PBS_ASM_RRR(fn, OP)                                               \
@@ -301,7 +299,7 @@ Assembler::probJmp(uint8_t rp2, uint8_t rc, const std::string &target)
 void
 Assembler::data(uint64_t addr, const std::vector<uint8_t> &bytes)
 {
-    prog_.dataInit[addr] = bytes;
+    prog_.setData(addr, bytes);
 }
 
 void
@@ -325,10 +323,10 @@ Assembler::finish()
     if (openProbId_ != 0)
         throw std::logic_error("unterminated probabilistic branch group");
     for (const auto &[idx, name] : fixups_) {
-        auto it = prog_.labels.find(name);
-        if (it == prog_.labels.end())
+        const uint64_t *pc = prog_.findLabel(name);
+        if (!pc)
             throw std::invalid_argument("undefined label: " + name);
-        prog_.insts[idx].imm = static_cast<int64_t>(it->second);
+        prog_.insts[idx].imm = static_cast<int64_t>(*pc);
     }
     fixups_.clear();
     prog_.validate();

@@ -28,7 +28,6 @@
 #define PBS_ISA_ASSEMBLER_HH
 
 #include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 

@@ -1,0 +1,209 @@
+#include "isa/decoded_image.hh"
+
+#include <stdexcept>
+
+namespace pbs::isa {
+
+FuKind
+fuKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL:
+        return FuKind::IntMul;
+      case Opcode::DIV:
+      case Opcode::REM:
+        return FuKind::IntDiv;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        return FuKind::FpAlu;
+      case Opcode::FMUL:
+        return FuKind::FpMul;
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+        return FuKind::FpDiv;
+      case Opcode::LD:
+      case Opcode::LDB:
+        return FuKind::Load;
+      case Opcode::ST:
+      case Opcode::STB:
+        return FuKind::Store;
+      default:
+        return FuKind::IntAlu;
+    }
+}
+
+LatKind
+latKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL:
+        return LatKind::IntMul;
+      case Opcode::DIV:
+      case Opcode::REM:
+        return LatKind::IntDiv;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::I2F:
+      case Opcode::F2I:
+        return LatKind::FpAlu;
+      case Opcode::FMUL:
+        return LatKind::FpMul;
+      case Opcode::FDIV:
+        return LatKind::FpDiv;
+      case Opcode::FSQRT:
+        return LatKind::FpSqrt;
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+        return LatKind::FpTrans;
+      case Opcode::LD:
+      case Opcode::LDB:
+        return LatKind::LoadBase;
+      case Opcode::ST:
+      case Opcode::STB:
+        return LatKind::Store;
+      default:
+        return LatKind::IntAlu;
+    }
+}
+
+bool
+fuUnpipelined(Opcode op)
+{
+    switch (op) {
+      case Opcode::DIV:
+      case Opcode::REM:
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FEXP:
+      case Opcode::FLOG:
+      case Opcode::FSIN:
+      case Opcode::FCOS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+DecodedImage
+DecodedImage::decode(const Program &prog)
+{
+    // Full structural validation first: every malformed-program failure
+    // mode (bad targets, bad registers, broken prob groups) surfaces
+    // here as std::invalid_argument with a disassembly diagnostic.
+    prog.validate();
+
+    DecodedImage img;
+    img.entry_ = prog.entry;
+    img.ops_.resize(prog.insts.size());
+
+    const int64_t n = static_cast<int64_t>(prog.insts.size());
+    for (int64_t pc = 0; pc < n; pc++) {
+        const Instruction &inst = prog.insts[pc];
+        DecodedOp &d = img.ops_[pc];
+
+        d.op = inst.op;
+        d.cmp = inst.cmp;
+        d.rd = inst.rd;
+        d.rs1 = inst.rs1;
+        d.rs2 = inst.rs2;
+        d.rs3 = inst.rs3;
+        d.probId = inst.probId;
+        d.imm = inst.imm;
+
+        if (inst.writesDest())
+            d.flags |= DecodedOp::kWritesDest;
+        if (inst.isLoad())
+            d.flags |= DecodedOp::kIsLoad;
+        if (inst.isStore())
+            d.flags |= DecodedOp::kIsStore;
+        if (inst.isControl())
+            d.flags |= DecodedOp::kIsControl;
+        if (inst.isCondBranch())
+            d.flags |= DecodedOp::kIsCondBranch;
+        if (inst.isProb())
+            d.flags |= DecodedOp::kIsProb;
+        if (inst.isCarrierProbJmp())
+            d.flags |= DecodedOp::kIsCarrier;
+
+        std::array<uint8_t, 3> srcs;
+        d.nsrc = static_cast<uint8_t>(inst.sourceRegs(srcs));
+        for (unsigned i = 0; i < d.nsrc; i++)
+            d.srcs[i] = srcs[i];
+
+        d.fu = fuKindOf(inst.op);
+        d.lat = latKindOf(inst.op);
+        if (fuUnpipelined(inst.op))
+            d.flags |= DecodedOp::kUnpipelined;
+
+        // Resolve the branch target. validate() has range-checked every
+        // real target already; re-check here so an image can never hold
+        // an out-of-range PC even if validation rules drift.
+        switch (inst.op) {
+          case Opcode::JMP:
+          case Opcode::JZ:
+          case Opcode::JNZ:
+          case Opcode::CFD_JNZ:
+          case Opcode::CALL:
+            if (inst.imm < 0 || inst.imm >= n)
+                throw std::invalid_argument(
+                    "predecode: branch target out of range at " +
+                    disassemble(inst, pc));
+            d.target = static_cast<uint32_t>(inst.imm);
+            d.flags |= DecodedOp::kHasTarget;
+            break;
+          case Opcode::PROB_JMP:
+            if (!inst.isCarrierProbJmp()) {
+                if (inst.imm < 0 || inst.imm >= n)
+                    throw std::invalid_argument(
+                        "predecode: branch target out of range at " +
+                        disassemble(inst, pc));
+                d.target = static_cast<uint32_t>(inst.imm);
+                d.flags |= DecodedOp::kHasTarget;
+            }
+            break;
+          default:
+            break;
+        }
+
+        if (inst.isProb() && inst.probId > img.maxProbId_)
+            img.maxProbId_ = inst.probId;
+    }
+
+    // Link each PROB_CMP to its closing (branching) PROB_JMP. validate()
+    // guarantees the close lands within the 8-instruction group window.
+    for (int64_t pc = 0; pc < n; pc++) {
+        if (prog.insts[pc].op != Opcode::PROB_CMP)
+            continue;
+        DecodedOp &d = img.ops_[pc];
+        d.probJmpPc = static_cast<uint32_t>(pc);
+        for (int64_t j = pc + 1; j < std::min<int64_t>(pc + 8, n); j++) {
+            const Instruction &follow = prog.insts[j];
+            if (follow.op == Opcode::PROB_JMP &&
+                follow.probId == prog.insts[pc].probId &&
+                !follow.isCarrierProbJmp()) {
+                d.probJmpPc = static_cast<uint32_t>(j);
+                break;
+            }
+        }
+    }
+
+    return img;
+}
+
+}  // namespace pbs::isa

@@ -1,10 +1,66 @@
 #include "isa/program.hh"
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 namespace pbs::isa {
+
+namespace {
+
+/** Strict-weak order of label entries by name (heterogeneous). */
+struct LabelNameLess
+{
+    bool
+    operator()(const std::pair<std::string, uint64_t> &a,
+               std::string_view b) const
+    {
+        return a.first < b;
+    }
+
+    bool
+    operator()(std::string_view a,
+               const std::pair<std::string, uint64_t> &b) const
+    {
+        return a < b.first;
+    }
+};
+
+}  // namespace
+
+const uint64_t *
+Program::findLabel(std::string_view name) const
+{
+    auto it = std::lower_bound(labels.begin(), labels.end(), name,
+                               LabelNameLess{});
+    if (it == labels.end() || it->first != name)
+        return nullptr;
+    return &it->second;
+}
+
+void
+Program::addLabel(const std::string &name, uint64_t pc)
+{
+    auto it = std::lower_bound(labels.begin(), labels.end(),
+                               std::string_view(name), LabelNameLess{});
+    if (it != labels.end() && it->first == name)
+        throw std::invalid_argument("duplicate label: " + name);
+    labels.insert(it, {name, pc});
+}
+
+void
+Program::setData(uint64_t addr, std::vector<uint8_t> bytes)
+{
+    auto it = std::lower_bound(
+        dataInit.begin(), dataInit.end(), addr,
+        [](const auto &e, uint64_t a) { return e.first < a; });
+    if (it != dataInit.end() && it->first == addr)
+        it->second = std::move(bytes);
+    else
+        dataInit.insert(it, {addr, std::move(bytes)});
+}
 
 size_t
 Program::staticBranchCount() const

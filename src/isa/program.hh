@@ -7,8 +7,8 @@
 #define PBS_ISA_PROGRAM_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/instruction.hh"
@@ -20,16 +20,40 @@ namespace pbs::isa {
  *
  * The PC is an instruction index into @ref insts. The data segment is a
  * list of (byte address, bytes) initializers applied to memory before
- * execution.
+ * execution, kept sorted by address with unique keys (a later
+ * initializer at the same address replaces the earlier one, and
+ * overlapping byte ranges apply in ascending address order).
  */
 struct Program
 {
     std::vector<Instruction> insts;
-    std::map<uint64_t, std::vector<uint8_t>> dataInit;
+
+    /** Data initializers, sorted by address, one entry per address. */
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> dataInit;
+
     uint64_t entry = 0;
 
-    /** Label name -> instruction index (for diagnostics). */
-    std::map<std::string, uint64_t> labels;
+    /**
+     * Label name -> instruction index (for diagnostics and fixup
+     * resolution), sorted by name, unique names. Use @ref findLabel for
+     * lookups and @ref addLabel to insert; both maintain the ordering.
+     */
+    std::vector<std::pair<std::string, uint64_t>> labels;
+
+    /** @return the pc of label @p name, or nullptr when undefined. */
+    const uint64_t *findLabel(std::string_view name) const;
+
+    /**
+     * Define label @p name at @p pc (keeps @ref labels sorted).
+     * @throws std::invalid_argument on a duplicate name.
+     */
+    void addLabel(const std::string &name, uint64_t pc);
+
+    /**
+     * Set the data initializer at @p addr (keeps @ref dataInit sorted;
+     * replaces any previous initializer at the same address).
+     */
+    void setData(uint64_t addr, std::vector<uint8_t> bytes);
 
     /** @return total number of static branch instructions. */
     size_t staticBranchCount() const;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
 namespace pbs::mem {
 
@@ -13,17 +14,17 @@ Cache::Cache(const CacheConfig &cfg, std::string name)
         throw std::invalid_argument("line size must be a power of two");
     }
     size_t lines = cfg_.sizeBytes / cfg_.lineBytes;
-    size_t num_sets = lines / cfg_.assoc;
-    if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
+    numSets_ = lines / cfg_.assoc;
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
         throw std::invalid_argument("set count must be a power of two");
-    sets_.assign(num_sets, std::vector<Line>(cfg_.assoc));
+    lines_.assign(numSets_ * cfg_.assoc, Line{});
     lineShift_ = std::countr_zero(uint64_t(cfg_.lineBytes));
 }
 
 size_t
 Cache::setIndex(uint64_t addr) const
 {
-    return (addr >> lineShift_) & (sets_.size() - 1);
+    return (addr >> lineShift_) & (numSets_ - 1);
 }
 
 uint64_t
@@ -35,22 +36,30 @@ Cache::tagOf(uint64_t addr) const
 bool
 Cache::access(uint64_t addr)
 {
-    auto &set = sets_[setIndex(addr)];
+    Line *set = &lines_[setIndex(addr) * cfg_.assoc];
     uint64_t tag = tagOf(addr);
     useClock_++;
 
-    for (auto &line : set) {
+    for (unsigned w = 0; w < cfg_.assoc; w++) {
+        Line &line = set[w];
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock_;
             hits_++;
+            // Move-to-front: hot lines are found on the first probe.
+            // Pure layout optimization — set membership and the
+            // lastUse clocks that drive LRU are position-independent,
+            // so hit/miss behavior is unchanged.
+            if (w != 0)
+                std::swap(set[0], line);
             return true;
         }
     }
 
     misses_++;
     // Insert with LRU victim selection.
-    Line *victim = &set[0];
-    for (auto &line : set) {
+    Line *victim = set;
+    for (unsigned w = 0; w < cfg_.assoc; w++) {
+        Line &line = set[w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -67,10 +76,10 @@ Cache::access(uint64_t addr)
 bool
 Cache::contains(uint64_t addr) const
 {
-    const auto &set = sets_[setIndex(addr)];
+    const Line *set = &lines_[setIndex(addr) * cfg_.assoc];
     uint64_t tag = tagOf(addr);
-    for (const auto &line : set) {
-        if (line.valid && line.tag == tag)
+    for (unsigned w = 0; w < cfg_.assoc; w++) {
+        if (set[w].valid && set[w].tag == tag)
             return true;
     }
     return false;

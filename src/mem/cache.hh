@@ -49,7 +49,7 @@ class Cache
         return total ? double(misses_) / double(total) : 0.0;
     }
 
-    size_t numSets() const { return sets_.size(); }
+    size_t numSets() const { return numSets_; }
 
   private:
     struct Line
@@ -64,7 +64,10 @@ class Cache
 
     CacheConfig cfg_;
     std::string name_;
-    std::vector<std::vector<Line>> sets_;
+    /** All sets in one contiguous array: set s occupies
+     *  [s * assoc, (s + 1) * assoc). */
+    std::vector<Line> lines_;
+    size_t numSets_ = 0;
     unsigned lineShift_;
     uint64_t useClock_ = 0;
     uint64_t hits_ = 0;

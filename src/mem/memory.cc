@@ -7,18 +7,30 @@ namespace pbs::mem {
 const SparseMemory::Page *
 SparseMemory::findPage(uint64_t addr) const
 {
-    auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : it->second.get();
+    uint64_t key = addr >> kPageShift;
+    if (key == lastKey_)
+        return lastPage_;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        return nullptr;
+    lastKey_ = key;
+    lastPage_ = it->second.get();
+    return lastPage_;
 }
 
 SparseMemory::Page &
 SparseMemory::touchPage(uint64_t addr)
 {
-    auto &slot = pages_[addr >> kPageShift];
+    uint64_t key = addr >> kPageShift;
+    if (key == lastKey_)
+        return *lastPage_;
+    auto &slot = pages_[key];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    lastKey_ = key;
+    lastPage_ = slot.get();
     return *slot;
 }
 
@@ -88,6 +100,25 @@ SparseMemory::writeBlock(uint64_t addr, const std::vector<uint8_t> &bytes)
 {
     for (size_t i = 0; i < bytes.size(); i++)
         writeByte(addr + i, bytes[i]);
+}
+
+bool
+SparseMemory::sameContents(const SparseMemory &other) const
+{
+    static const Page kZeroPage{};
+    auto pageOf = [](const SparseMemory &m, uint64_t key) -> const Page & {
+        auto it = m.pages_.find(key);
+        return it == m.pages_.end() ? kZeroPage : *it->second;
+    };
+    for (const auto &[key, page] : pages_) {
+        if (*page != pageOf(other, key))
+            return false;
+    }
+    for (const auto &[key, page] : other.pages_) {
+        if (!pages_.count(key) && *page != kZeroPage)
+            return false;
+    }
+    return true;
 }
 
 }  // namespace pbs::mem

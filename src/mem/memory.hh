@@ -36,6 +36,13 @@ class SparseMemory
     /** @return number of allocated pages (testing aid). */
     size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Semantic memory equality: every byte of the address space
+     * compares equal, with unallocated pages reading as zero (so an
+     * allocated-but-untouched page equals no page at all).
+     */
+    bool sameContents(const SparseMemory &other) const;
+
   private:
     using Page = std::array<uint8_t, kPageSize>;
 
@@ -43,6 +50,10 @@ class SparseMemory
     Page &touchPage(uint64_t addr);
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    /** One-entry TLB-style cache of the last page touched. */
+    mutable uint64_t lastKey_ = ~uint64_t(0);
+    mutable Page *lastPage_ = nullptr;
 };
 
 }  // namespace pbs::mem

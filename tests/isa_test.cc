@@ -257,4 +257,79 @@ TEST(EncodingTest, ImmediateTooLargeThrows)
     EXPECT_THROW(encode(j), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// Sorted-vector label and data tables (formerly std::map).
+// ---------------------------------------------------------------------
+
+TEST(ProgramTables, LabelsStaySortedAndBinarySearchable)
+{
+    Assembler as;
+    // Deliberately unsorted definition order.
+    for (const char *name : {"zeta", "alpha", "mid", "beta", "omega"}) {
+        as.label(name);
+        as.nop();
+    }
+    as.halt();
+    Program p = as.finish();
+
+    ASSERT_EQ(p.labels.size(), 5u);
+    for (size_t i = 1; i < p.labels.size(); i++)
+        EXPECT_LT(p.labels[i - 1].first, p.labels[i].first);
+
+    ASSERT_NE(p.findLabel("alpha"), nullptr);
+    EXPECT_EQ(*p.findLabel("alpha"), 1u);
+    ASSERT_NE(p.findLabel("omega"), nullptr);
+    EXPECT_EQ(*p.findLabel("omega"), 4u);
+    EXPECT_EQ(p.findLabel("missing"), nullptr);
+}
+
+TEST(ProgramTables, DuplicateLabelDiagnosticNamesTheLabel)
+{
+    Assembler as;
+    as.label("again");
+    as.nop();
+    try {
+        as.label("again");
+        FAIL() << "duplicate label accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("again"),
+                  std::string::npos) << e.what();
+    }
+}
+
+TEST(ProgramTables, DataInitSortedWithLastWriteWins)
+{
+    Assembler as;
+    as.data64(0x300, 1);
+    as.data64(0x100, 2);
+    as.data64(0x200, 3);
+    as.data64(0x100, 42);  // overwrite
+    as.halt();
+    Program p = as.finish();
+
+    ASSERT_EQ(p.dataInit.size(), 3u);
+    EXPECT_EQ(p.dataInit[0].first, 0x100u);
+    EXPECT_EQ(p.dataInit[1].first, 0x200u);
+    EXPECT_EQ(p.dataInit[2].first, 0x300u);
+    EXPECT_EQ(p.dataInit[0].second[0], 42);  // last write won
+}
+
+TEST(ProgramTables, OutOfRangeTargetDiagnosticShowsInstruction)
+{
+    Instruction j;
+    j.op = Opcode::JMP;
+    j.imm = 12345;
+    Program p;
+    p.insts.push_back(j);
+    try {
+        p.validate();
+        FAIL() << "out-of-range target accepted";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("target out of range"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("12345"), std::string::npos) << msg;
+    }
+}
+
 }  // namespace

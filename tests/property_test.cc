@@ -10,6 +10,7 @@
 #include "bpred/factory.hh"
 #include "cpu/core.hh"
 #include "isa/assembler.hh"
+#include "isa/decoded_image.hh"
 #include "isa/encoding.hh"
 #include "mem/cache.hh"
 #include "rng/rng.hh"
@@ -321,6 +322,224 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return n;
     });
+
+// ---------------------------------------------------------------------
+// Predecoder fuzzing: randomly generated valid programs must execute
+// identically through the DecodedImage path and the direct-Program
+// interpretation; malformed programs must be rejected at predecode
+// time with a diagnostic, never a crash.
+// ---------------------------------------------------------------------
+
+/**
+ * Generate a random but guaranteed-valid, guaranteed-terminating
+ * program: an outer counted loop whose body mixes ALU ops, memory ops
+ * into a small data region, forward conditional skips, and optionally
+ * a probabilistic branch group.
+ */
+isa::Program
+randomProgram(rng::XorShift64Star &rng, bool withProb)
+{
+    using isa::CmpOp;
+    isa::Assembler a;
+    a.ldi(3, 200 + rng.next() % 200);  // loop counter
+    a.ldi(4, 0x20000);                 // data base
+    a.ldi(10, 1 + rng.next() % 1000);  // working values
+    a.ldi(11, 1 + rng.next() % 1000);
+    a.ldf(12, 0.25 + 0.5 * rng.nextDouble());  // prob threshold
+    a.label("loop");
+
+    unsigned body = 4 + rng.next() % 12;
+    unsigned skips = 0;
+    for (unsigned i = 0; i < body; i++) {
+        uint8_t rd = 10 + rng.next() % 4;
+        uint8_t rs1 = 10 + rng.next() % 4;
+        uint8_t rs2 = 10 + rng.next() % 4;
+        switch (rng.next() % 10) {
+          case 0: a.add(rd, rs1, rs2); break;
+          case 1: a.sub(rd, rs1, rs2); break;
+          case 2: a.mul(rd, rs1, rs2); break;
+          case 3: a.xor_(rd, rs1, rs2); break;
+          case 4: a.addi(rd, rs1, int64_t(rng.next() % 97) - 48); break;
+          case 5: a.srli(rd, rs1, 1 + rng.next() % 7); break;
+          case 6:
+            a.st(4, rs1, (rng.next() % 64) * 8);
+            break;
+          case 7:
+            a.ld(rd, 4, (rng.next() % 64) * 8);
+            break;
+          case 8: {
+            // Forward conditional skip over the next op.
+            std::string skip = "skip" + std::to_string(skips++);
+            a.jz(rs1, skip);
+            a.addi(rd, rd, 1);
+            a.label(skip);
+            break;
+          }
+          default: a.cmp(CmpOp::LTU, rd, rs1, rs2); break;
+        }
+    }
+
+    if (withProb) {
+        // rng-driven probabilistic branch: uniform in r13 via xorshift
+        // bits, compared against the threshold in r12.
+        a.slli(13, 10, 13);
+        a.xor_(13, 13, 10);
+        a.srli(14, 13, 12);
+        a.andi(14, 14, 0xfffff);
+        a.i2f(14, 14);
+        a.ldf(15, 1048576.0);
+        a.fdiv(14, 14, 15);
+        a.probCmp(CmpOp::FLT, 6, 14, 12);
+        a.probJmp(isa::REG_ZERO, 6, "taken");
+        a.addi(10, 10, 3);
+        a.label("taken");
+    }
+
+    a.addi(3, 3, -1);
+    a.jnz(3, "loop");
+    a.halt();
+    return a.finish();
+}
+
+class PredecodeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredecodeFuzz, RandomProgramsNeverDiverge)
+{
+    rng::XorShift64Star rng(GetParam());
+    for (int round = 0; round < 8; round++) {
+        bool with_prob = (rng.next() & 1) != 0;
+        isa::Program prog = randomProgram(rng, with_prob);
+
+        cpu::CoreConfig legacyCfg;
+        legacyCfg.predictor = "tournament";
+        legacyCfg.pbsEnabled = with_prob;
+        legacyCfg.traceProbBranches = with_prob;
+        legacyCfg.execPath = cpu::ExecPath::LegacyProgram;
+        cpu::CoreConfig decodedCfg = legacyCfg;
+        decodedCfg.execPath = cpu::ExecPath::Decoded;
+
+        cpu::Core legacy(prog, legacyCfg);
+        legacy.run();
+        cpu::Core decoded(prog, decodedCfg);
+        decoded.run();
+
+        ASSERT_TRUE(legacy.halted());
+        ASSERT_TRUE(decoded.halted());
+        EXPECT_TRUE(legacy.stats() == decoded.stats())
+            << "round " << round;
+        EXPECT_EQ(legacy.stats().cycles, decoded.stats().cycles)
+            << "round " << round;
+        for (unsigned r = 0; r < isa::kNumRegs; r++)
+            EXPECT_EQ(legacy.reg(r), decoded.reg(r)) << "reg " << r;
+        EXPECT_TRUE(legacy.memory().sameContents(decoded.memory()))
+            << "round " << round;
+        ASSERT_EQ(legacy.probTrace().size(), decoded.probTrace().size());
+        for (size_t i = 0; i < legacy.probTrace().size(); i++) {
+            EXPECT_EQ(legacy.probTrace()[i].taken,
+                      decoded.probTrace()[i].taken) << "entry " << i;
+            EXPECT_EQ(legacy.probTrace()[i].consumedSeq,
+                      decoded.probTrace()[i].consumedSeq)
+                << "entry " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredecodeFuzz,
+                         ::testing::Values(11, 42, 1234, 9999));
+
+TEST(PredecodeDiagnostics, MalformedTargetsRejectedNotCrashed)
+{
+    using isa::Instruction;
+    using isa::Opcode;
+
+    // Forward jump past the end of the program.
+    isa::Program bad;
+    Instruction jmp;
+    jmp.op = Opcode::JMP;
+    jmp.imm = 99;
+    bad.insts.push_back(jmp);
+    bad.insts.push_back(Instruction{});  // NOP
+    try {
+        isa::DecodedImage::decode(bad);
+        FAIL() << "out-of-range JMP target accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("target"),
+                  std::string::npos) << e.what();
+    }
+
+    // Negative conditional target.
+    isa::Program bad2;
+    Instruction jnz;
+    jnz.op = Opcode::JNZ;
+    jnz.rs1 = 3;
+    jnz.imm = -5;
+    bad2.insts.push_back(jnz);
+    EXPECT_THROW(isa::DecodedImage::decode(bad2),
+                 std::invalid_argument);
+
+    // Branching PROB_JMP with an out-of-range target.
+    isa::Program bad3;
+    Instruction pcmp;
+    pcmp.op = Opcode::PROB_CMP;
+    pcmp.rd = 3;
+    pcmp.rs1 = 4;
+    pcmp.rs2 = 5;
+    pcmp.probId = 1;
+    Instruction pjmp;
+    pjmp.op = Opcode::PROB_JMP;
+    pjmp.rs1 = 3;
+    pjmp.imm = 1000;
+    pjmp.probId = 1;
+    bad3.insts.push_back(pcmp);
+    bad3.insts.push_back(pjmp);
+    EXPECT_THROW(isa::DecodedImage::decode(bad3),
+                 std::invalid_argument);
+
+    // Entry point out of range.
+    isa::Program bad4;
+    bad4.insts.push_back(Instruction{});
+    bad4.entry = 5;
+    EXPECT_THROW(isa::DecodedImage::decode(bad4),
+                 std::invalid_argument);
+}
+
+TEST(PredecodeMetadata, FlagsTargetsAndProbLinksMatchProgram)
+{
+    // Deterministic spot-check of the static metadata on a real
+    // workload image.
+    const auto &b = workloads::benchmarkByName("pi");
+    workloads::WorkloadParams p;
+    p.scale = 100;
+    isa::Program prog = b.build(p, workloads::Variant::Marked);
+    isa::DecodedImage img = isa::DecodedImage::decode(prog);
+
+    ASSERT_EQ(img.size(), prog.insts.size());
+    for (size_t pc = 0; pc < prog.insts.size(); pc++) {
+        const auto &inst = prog.insts[pc];
+        const auto &d = img.at(pc);
+        EXPECT_EQ(d.op, inst.op);
+        EXPECT_EQ(d.writesDest(), inst.writesDest());
+        EXPECT_EQ(d.isLoad(), inst.isLoad());
+        EXPECT_EQ(d.isStore(), inst.isStore());
+        EXPECT_EQ(d.isControl(), inst.isControl());
+        EXPECT_EQ(d.isCarrierProbJmp(), inst.isCarrierProbJmp());
+        EXPECT_EQ(d.destReg(), inst.destReg());
+        std::array<uint8_t, 3> srcs{};
+        unsigned n = inst.sourceRegs(srcs);
+        EXPECT_EQ(d.nsrc, n);
+        for (unsigned i = 0; i < n; i++)
+            EXPECT_EQ(d.srcs[i], srcs[i]);
+        if (inst.op == isa::Opcode::PROB_CMP) {
+            // The link must point at a branching PROB_JMP of the same
+            // group.
+            const auto &link = img.at(d.probJmpPc);
+            EXPECT_EQ(link.op, isa::Opcode::PROB_JMP);
+            EXPECT_EQ(link.probId, d.probId);
+            EXPECT_FALSE(link.isCarrierProbJmp());
+        }
+    }
+    EXPECT_GE(img.maxProbId(), 1u);
+}
 
 // ---------------------------------------------------------------------
 // Misprediction penalty scaling property.
