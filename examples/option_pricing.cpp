@@ -40,7 +40,7 @@ main()
 
             const auto &s = core.stats();
             double max_err = 0.0;
-            auto out = b.simOutput(core);
+            auto out = b.simOutput(core.memory());
             for (size_t i = 0; i < out.size(); i++) {
                 max_err = std::max(max_err, stats::relativeError(
                     out[i], reference[i]));

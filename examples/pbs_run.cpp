@@ -147,7 +147,7 @@ main(int argc, char **argv)
                         core.pbs().storageBytes());
         }
         std::printf("outputs       ");
-        for (double v : b.simOutput(core))
+        for (double v : b.simOutput(core.memory()))
             std::printf(" %.6g", v);
         std::printf("\n");
     } catch (const std::exception &e) {

@@ -10,6 +10,8 @@
 #include "cpu/core.hh"
 #include "driver/options.hh"
 #include "exp/json.hh"
+#include "sampling/functional.hh"
+#include "sampling/sampled.hh"
 #include "workloads/common.hh"
 
 namespace pbs::bench {
@@ -40,12 +42,37 @@ fnv1aHex(const std::string &s)
 }
 
 cpu::CoreConfig
-configFor(const BenchPoint &p)
+configFor(const BenchPoint &p, const BenchConfig &bench)
 {
     cpu::CoreConfig cfg;  // 4-wide timing core, the paper's baseline
     cfg.predictor = p.predictor;
     cfg.pbsEnabled = p.pbs;
+    if (p.mode == "legacy") {
+        cfg.execMode = cpu::ExecMode::Legacy;
+        cfg.execPath = cpu::ExecPath::LegacyProgram;
+    } else if (p.mode == "functional") {
+        cfg.execMode = cpu::ExecMode::Functional;
+    } else if (p.mode == "sampled") {
+        cfg.execMode = cpu::ExecMode::Sampled;
+        cfg.sample = bench.sample;
+        cfg.sample.jobs = 1;  // sequential: MIPS comparable across jobs
+    } else if (p.mode == "mpki") {
+        cfg.mode = cpu::SimMode::Functional;
+    }
     return cfg;
+}
+
+const char *const kBenchModes[] = {"detailed", "legacy", "functional",
+                                   "sampled", "mpki"};
+
+bool
+knownMode(const std::string &m)
+{
+    for (const char *k : kBenchModes) {
+        if (m == k)
+            return true;
+    }
+    return false;
 }
 
 /**
@@ -56,11 +83,13 @@ configFor(const BenchPoint &p)
 void
 writeHeaderFields(exp::JsonWriter &w, const BenchConfig &cfg)
 {
-    w.key("schema").value("pbs-bench-v1");
+    w.key("schema").value("pbs-bench-v2");
     w.key("config").beginObject();
     w.key("divisor").value(cfg.divisor);
     w.key("seed").value(cfg.seed);
-    w.key("mode").value("timing");
+    w.key("sample_interval").value(cfg.sample.interval);
+    w.key("sample_warmup").value(cfg.sample.warmup);
+    w.key("sample_measure").value(cfg.sample.measure);
     w.endObject();
 }
 
@@ -71,6 +100,7 @@ writePointFields(exp::JsonWriter &w, const BenchResult &r)
     w.key("workload").value(r.point.workload);
     w.key("predictor").value(r.point.predictor);
     w.key("pbs").value(r.point.pbs);
+    w.key("mode").value(r.point.mode);
     w.key("instructions").value(r.metrics.instructions);
     w.key("cycles").value(r.metrics.cycles);
     w.key("branches").value(r.metrics.branches);
@@ -156,6 +186,39 @@ filterPoints(const std::vector<BenchPoint> &points,
     return out;
 }
 
+std::vector<BenchPoint>
+expandModes(const std::vector<BenchPoint> &points,
+            const std::string &modes)
+{
+    std::vector<std::string> list;
+    size_t start = 0;
+    while (start <= modes.size()) {
+        size_t comma = modes.find(',', start);
+        if (comma == std::string::npos)
+            comma = modes.size();
+        if (comma > start) {
+            std::string m = modes.substr(start, comma - start);
+            if (!knownMode(m))
+                throw std::invalid_argument("unknown mode: " + m);
+            list.push_back(m);
+        }
+        start = comma + 1;
+    }
+    if (list.empty())
+        list.push_back("detailed");
+
+    std::vector<BenchPoint> out;
+    out.reserve(points.size() * list.size());
+    for (const auto &pt : points) {
+        for (const auto &m : list) {
+            BenchPoint p = pt;
+            p.mode = m;
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
 std::vector<BenchResult>
 runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
 {
@@ -171,7 +234,7 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
             wp.seed = cfg.seed;
             wp.scale = std::max<uint64_t>(
                 1, b.defaultScale / std::max(1u, cfg.divisor));
-            const cpu::CoreConfig coreCfg = configFor(pt);
+            const cpu::CoreConfig coreCfg = configFor(pt, cfg);
 
             BenchResult r;
             r.point = pt;
@@ -182,17 +245,36 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
                 // emission, predecode and table construction happen
                 // outside the timed region (they are per-point
                 // constants, not per-instruction costs), so the figure
-                // tracks the hot loop the tests guard.
-                cpu::Core core(
-                    b.build(wp, workloads::Variant::Marked), coreCfg);
-                auto t0 = Clock::now();
-                core.run();
-                auto t1 = Clock::now();
-                double ms = elapsedMs(t0, t1);
+                // tracks the hot loop the tests guard. Sampled mode is
+                // the exception: its per-sample core construction and
+                // checkpointing are intrinsic per-run costs, so its
+                // timed region is the whole sampled simulation.
+                isa::Program prog =
+                    b.build(wp, workloads::Variant::Marked);
+                double ms;
+                cpu::CoreStats s;
+                if (coreCfg.execMode == cpu::ExecMode::Functional) {
+                    sampling::FunctionalEngine engine(prog);
+                    auto t0 = Clock::now();
+                    engine.run();
+                    ms = elapsedMs(t0, Clock::now());
+                    s = engine.stats();
+                } else if (coreCfg.execMode == cpu::ExecMode::Sampled) {
+                    auto t0 = Clock::now();
+                    sampling::SampledRun sr =
+                        sampling::runSampled(prog, coreCfg);
+                    ms = elapsedMs(t0, Clock::now());
+                    s = sr.stats;
+                } else {
+                    cpu::Core core(prog, coreCfg);
+                    auto t0 = Clock::now();
+                    core.run();
+                    ms = elapsedMs(t0, Clock::now());
+                    s = core.stats();
+                }
                 if (rep == 0 || ms < best_ms)
                     best_ms = ms;
 
-                const auto &s = core.stats();
                 r.metrics.instructions = s.instructions;
                 r.metrics.cycles = s.cycles;
                 r.metrics.branches = s.branches;
@@ -289,8 +371,11 @@ compareBaseline(const std::vector<BenchResult> &results,
     if (!exp::parseJson(baselineJson, root, err))
         throw std::invalid_argument("baseline: malformed JSON: " + err);
     const exp::JsonValue *schema = root.find("schema");
-    if (!schema || schema->asString() != "pbs-bench-v1")
-        throw std::invalid_argument("baseline: not a pbs-bench-v1 file");
+    if (!schema || (schema->asString() != "pbs-bench-v1" &&
+                    schema->asString() != "pbs-bench-v2")) {
+        throw std::invalid_argument(
+            "baseline: not a pbs-bench-v1/v2 file");
+    }
     const exp::JsonValue *points = root.find("points");
     if (!points)
         throw std::invalid_argument("baseline: missing points");
@@ -301,9 +386,13 @@ compareBaseline(const std::vector<BenchResult> &results,
             const auto *pr = p.find("predictor");
             const auto *pb = p.find("pbs");
             const auto *m = p.find("mips");
+            // v1 baselines predate per-point modes: every point was a
+            // detailed-mode measurement.
+            const auto *md = p.find("mode");
+            const std::string mode = md ? md->asString() : "detailed";
             if (w && pr && pb && m && w->asString() == pt.workload &&
                 pr->asString() == pt.predictor &&
-                pb->asBool() == pt.pbs) {
+                pb->asBool() == pt.pbs && mode == pt.mode) {
                 return m->asDouble();
             }
         }
@@ -319,11 +408,12 @@ compareBaseline(const std::vector<BenchResult> &results,
         double ratio = r.mips / base;
         bool bad = r.mips < base * (1.0 - maxRegress);
         std::snprintf(line, sizeof(line),
-                      "%-10s %-12s pbs=%d  %8.2f -> %8.2f MIPS (%+5.1f%%)%s\n",
+                      "%-10s %-12s pbs=%d %-10s %8.2f -> %8.2f MIPS "
+                      "(%+5.1f%%)%s\n",
                       r.point.workload.c_str(),
                       r.point.predictor.c_str(), r.point.pbs ? 1 : 0,
-                      base, r.mips, (ratio - 1.0) * 100.0,
-                      bad ? "  REGRESSED" : "");
+                      r.point.mode.c_str(), base, r.mips,
+                      (ratio - 1.0) * 100.0, bad ? "  REGRESSED" : "");
         report += line;
         if (bad)
             regressions++;

@@ -1,8 +1,10 @@
 /**
  * @file
  * The throughput-benchmark subsystem behind `pbs_bench`: times
- * simulated-MIPS for workload x predictor points over the deterministic
- * thread pool and renders the canonical `pbs-bench-v1` artifact.
+ * simulated-MIPS for workload x predictor x mode points over the
+ * deterministic thread pool and renders the canonical `pbs-bench-v2`
+ * artifact (per-point `mode` field; the baseline gate still reads the
+ * checked-in v1 format, whose points are all mode "detailed").
  *
  * Determinism contract (mirrors the experiment engine's rules): the
  * artifact's *content-hashed body* contains only deterministic
@@ -32,6 +34,10 @@ struct BenchPoint
     std::string workload;
     std::string predictor;  ///< canonical name
     bool pbs = false;
+
+    /** Execution mode: detailed | legacy | functional | sampled |
+     *  mpki (see README "Simulation modes"). */
+    std::string mode = "detailed";
 };
 
 /** Benchmark-run configuration. */
@@ -45,6 +51,11 @@ struct BenchConfig
      *  reported, which is the standard noise-robust estimator. */
     unsigned repeats = 1;
     bool quick = false;  ///< --quick: divisor 50, for CI
+
+    /** Sampled-mode parameters (points with mode == "sampled"; the
+     *  fan-out runs sequentially inside the timed region so sampled
+     *  MIPS stays comparable across --jobs counts). */
+    cpu::SampleParams sample{};
 };
 
 /** Deterministic simulation metrics of one point (content-hashed). */
@@ -83,6 +94,15 @@ std::vector<BenchPoint> filterPoints(const std::vector<BenchPoint> &points,
                                      const std::string &predictors);
 
 /**
+ * Cross @p points with a comma-separated list of execution modes
+ * (point-major: each pair's modes stay adjacent, so detailed,
+ * functional and sampled MIPS print next to each other). Unknown
+ * modes are rejected with std::invalid_argument.
+ */
+std::vector<BenchPoint> expandModes(const std::vector<BenchPoint> &points,
+                                    const std::string &modes);
+
+/**
  * Measure @p points on a deterministic thread pool (results are
  * ordered by point index regardless of worker interleaving; the
  * simulations themselves are bit-deterministic, only wall times vary).
@@ -97,15 +117,17 @@ std::vector<BenchResult> runBench(const std::vector<BenchPoint> &points,
 std::string contentHash(const std::vector<BenchResult> &results,
                         const BenchConfig &cfg);
 
-/** Render the canonical `pbs-bench-v1` JSON artifact. */
+/** Render the canonical `pbs-bench-v2` JSON artifact. */
 std::string benchJson(const std::vector<BenchResult> &results,
                       const BenchConfig &cfg);
 
 /**
- * Compare @p results against a baseline artifact (pbs-bench-v1 JSON).
+ * Compare @p results against a baseline artifact. Accepts both the
+ * checked-in `pbs-bench-v1` format (no per-point mode; such points
+ * are treated as mode "detailed") and the current `pbs-bench-v2`.
  * A point regresses when its MIPS falls below (1 - maxRegress) x the
- * baseline MIPS of the same (workload, predictor, pbs) point; points
- * missing from the baseline are skipped.
+ * baseline MIPS of the same (workload, predictor, pbs, mode) point;
+ * points missing from the baseline are skipped.
  *
  * @param report human-readable comparison table appended here
  * @return number of regressed points (0 = pass)

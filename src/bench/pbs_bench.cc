@@ -4,14 +4,19 @@
  *
  * Usage:
  *   pbs_bench [--quick] [--jobs N] [--repeats N] [--div N] [--seed S]
- *             [--out FILE] [--baseline FILE] [--max-regress F]
- *             [--write-baseline FILE] [--list]
+ *             [--modes M1,M2] [--sample-interval N] [--sample-warmup N]
+ *             [--sample-measure N] [--out FILE] [--baseline FILE]
+ *             [--max-regress F] [--write-baseline FILE] [--list]
  *
  * Measures every registered workload x predictor pair (plus PBS-on
- * points) on the timing model and emits the canonical `pbs-bench-v1`
- * JSON artifact (see src/bench/bench.hh for the determinism contract).
- * With --baseline, exits non-zero when any point regresses more than
- * --max-regress (default 0.20) below the baseline MIPS.
+ * points), optionally crossed with execution modes (--modes
+ * detailed,functional,sampled prints each pair's detailed, functional
+ * and sampled MIPS next to each other), and emits the canonical
+ * `pbs-bench-v2` JSON artifact (see src/bench/bench.hh for the
+ * determinism contract). With --baseline, exits non-zero when any
+ * point regresses more than --max-regress (default 0.20) below the
+ * baseline MIPS; v1 baselines (the checked-in bench/baseline.json)
+ * are read as all-detailed.
  *
  * Refreshing the checked-in baseline after an intentional perf change:
  *   ./build/pbs_bench --quick --write-baseline bench/baseline.json
@@ -39,9 +44,12 @@ usage(const char *msg = nullptr)
     std::fprintf(stderr,
         "usage: pbs_bench [--quick] [--jobs N] [--repeats N] [--div N]\n"
         "                 [--workloads W1,W2] [--predictors P1,P2]\n"
+        "                 [--modes M1,M2] [--sample-interval N]\n"
+        "                 [--sample-warmup N] [--sample-measure N]\n"
         "                 [--seed S] [--out FILE] [--baseline FILE]\n"
         "                 [--max-regress F] [--write-baseline FILE]\n"
-        "                 [--list]\n");
+        "                 [--list]\n"
+        "modes: detailed (default), legacy, functional, sampled, mpki\n");
     return msg ? 2 : 0;
 }
 
@@ -60,7 +68,7 @@ main(int argc, char **argv)
 {
     bench::BenchConfig cfg;
     std::string out, baseline, writeBaseline;
-    std::string workloads, predictors;
+    std::string workloads, predictors, modes;
     double maxRegress = 0.20;
     bool list = false;
     bool divisorExplicit = false;
@@ -101,6 +109,30 @@ main(int argc, char **argv)
             if (r < 0)
                 return usage("bad --predictors");
             predictors = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--modes",
+                                                v)) ||
+                   (r = driver::takeOptionValue(args, i, "--mode", v))) {
+            if (r < 0)
+                return usage("bad --modes");
+            modes = v;
+        } else if ((r = driver::takeOptionValue(args, i,
+                                                "--sample-interval",
+                                                v))) {
+            if (r < 0 || !driver::parseU64Arg(v, cfg.sample.interval) ||
+                cfg.sample.interval == 0) {
+                return usage("bad --sample-interval");
+            }
+        } else if ((r = driver::takeOptionValue(args, i,
+                                                "--sample-warmup", v))) {
+            if (r < 0 || !driver::parseU64Arg(v, cfg.sample.warmup))
+                return usage("bad --sample-warmup");
+        } else if ((r = driver::takeOptionValue(args, i,
+                                                "--sample-measure",
+                                                v))) {
+            if (r < 0 || !driver::parseU64Arg(v, cfg.sample.measure) ||
+                cfg.sample.measure == 0) {
+                return usage("bad --sample-measure");
+            }
         } else if ((r = driver::takeOptionValue(args, i, "--out", v))) {
             if (r < 0)
                 return usage("bad --out");
@@ -133,10 +165,19 @@ main(int argc, char **argv)
     if (cfg.quick && !divisorExplicit)
         cfg.divisor = 50;
 
+    // Sampling parameters only shape sampled-mode points.
+    const cpu::SampleParams defaults{};
+    if (!(cfg.sample == defaults) &&
+        modes.find("sampled") == std::string::npos) {
+        return usage("--sample-* options require sampled in --modes");
+    }
+
     std::vector<bench::BenchPoint> points;
     try {
-        points = bench::filterPoints(bench::standardPoints(), workloads,
-                                     predictors);
+        points = bench::expandModes(
+            bench::filterPoints(bench::standardPoints(), workloads,
+                                predictors),
+            modes);
     } catch (const std::exception &e) {
         return usage(e.what());
     }
@@ -144,8 +185,9 @@ main(int argc, char **argv)
         return usage("no points match the filters");
     if (list) {
         for (const auto &p : points)
-            std::printf("%s %s pbs=%d\n", p.workload.c_str(),
-                        p.predictor.c_str(), p.pbs ? 1 : 0);
+            std::printf("%s %s pbs=%d %s\n", p.workload.c_str(),
+                        p.predictor.c_str(), p.pbs ? 1 : 0,
+                        p.mode.c_str());
         return 0;
     }
 
@@ -157,12 +199,13 @@ main(int argc, char **argv)
     const auto results = bench::runBench(points, cfg);
 
     // Human-readable summary on stdout.
-    std::printf("%-10s %-16s %-4s %14s %10s %10s\n", "workload",
-                "predictor", "pbs", "instructions", "wall_ms", "mips");
+    std::printf("%-10s %-16s %-4s %-10s %14s %10s %10s\n", "workload",
+                "predictor", "pbs", "mode", "instructions", "wall_ms",
+                "mips");
     for (const auto &r : results) {
-        std::printf("%-10s %-16s %-4d %14llu %10.2f %10.2f\n",
+        std::printf("%-10s %-16s %-4d %-10s %14llu %10.2f %10.2f\n",
                     r.point.workload.c_str(), r.point.predictor.c_str(),
-                    r.point.pbs ? 1 : 0,
+                    r.point.pbs ? 1 : 0, r.point.mode.c_str(),
                     static_cast<unsigned long long>(
                         r.metrics.instructions),
                     r.wallMs, r.mips);

@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "bpred/factory.hh"
+#include "isa/arith.hh"
 #include "isa/assembler.hh"
 
 namespace pbs::cpu {
@@ -39,25 +40,8 @@ bandwidthLimit(uint64_t &lastCycle, unsigned &count, unsigned width,
     return c;
 }
 
-int64_t
-signedDiv(int64_t a, int64_t b)
-{
-    if (b == 0)
-        return 0;
-    if (a == INT64_MIN && b == -1)
-        return a;
-    return a / b;
-}
-
-int64_t
-signedRem(int64_t a, int64_t b)
-{
-    if (b == 0)
-        return 0;
-    if (a == INT64_MIN && b == -1)
-        return 0;
-    return a % b;
-}
+using isa::signedDiv;
+using isa::signedRem;
 
 }  // namespace
 
@@ -129,6 +113,38 @@ Core::regDouble(unsigned r) const
     return isa::bitsToDouble(regs_[r]);
 }
 
+ArchState
+Core::saveArch() const
+{
+    ArchState s;
+    s.regs = regs_;
+    s.pc = pc_;
+    s.halted = halted_;
+    s.instructions = stats_.instructions;
+    s.mem = mem_;
+    s.probSeq = probSeq_;
+    return s;
+}
+
+void
+Core::restoreArch(const ArchState &state)
+{
+    if (state.probSeq.size() != probSeq_.size()) {
+        throw std::invalid_argument(
+            "restoreArch: state captured from a different program "
+            "(probSeq size mismatch)");
+    }
+    regs_ = state.regs;
+    pc_ = state.pc;
+    halted_ = state.halted;
+    mem_ = state.mem;
+    probSeq_ = state.probSeq;
+    // Groups open at capture resume unmanaged (exact PBS-off
+    // semantics); see cpu/arch_state.hh.
+    for (ProbGroup &g : probGroups_)
+        g = ProbGroup{};
+}
+
 void
 Core::writeReg(unsigned r, uint64_t v)
 {
@@ -145,27 +161,7 @@ Core::writeRegD(unsigned r, double v)
 bool
 Core::evalCmp(CmpOp op, uint64_t a, uint64_t b)
 {
-    int64_t sa = static_cast<int64_t>(a);
-    int64_t sb = static_cast<int64_t>(b);
-    double fa = isa::bitsToDouble(a);
-    double fb = isa::bitsToDouble(b);
-    switch (op) {
-      case CmpOp::EQ: return a == b;
-      case CmpOp::NE: return a != b;
-      case CmpOp::LT: return sa < sb;
-      case CmpOp::GE: return sa >= sb;
-      case CmpOp::LE: return sa <= sb;
-      case CmpOp::GT: return sa > sb;
-      case CmpOp::LTU: return a < b;
-      case CmpOp::GEU: return a >= b;
-      case CmpOp::FEQ: return fa == fb;
-      case CmpOp::FNE: return fa != fb;
-      case CmpOp::FLT: return fa < fb;
-      case CmpOp::FGE: return fa >= fb;
-      case CmpOp::FLE: return fa <= fb;
-      case CmpOp::FGT: return fa > fb;
-      default: return false;
-    }
+    return isa::evalCmp(op, a, b);
 }
 
 Core::FuSpec
@@ -625,20 +621,10 @@ Core::stepOneOn(const Op &inst)
         writeRegD(inst.rd, static_cast<double>(
             static_cast<int64_t>(readReg(inst.rs1))));
         break;
-      case Opcode::F2I: {
-        double v = regDouble(inst.rs1);
-        int64_t out = 0;
-        if (!std::isnan(v)) {
-            if (v >= 9.2e18)
-                out = INT64_MAX;
-            else if (v <= -9.2e18)
-                out = INT64_MIN;
-            else
-                out = static_cast<int64_t>(std::trunc(v));
-        }
-        writeReg(inst.rd, static_cast<uint64_t>(out));
+      case Opcode::F2I:
+        writeReg(inst.rd, static_cast<uint64_t>(
+            isa::f2iSaturate(regDouble(inst.rs1))));
         break;
-      }
       case Opcode::CMP:
         writeReg(inst.rd, evalCmp(inst.cmp, readReg(inst.rs1),
                                   readReg(inst.rs2)) ? 1 : 0);

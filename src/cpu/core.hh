@@ -39,6 +39,7 @@
 
 #include "bpred/predictor.hh"
 #include "core/pbs_engine.hh"
+#include "cpu/arch_state.hh"
 #include "cpu/core_config.hh"
 #include "isa/decoded_image.hh"
 #include "isa/program.hh"
@@ -87,6 +88,22 @@ class Core
     uint64_t reg(unsigned r) const { return regs_[r]; }
     double regDouble(unsigned r) const;
     uint64_t pc() const { return pc_; }
+
+    /** Snapshot the architectural state (registers, memory, PC,
+     *  prob-instance counters). Timing state is not captured. */
+    ArchState saveArch() const;
+
+    /**
+     * Replace the architectural state (sampled-simulation restore).
+     * Timing state, statistics, the predictor, the caches and the PBS
+     * engine are left as they are — restore into a freshly
+     * constructed core and run a warmup interval before measuring.
+     * Probabilistic groups open at capture resume with exact PBS-off
+     * semantics (see cpu/arch_state.hh).
+     * @throws std::invalid_argument if @p state's probSeq table does
+     *         not match this core's program.
+     */
+    void restoreArch(const ArchState &state);
 
     /** Per-dynamic-probabilistic-branch trace (traceProbBranches). */
     const std::vector<ProbTraceEntry> &probTrace() const

@@ -45,10 +45,52 @@ struct Latencies
     unsigned store = 1;
 };
 
-/** Simulation fidelity. */
+/** Simulation fidelity of the detailed core. */
 enum class SimMode {
     Timing,      ///< full OoO timing + predictors + caches
     Functional,  ///< architectural state only (fast accuracy runs)
+};
+
+/**
+ * Which execution engine runs the program (the driver-level `--mode`).
+ *
+ *  - Detailed: the cpu::Core (SimMode selects its fidelity; the
+ *    legacy `--functional` flag maps to SimMode::Functional — the
+ *    "mpki" fidelity that still updates predictors and the PBS engine
+ *    but models no timing).
+ *  - Legacy: the cpu::Core interpreting the isa::Program directly
+ *    (ExecPath::LegacyProgram), the differential-testing reference.
+ *  - Functional: the sampling subsystem's FunctionalEngine —
+ *    architectural state only, no predictors, no caches, no timing.
+ *  - Sampled: SMARTS-style systematic sampling (functional
+ *    fast-forward, detailed warmup, measured detailed intervals).
+ *
+ * The cpu::Core itself only ever executes Detailed/Legacy
+ * configurations; the sampling subsystem resolves the other two.
+ */
+enum class ExecMode {
+    Detailed,
+    Legacy,
+    Functional,
+    Sampled,
+};
+
+/** Systematic-sampling parameters (ExecMode::Sampled). */
+struct SampleParams
+{
+    /** Instructions between the starts of consecutive measurements. */
+    uint64_t interval = 500'000;
+    /** Detailed instructions simulated before each measurement to warm
+     *  predictors and caches (statistics are discarded). */
+    uint64_t warmup = 100'000;
+    /** Detailed instructions measured per interval. */
+    uint64_t measure = 60'000;
+    /** Cap on measured intervals (0 = every interval). */
+    uint64_t maxSamples = 0;
+    /** Worker threads for the checkpoint fan-out. */
+    unsigned jobs = 1;
+
+    bool operator==(const SampleParams &) const = default;
 };
 
 /**
@@ -68,6 +110,16 @@ struct CoreConfig
 {
     SimMode mode = SimMode::Timing;
     ExecPath execPath = ExecPath::Decoded;
+
+    /**
+     * Driver-level engine selection. The cpu::Core ignores this field
+     * (it is resolved above the cpu layer: driver::runSim dispatches
+     * Functional/Sampled configurations to the sampling subsystem).
+     */
+    ExecMode execMode = ExecMode::Detailed;
+
+    /** Sampling parameters (used when execMode == ExecMode::Sampled). */
+    SampleParams sample{};
 
     unsigned width = 4;          ///< fetch/dispatch/commit width
     unsigned robSize = 168;

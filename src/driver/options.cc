@@ -154,6 +154,37 @@ parseArgs(const std::vector<std::string> &args)
             if (m < 0)
                 return fail(arg + " needs a value");
             o.report = v;
+        } else if ((m = takeValue(arg, "--mode")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (v == "mpki") {
+                // Alias: the old predictor-functional fidelity.
+                o.mode = "detailed";
+                o.functional = true;
+            } else if (v == "detailed" || v == "legacy" ||
+                       v == "functional" || v == "sampled") {
+                o.mode = v;
+            } else {
+                return fail("unknown mode: " + v + " (expected "
+                            "detailed, legacy, functional, sampled "
+                            "or mpki)");
+            }
+        } else if ((m = takeValue(arg, "--sample-interval")) != 0) {
+            if (m < 0 || !parseU64Arg(v, o.sampleInterval) ||
+                o.sampleInterval == 0) {
+                return fail("bad --sample-interval value");
+            }
+        } else if ((m = takeValue(arg, "--sample-warmup")) != 0) {
+            if (m < 0 || !parseU64Arg(v, o.sampleWarmup))
+                return fail("bad --sample-warmup value");
+        } else if ((m = takeValue(arg, "--sample-measure")) != 0) {
+            if (m < 0 || !parseU64Arg(v, o.sampleMeasure) ||
+                o.sampleMeasure == 0) {
+                return fail("bad --sample-measure value");
+            }
+        } else if ((m = takeValue(arg, "--sample-max")) != 0) {
+            if (m < 0 || !parseU64Arg(v, o.sampleMax))
+                return fail("bad --sample-max value");
         } else if ((m = takeValue(arg, "--variant")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
@@ -218,6 +249,23 @@ parseArgs(const std::vector<std::string> &args)
     if (!o.report.empty() && !o.workload.empty())
         return fail("--workload and --report are mutually exclusive");
 
+    if (o.functional && o.mode != "detailed") {
+        return fail("--functional (the mpki fidelity) only applies to "
+                    "--mode detailed");
+    }
+    if (o.pbs && o.mode == "functional") {
+        return fail("--mode functional executes architecturally only "
+                    "(PBS-off semantics); drop --pbs or use --mode "
+                    "sampled/detailed");
+    }
+    if (o.mode != "sampled" &&
+        (o.sampleInterval || o.sampleWarmup || o.sampleMeasure ||
+         o.sampleMax)) {
+        return fail("--sample-* options require --mode sampled");
+    }
+    if (o.mode == "sampled" && o.trace)
+        return fail("--trace is not available in sampled mode");
+
     if (o.report.empty()) {
         const std::string canon = canonicalPredictor(o.predictor);
         if (canon.empty())
@@ -254,7 +302,15 @@ usageText()
         "  --no-context         PBS: disable the Context-Table\n"
         "  --no-guard           PBS: disable the Const-Val guard\n"
         "  --wide               8-wide / 256-entry-ROB core\n"
-        "  --functional         architectural simulation only (fast)\n"
+        "  --mode <m>           detailed (default) | legacy |\n"
+        "                       functional | sampled | mpki\n"
+        "                       (see README \"Simulation modes\")\n"
+        "  --functional         alias for --mode mpki (predictor/PBS\n"
+        "                       updates without timing; MPKI sweeps)\n"
+        "  --sample-interval <n>  sampled: insts between measurements\n"
+        "  --sample-warmup <n>    sampled: detailed warmup per sample\n"
+        "  --sample-measure <n>   sampled: measured insts per sample\n"
+        "  --sample-max <n>       sampled: cap on measured samples\n"
         "  --variant <v>        marked | predicated | cfd\n"
         "  --scale <n>          iteration count (0 = workload default)\n"
         "  --div <n>            divide the default scale by n\n"
@@ -279,6 +335,22 @@ coreConfig(const DriverOptions &opts)
 {
     cpu::CoreConfig cfg = opts.wide ? cpu::CoreConfig::eightWide()
                                     : cpu::CoreConfig::fourWide();
+    if (opts.mode == "legacy") {
+        cfg.execMode = cpu::ExecMode::Legacy;
+        cfg.execPath = cpu::ExecPath::LegacyProgram;
+    } else if (opts.mode == "functional") {
+        cfg.execMode = cpu::ExecMode::Functional;
+    } else if (opts.mode == "sampled") {
+        cfg.execMode = cpu::ExecMode::Sampled;
+    }
+    if (opts.sampleInterval)
+        cfg.sample.interval = opts.sampleInterval;
+    if (opts.sampleWarmup)
+        cfg.sample.warmup = opts.sampleWarmup;
+    if (opts.sampleMeasure)
+        cfg.sample.measure = opts.sampleMeasure;
+    if (opts.sampleMax)
+        cfg.sample.maxSamples = opts.sampleMax;
     if (opts.functional)
         cfg.mode = cpu::SimMode::Functional;
     cfg.predictor = opts.predictor;

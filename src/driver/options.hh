@@ -33,12 +33,27 @@ struct DriverOptions
     // Simulated machine.
     std::string predictor = "tage-sc-l";
     bool wide = false;               ///< 8-wide / 256-entry ROB
-    bool functional = false;         ///< architectural-only simulation
+
+    /**
+     * Execution mode: detailed | legacy | functional | sampled (the
+     * CLI also accepts "mpki" as an alias that sets `functional`).
+     */
+    std::string mode = "detailed";
+
+    /** The mpki fidelity: SimMode::Functional on the detailed core
+     *  (predictor/PBS updates without timing; `--functional`). */
+    bool functional = false;
     bool pbs = false;                ///< Probabilistic Branch Support
     bool noStall = false;            ///< pbs.stallOnBusy = false
     bool noContext = false;          ///< pbs.contextSupport = false
     bool noGuard = false;            ///< pbs.constValGuard = false
     bool trace = false;              ///< record the prob-branch trace
+
+    // Sampling parameters (mode == "sampled"; 0 = subsystem default).
+    uint64_t sampleInterval = 0;     ///< insts between measurements
+    uint64_t sampleWarmup = 0;       ///< detailed warmup per sample
+    uint64_t sampleMeasure = 0;      ///< measured insts per sample
+    uint64_t sampleMax = 0;          ///< cap on samples (0 = all)
 
     // Workload parameters.
     workloads::Variant variant = workloads::Variant::Marked;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "sampling/functional.hh"
+
 namespace pbs::driver {
 
 RunResult
@@ -10,12 +12,35 @@ runSim(const workloads::BenchmarkDesc &b,
        const workloads::WorkloadParams &p, const cpu::CoreConfig &cfg,
        workloads::Variant variant)
 {
+    RunResult r;
+    switch (cfg.execMode) {
+      case cpu::ExecMode::Functional: {
+        sampling::FunctionalEngine engine(b.build(p, variant),
+                                          cfg.maxInstructions);
+        engine.run();
+        r.stats = engine.stats();
+        r.outputs = b.simOutput(engine.memory());
+        return r;
+      }
+      case cpu::ExecMode::Sampled: {
+        sampling::SampledRun s =
+            sampling::runSampled(b.build(p, variant), cfg);
+        r.stats = s.stats;
+        r.sampled = true;
+        r.estimate = s.est;
+        r.outputs = b.simOutput(s.finalState.mem);
+        return r;
+      }
+      case cpu::ExecMode::Detailed:
+      case cpu::ExecMode::Legacy:
+        break;
+    }
+
     cpu::Core core(b.build(p, variant), cfg);
     core.run();
-    RunResult r;
     r.stats = core.stats();
     r.pbs = core.pbs().stats();
-    r.outputs = b.simOutput(core);
+    r.outputs = b.simOutput(core.memory());
     r.trace = core.probTrace();
     return r;
 }
@@ -24,8 +49,13 @@ std::vector<SeedResult>
 runBatch(const DriverOptions &opts)
 {
     const auto &b = workloads::benchmarkByName(opts.workload);
-    const cpu::CoreConfig cfg = coreConfig(opts);
+    cpu::CoreConfig cfg = coreConfig(opts);
     const unsigned n = opts.seeds;
+
+    // A single sampled seed parallelizes its checkpoint fan-out;
+    // multi-seed batches parallelize over seeds instead.
+    if (cfg.execMode == cpu::ExecMode::Sampled && n == 1)
+        cfg.sample.jobs = opts.jobs;
 
     std::vector<SeedResult> results(n);
     std::atomic<unsigned> next{0};
@@ -54,9 +84,61 @@ runBatch(const DriverOptions &opts)
     return results;
 }
 
+namespace {
+
+/** Batch table for sampled-mode runs: estimates with their CIs. */
 std::string
-formatBatch(const DriverOptions &, const std::vector<SeedResult> &results)
+formatSampledBatch(const std::vector<SeedResult> &results)
 {
+    stats::TextTable table;
+    table.header({"seed", "instructions", "samples", "detail%",
+                  "ipc", "+/-95%", "mpki", "+/-95%", "output[0]"});
+
+    stats::RunningStat ipc, mpki;
+    for (const auto &r : results) {
+        const auto &s = r.run.stats;
+        const auto &e = r.run.estimate;
+        double detailPct = s.instructions
+            ? 100.0 * double(e.detailedInstructions) /
+                  double(s.instructions)
+            : 0.0;
+        ipc.push(e.ipc);
+        mpki.push(e.mpki);
+        table.row({std::to_string(r.seed),
+                   std::to_string(s.instructions),
+                   e.exact ? "exact" : std::to_string(e.intervals),
+                   stats::TextTable::num(detailPct, 1),
+                   stats::TextTable::num(e.ipc, 3),
+                   stats::TextTable::num(e.ipcCi95, 3),
+                   stats::TextTable::num(e.mpki, 2),
+                   stats::TextTable::num(e.mpkiCi95, 2),
+                   r.run.outputs.empty()
+                       ? "-"
+                       : stats::TextTable::num(r.run.outputs[0], 5)});
+    }
+
+    std::string out = table.render();
+    if (results.size() > 1) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\n%zu seeds: ipc %.3f +/- %.3f, mpki %.2f +/- "
+                      "%.2f (across-seed 95%% CI)\n",
+                      results.size(), ipc.mean(), ipc.ci95HalfWidth(),
+                      mpki.mean(), mpki.ci95HalfWidth());
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+formatBatch(const DriverOptions &,
+            const std::vector<SeedResult> &results)
+{
+    if (!results.empty() && results.front().run.sampled)
+        return formatSampledBatch(results);
+
     stats::TextTable table;
     table.header({"seed", "instructions", "cycles", "ipc", "mpki",
                   "prob-branches", "steered", "output[0]"});
@@ -102,7 +184,7 @@ runWorkload(const DriverOptions &opts)
     std::snprintf(title, sizeof(title),
                   "pbs_sim: %s, %s%s, %s%s", opts.workload.c_str(),
                   opts.predictor.c_str(), opts.pbs ? "+pbs" : "",
-                  opts.functional ? "functional" : "timing",
+                  opts.functional ? "mpki" : opts.mode.c_str(),
                   opts.wide ? ", 8-wide" : "");
     banner(title, opts.divisor);
 

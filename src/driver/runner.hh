@@ -15,6 +15,7 @@
 
 #include "cpu/core.hh"
 #include "driver/options.hh"
+#include "sampling/sampled.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 #include "workloads/common.hh"
@@ -28,6 +29,10 @@ struct RunResult
     core::PbsStats pbs;
     std::vector<double> outputs;
     std::vector<cpu::ProbTraceEntry> trace;
+
+    /** Sampled-mode extras (valid when sampled is true). */
+    bool sampled = false;
+    sampling::SampleEstimate estimate{};
 };
 
 /** Workload parameters at a harness scale divisor. */

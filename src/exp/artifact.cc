@@ -15,6 +15,9 @@ toMeasurement(const driver::RunResult &r)
     m.stats = r.stats;
     m.pbs = r.pbs;
     m.outputs = r.outputs;
+    m.hasSampling = r.sampled;
+    if (r.sampled)
+        m.sampling = r.estimate;
     return m;
 }
 
@@ -64,12 +67,12 @@ std::string
 sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
 {
     std::string out =
-        "kind,workload,predictor,variant,wide,functional,pbs,stall,"
-        "context,guard,filter,btb_entries,in_flight,scale,seed,"
+        "kind,workload,predictor,variant,wide,mode,functional,pbs,"
+        "stall,context,guard,filter,btb_entries,in_flight,scale,seed,"
         "instructions,cycles,ipc,mpki,branches,prob_branches,"
         "mispredicts,regular_mispredicts,prob_mispredicts,steered,"
         "fetch_steered,stall_cycles,output0,rand_pass,rand_weak,"
-        "rand_fail\n";
+        "rand_fail,sample_intervals,ipc_ci95,mpki_ci95\n";
 
     char buf[64];
     auto u64 = [&](uint64_t v) {
@@ -82,6 +85,7 @@ sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
         out += pt.kind == PointKind::Rand ? "rand," : "sim,";
         out += pt.workload + ',' + pt.predictor + ',' + pt.variant + ',';
         out += pt.wide ? "1," : "0,";
+        out += pt.mode + ',';
         out += pt.functional ? "1," : "0,";
         out += pt.pbs ? "1," : "0,";
         out += pt.stallOnBusy ? "1," : "0,";
@@ -96,7 +100,8 @@ sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
             out += ",,,,,,,,,,,,,";  // sim-only columns
             out += std::to_string(m.randPass) + ',' +
                    std::to_string(m.randWeak) + ',' +
-                   std::to_string(m.randFail) + '\n';
+                   std::to_string(m.randFail);
+            out += ",,,\n";  // sampling-only columns
             continue;
         }
         u64(m.stats.instructions);
@@ -113,7 +118,14 @@ sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
         u64(m.pbs.stallCycles);
         out += m.outputs.empty() ? ""
                                  : canonicalDouble(m.outputs[0]);
-        out += ",,,\n";  // rand-only columns
+        out += ",,,";  // rand-only columns
+        if (m.hasSampling) {
+            out += ',' + std::to_string(m.sampling.intervals) + ',' +
+                   canonicalDouble(m.sampling.ipcCi95) + ',' +
+                   canonicalDouble(m.sampling.mpkiCi95) + '\n';
+        } else {
+            out += ",,,\n";
+        }
     }
     return out;
 }
@@ -131,8 +143,18 @@ batchJson(const driver::DriverOptions &opts,
     w.key("predictor").value(opts.predictor);
     w.key("variant").value(variantName(opts.variant));
     w.key("wide").value(opts.wide);
+    w.key("mode").value(opts.mode);
     w.key("functional").value(opts.functional);
     w.key("pbs").value(opts.pbs);
+    if (opts.mode == "sampled") {
+        // Echo the *effective* parameters (defaults resolved), so the
+        // run is reproducible from the artifact alone.
+        const cpu::SampleParams sp = driver::coreConfig(opts).sample;
+        w.key("sample_interval").value(sp.interval);
+        w.key("sample_warmup").value(sp.warmup);
+        w.key("sample_measure").value(sp.measure);
+        w.key("sample_max").value(sp.maxSamples);
+    }
     w.key("stall").value(!opts.noStall);
     w.key("context").value(!opts.noContext);
     w.key("guard").value(!opts.noGuard);

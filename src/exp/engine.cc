@@ -44,6 +44,9 @@ computeSim(const ExpPoint &pt)
     m.stats = r.stats;
     m.pbs = r.pbs;
     m.outputs = std::move(r.outputs);
+    m.hasSampling = r.sampled;
+    if (r.sampled)
+        m.sampling = r.estimate;
     return m;
 }
 
@@ -75,8 +78,15 @@ uint64_t
 pointCost(const ExpPoint &pt)
 {
     uint64_t cost = pt.scale ? pt.scale : 1;
-    if (!pt.functional)
-        cost *= 4;  // the timing model is ~4x the functional engine
+    if (pt.mode == "functional") {
+        // Architectural-only: ~6x cheaper than detailed timing.
+        cost = std::max<uint64_t>(1, cost / 6);
+    } else if (pt.mode == "sampled") {
+        // Fast-forward plus a detailed fraction: between the two.
+        cost = std::max<uint64_t>(1, cost / 3);
+    } else if (!pt.functional) {
+        cost *= 4;  // the timing model is ~4x the mpki fidelity
+    }
     if (pt.wide)
         cost *= 2;
     if (pt.kind == PointKind::Rand)

@@ -4,7 +4,7 @@
  *
  *   pbs_exp --spec bench/standard.spec --out results.json --jobs 8
  *   pbs_exp --workloads pi,dop --predictors tournament,tage-sc-l \
- *           --pbs off,on --modes functional --seeds 4 --csv grid.csv
+ *           --pbs off,on --modes sampled --seeds 4 --csv grid.csv
  *   pbs_exp --report fig07 --div 10 --jobs 8
  *   pbs_exp --gc
  *
@@ -66,12 +66,16 @@ const char *kUsage =
     "  --predictors <list>  direction predictors\n"
     "  --variants <list>    marked | predicated | cfd\n"
     "  --widths <list>      4 | 8\n"
-    "  --modes <list>       timing | functional\n"
+    "  --modes <list>       detailed | legacy | functional | sampled |\n"
+    "                       mpki (timing = detailed; see README)\n"
     "  --pbs <list>         off | on | no-stall | no-context | no-guard\n"
     "  --scales <list>      explicit iteration counts\n"
     "  --div <n>            divide each workload's default scale\n"
     "  --seed <n>           first seed (default 12345)\n"
     "  --seeds <n>          consecutive seeds per config (default 1)\n"
+    "  --sample-interval <n>  sampled: insts between measurements\n"
+    "  --sample-warmup <n>    sampled: detailed warmup per sample\n"
+    "  --sample-measure <n>   sampled: measured insts per sample\n"
     "\n"
     "Execution and output:\n"
     "  --jobs <n>           worker threads (default 1)\n"
@@ -137,6 +141,9 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
         {"--pbs", "pbs"},             {"--scales", "scale"},
         {"--scale", "scale"},         {"--seed", "seed"},
         {"--seeds", "seeds"},
+        {"--sample-interval", "sample-interval"},
+        {"--sample-warmup", "sample-warmup"},
+        {"--sample-measure", "sample-measure"},
     };
 
     for (i = 0; i < args.size(); i++) {

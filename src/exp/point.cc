@@ -31,6 +31,29 @@ variantName(workloads::Variant v)
     }
 }
 
+cpu::ExecMode
+execModeFromName(const std::string &name)
+{
+    if (name == "legacy")
+        return cpu::ExecMode::Legacy;
+    if (name == "functional")
+        return cpu::ExecMode::Functional;
+    if (name == "sampled")
+        return cpu::ExecMode::Sampled;
+    return cpu::ExecMode::Detailed;
+}
+
+const char *
+execModeName(cpu::ExecMode mode)
+{
+    switch (mode) {
+      case cpu::ExecMode::Legacy: return "legacy";
+      case cpu::ExecMode::Functional: return "functional";
+      case cpu::ExecMode::Sampled: return "sampled";
+      default: return "detailed";
+    }
+}
+
 void
 writePoint(JsonWriter &w, const ExpPoint &pt)
 {
@@ -40,8 +63,12 @@ writePoint(JsonWriter &w, const ExpPoint &pt)
     w.key("predictor").value(pt.predictor);
     w.key("variant").value(pt.variant);
     w.key("wide").value(pt.wide);
+    w.key("mode").value(pt.mode);
     w.key("functional").value(pt.functional);
     w.key("pbs").value(pt.pbs);
+    w.key("sample_interval").value(pt.sampleInterval);
+    w.key("sample_warmup").value(pt.sampleWarmup);
+    w.key("sample_measure").value(pt.sampleMeasure);
     w.key("stall").value(pt.stallOnBusy);
     w.key("context").value(pt.contextSupport);
     w.key("guard").value(pt.constValGuard);
@@ -79,10 +106,18 @@ readPoint(const JsonValue &v, ExpPoint &out)
         out.variant = f->asString(out.variant);
     if ((f = v.find("wide")))
         out.wide = f->asBool();
+    if ((f = v.find("mode")))
+        out.mode = f->asString(out.mode);
     if ((f = v.find("functional")))
         out.functional = f->asBool();
     if ((f = v.find("pbs")))
         out.pbs = f->asBool();
+    if ((f = v.find("sample_interval")))
+        out.sampleInterval = f->asU64();
+    if ((f = v.find("sample_warmup")))
+        out.sampleWarmup = f->asU64();
+    if ((f = v.find("sample_measure")))
+        out.sampleMeasure = f->asU64();
     if ((f = v.find("stall")))
         out.stallOnBusy = f->asBool(true);
     if ((f = v.find("context")))
@@ -107,6 +142,15 @@ pointCoreConfig(const ExpPoint &pt)
 {
     cpu::CoreConfig cfg = pt.wide ? cpu::CoreConfig::eightWide()
                                   : cpu::CoreConfig::fourWide();
+    cfg.execMode = execModeFromName(pt.mode);
+    if (cfg.execMode == cpu::ExecMode::Legacy)
+        cfg.execPath = cpu::ExecPath::LegacyProgram;
+    if (pt.sampleInterval)
+        cfg.sample.interval = pt.sampleInterval;
+    if (pt.sampleWarmup)
+        cfg.sample.warmup = pt.sampleWarmup;
+    if (pt.sampleMeasure)
+        cfg.sample.measure = pt.sampleMeasure;
     if (pt.functional)
         cfg.mode = cpu::SimMode::Functional;
     cfg.predictor = pt.predictor;
@@ -183,6 +227,20 @@ writeMeasurement(JsonWriter &w, PointKind kind, const Measurement &m)
     writeU64Field(w, "entries_evicted", p.entriesEvicted);
     w.endObject();
 
+    if (m.hasSampling) {
+        const auto &e = m.sampling;
+        w.key("sampling").beginObject();
+        w.key("intervals").value(e.intervals);
+        w.key("ff_instructions").value(e.ffInstructions);
+        w.key("detailed_instructions").value(e.detailedInstructions);
+        w.key("ipc").value(e.ipc);
+        w.key("ipc_ci95").value(e.ipcCi95);
+        w.key("mpki").value(e.mpki);
+        w.key("mpki_ci95").value(e.mpkiCi95);
+        w.key("exact").value(e.exact);
+        w.endObject();
+    }
+
     w.key("outputs").beginArray();
     for (double d : m.outputs)
         w.value(d);
@@ -242,6 +300,24 @@ readMeasurement(const JsonValue &v, PointKind kind, Measurement &out)
     out.pbs.contextClears = u64(p, "context_clears");
     out.pbs.entriesAllocated = u64(p, "entries_allocated");
     out.pbs.entriesEvicted = u64(p, "entries_evicted");
+
+    if (const JsonValue *e = v.find("sampling")) {
+        out.hasSampling = true;
+        out.sampling.intervals = u64(e, "intervals");
+        out.sampling.ffInstructions = u64(e, "ff_instructions");
+        out.sampling.detailedInstructions =
+            u64(e, "detailed_instructions");
+        auto dbl = [](const JsonValue *obj, const char *k) {
+            const JsonValue *f = obj->find(k);
+            return f ? f->asDouble() : 0.0;
+        };
+        out.sampling.ipc = dbl(e, "ipc");
+        out.sampling.ipcCi95 = dbl(e, "ipc_ci95");
+        out.sampling.mpki = dbl(e, "mpki");
+        out.sampling.mpkiCi95 = dbl(e, "mpki_ci95");
+        const JsonValue *x = e->find("exact");
+        out.sampling.exact = x && x->asBool();
+    }
 
     out.outputs.reserve(o->items.size());
     for (const auto &item : o->items)

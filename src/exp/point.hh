@@ -21,6 +21,7 @@
 #include "core/pbs_config.hh"
 #include "cpu/core_config.hh"
 #include "exp/json.hh"
+#include "sampling/sampled.hh"
 #include "workloads/common.hh"
 
 namespace pbs::exp {
@@ -39,8 +40,27 @@ struct ExpPoint
     std::string predictor = "tage-sc-l";
     std::string variant = "marked";   ///< marked | predicated | cfd
     bool wide = false;                ///< 8-wide / 256-entry ROB
-    bool functional = false;          ///< architectural-only simulation
+
+    /**
+     * Execution mode: detailed | legacy | functional | sampled (the
+     * driver-level cpu::ExecMode). Part of the canonical point JSON,
+     * so results from different modes can never collide in the cache.
+     */
+    std::string mode = "detailed";
+
+    /**
+     * The "mpki" fidelity: SimMode::Functional on the detailed core
+     * (predictors and the PBS engine update, no timing). Orthogonal
+     * to `mode` and only meaningful when mode == "detailed"; kept as
+     * its own flag because the MPKI reports sweep it.
+     */
+    bool functional = false;
     bool pbs = false;
+
+    /** Sampling parameters (mode == "sampled"; 0 = subsystem default). */
+    uint64_t sampleInterval = 0;
+    uint64_t sampleWarmup = 0;
+    uint64_t sampleMeasure = 0;
 
     // PBS knobs (defaults match CoreConfig's).
     bool stallOnBusy = true;
@@ -79,6 +99,10 @@ workloads::WorkloadParams pointParams(const ExpPoint &pt);
 workloads::Variant variantFromName(const std::string &name);
 const char *variantName(workloads::Variant v);
 
+/** ExecMode from its canonical spelling ("detailed" on unknown). */
+cpu::ExecMode execModeFromName(const std::string &name);
+const char *execModeName(cpu::ExecMode mode);
+
 /** What came out of running a point. */
 struct Measurement
 {
@@ -90,6 +114,10 @@ struct Measurement
     unsigned randPass = 0;
     unsigned randWeak = 0;
     unsigned randFail = 0;
+
+    // Sampled-mode points only (mode == "sampled").
+    bool hasSampling = false;
+    sampling::SampleEstimate sampling;
 
     bool operator==(const Measurement &) const = default;
 };

@@ -95,12 +95,39 @@ applySpecKey(SweepSpec &spec, const std::string &rawKey,
         return "";
     }
     if (key == "mode" || key == "modes") {
-        for (const auto &v : list) {
-            if (v != "timing" && v != "functional")
-                return "bad mode '" + v +
-                       "' (expected timing or functional)";
+        std::vector<std::string> modes;
+        for (auto v : list) {
+            if (v == "timing")
+                v = "detailed";  // historical alias
+            if (v != "detailed" && v != "legacy" && v != "functional" &&
+                v != "sampled" && v != "mpki") {
+                return "bad mode '" + v + "' (expected detailed, "
+                       "legacy, functional, sampled or mpki)";
+            }
+            modes.push_back(v);
         }
-        spec.modes = list;
+        spec.modes = modes;
+        return "";
+    }
+    if (key == "sample-interval") {
+        uint64_t n;
+        if (list.size() != 1 || !parseU64Value(list[0], n) || n == 0)
+            return "bad sample-interval '" + values + "'";
+        spec.sampleInterval = n;
+        return "";
+    }
+    if (key == "sample-warmup") {
+        uint64_t n;
+        if (list.size() != 1 || !parseU64Value(list[0], n))
+            return "bad sample-warmup '" + values + "'";
+        spec.sampleWarmup = n;
+        return "";
+    }
+    if (key == "sample-measure") {
+        uint64_t n;
+        if (list.size() != 1 || !parseU64Value(list[0], n) || n == 0)
+            return "bad sample-measure '" + values + "'";
+        spec.sampleMeasure = n;
         return "";
     }
     if (key == "pbs") {
@@ -262,7 +289,13 @@ expandSpec(const SweepSpec &spec)
             pt.predictor = predictor;
             pt.variant = variant;
             pt.wide = width == 8;
-            pt.functional = mode == "functional";
+            pt.functional = mode == "mpki";
+            pt.mode = pt.functional ? "detailed" : mode;
+            if (pt.mode == "sampled") {
+                pt.sampleInterval = spec.sampleInterval;
+                pt.sampleWarmup = spec.sampleWarmup;
+                pt.sampleMeasure = spec.sampleMeasure;
+            }
             pt.pbs = pbsMode != "off";
             pt.stallOnBusy = pbsMode != "no-stall";
             pt.contextSupport = pbsMode != "no-context";
@@ -304,6 +337,9 @@ specJson(const SweepSpec &spec)
     w.key("div").value(spec.divisor);
     w.key("seed").value(spec.seed);
     w.key("seeds").value(spec.seeds);
+    w.key("sample_interval").value(spec.sampleInterval);
+    w.key("sample_warmup").value(spec.sampleWarmup);
+    w.key("sample_measure").value(spec.sampleMeasure);
     w.endObject();
     return w.str();
 }

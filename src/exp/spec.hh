@@ -10,12 +10,18 @@
  *   predictor = tournament, tage-sc-l, ...
  *   variant   = marked | predicated | cfd
  *   width     = 4 | 8
- *   mode      = timing | functional
+ *   mode      = detailed | legacy | functional | sampled | mpki
+ *               ("timing" is accepted as an alias of detailed;
+ *               "mpki" is the predictor-functional fidelity behind
+ *               the MPKI reports, SimMode::Functional)
  *   pbs       = off | on | no-stall | no-context | no-guard
  *   scale     = explicit iteration counts (overrides div)
  *   div       = scale divisor applied to each workload's default
  *   seed      = first seed
  *   seeds     = number of consecutive seeds
+ *   sample-interval = insts between sampled-mode measurements
+ *   sample-warmup   = sampled-mode detailed warmup instructions
+ *   sample-measure  = sampled-mode measured instructions
  *
  * Expansion order is fixed (workload, predictor, variant, width, mode,
  * pbs, scale, seed — innermost last), so a spec always enumerates the
@@ -41,12 +47,18 @@ struct SweepSpec
     std::vector<std::string> predictors = {"tage-sc-l"};
     std::vector<std::string> variants = {"marked"};
     std::vector<unsigned> widths = {4};
-    std::vector<std::string> modes = {"timing"};
+    std::vector<std::string> modes = {"detailed"};
     std::vector<std::string> pbsModes = {"off"};
     std::vector<uint64_t> scales;    ///< empty: use div
     unsigned divisor = 1;
     uint64_t seed = 12345;
     unsigned seeds = 1;
+
+    // Sampled-mode parameters (applied to every sampled point;
+    // 0 = the sampling subsystem's defaults).
+    uint64_t sampleInterval = 0;
+    uint64_t sampleWarmup = 0;
+    uint64_t sampleMeasure = 0;
 };
 
 /** Outcome of parsing / expanding a spec. */

@@ -1,8 +1,51 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace pbs::mem {
+
+SparseMemory &
+SparseMemory::operator=(const SparseMemory &other)
+{
+    if (this == &other)
+        return *this;
+    pages_.clear();
+    for (const auto &[key, page] : other.pages_)
+        pages_.emplace(key, std::make_unique<Page>(*page));
+    lastKey_ = ~uint64_t(0);
+    lastPage_ = nullptr;
+    return *this;
+}
+
+SparseMemory &
+SparseMemory::operator=(SparseMemory &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    pages_ = std::move(other.pages_);
+    // Page allocations do not move, so the TLB cache stays valid here;
+    // the source's cache must not outlive its (now empty) page map.
+    lastKey_ = other.lastKey_;
+    lastPage_ = other.lastPage_;
+    other.pages_.clear();
+    other.lastKey_ = ~uint64_t(0);
+    other.lastPage_ = nullptr;
+    return *this;
+}
+
+void
+SparseMemory::forEachPage(
+    const std::function<void(uint64_t, const uint8_t *)> &fn) const
+{
+    std::vector<uint64_t> keys;
+    keys.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (uint64_t key : keys)
+        fn(key << kPageShift, pages_.find(key)->second->data());
+}
 
 const SparseMemory::Page *
 SparseMemory::findPage(uint64_t addr) const

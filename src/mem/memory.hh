@@ -8,8 +8,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace pbs::mem {
@@ -20,6 +22,15 @@ class SparseMemory
   public:
     static constexpr unsigned kPageShift = 12;
     static constexpr size_t kPageSize = size_t(1) << kPageShift;
+
+    SparseMemory() = default;
+
+    /** Deep copy (checkpoint support): every allocated page is cloned. */
+    SparseMemory(const SparseMemory &other) { *this = other; }
+    SparseMemory &operator=(const SparseMemory &other);
+
+    SparseMemory(SparseMemory &&other) noexcept { *this = std::move(other); }
+    SparseMemory &operator=(SparseMemory &&other) noexcept;
 
     uint8_t readByte(uint64_t addr) const;
     void writeByte(uint64_t addr, uint8_t value);
@@ -42,6 +53,14 @@ class SparseMemory
      * allocated-but-untouched page equals no page at all).
      */
     bool sameContents(const SparseMemory &other) const;
+
+    /**
+     * Visit every allocated page in ascending base-address order
+     * (checkpoint serialization; deterministic across runs).
+     * @param fn called as fn(baseAddr, pageBytes) with kPageSize bytes.
+     */
+    void forEachPage(
+        const std::function<void(uint64_t, const uint8_t *)> &fn) const;
 
   private:
     using Page = std::array<uint8_t, kPageSize>;

@@ -1,0 +1,136 @@
+#include "sampling/checkpoint.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pbs::sampling {
+
+namespace {
+
+constexpr uint8_t kMagic[8] = {'P', 'B', 'S', 'C', 'K', 'P', 'T', '1'};
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int b = 0; b < 8; b++)
+        out.push_back(uint8_t(v >> (8 * b)));
+}
+
+/** Bounds-checked little-endian reader over the blob. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int b = 0; b < 8; b++)
+            v |= uint64_t(bytes_[pos_ + b]) << (8 * b);
+        pos_ += 8;
+        return v;
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return bytes_[pos_++];
+    }
+
+    const uint8_t *
+    raw(size_t n)
+    {
+        need(n);
+        const uint8_t *p = bytes_.data() + pos_;
+        pos_ += n;
+        return p;
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (bytes_.size() - pos_ < n)
+            throw std::invalid_argument("checkpoint: truncated blob");
+    }
+
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t>
+Checkpoint::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(1024 + state.mem.pageCount() *
+                           (mem::SparseMemory::kPageSize + 8));
+    out.resize(8);
+    std::memcpy(out.data(), kMagic, 8);
+    putU64(out, state.pc);
+    out.push_back(state.halted ? 1 : 0);
+    putU64(out, state.instructions);
+
+    putU64(out, state.regs.size());
+    for (uint64_t r : state.regs)
+        putU64(out, r);
+
+    putU64(out, state.probSeq.size());
+    for (uint64_t s : state.probSeq)
+        putU64(out, s);
+
+    putU64(out, state.mem.pageCount());
+    state.mem.forEachPage([&](uint64_t base, const uint8_t *data) {
+        putU64(out, base);
+        out.insert(out.end(), data, data + mem::SparseMemory::kPageSize);
+    });
+    return out;
+}
+
+Checkpoint
+Checkpoint::deserialize(const std::vector<uint8_t> &bytes)
+{
+    Reader r(bytes);
+    if (std::memcmp(r.raw(8), kMagic, 8) != 0)
+        throw std::invalid_argument("checkpoint: bad magic");
+
+    Checkpoint c;
+    c.state.pc = r.u64();
+    c.state.halted = r.u8() != 0;
+    c.state.instructions = r.u64();
+
+    uint64_t nregs = r.u64();
+    if (nregs != c.state.regs.size())
+        throw std::invalid_argument("checkpoint: register count mismatch");
+    for (uint64_t i = 0; i < nregs; i++)
+        c.state.regs[i] = r.u64();
+
+    uint64_t nprob = r.u64();
+    if (nprob > (uint64_t(1) << 20))
+        throw std::invalid_argument("checkpoint: implausible probSeq size");
+    c.state.probSeq.resize(nprob);
+    for (uint64_t i = 0; i < nprob; i++)
+        c.state.probSeq[i] = r.u64();
+
+    uint64_t npages = r.u64();
+    constexpr size_t kPage = mem::SparseMemory::kPageSize;
+    for (uint64_t i = 0; i < npages; i++) {
+        uint64_t base = r.u64();
+        if (base & (kPage - 1))
+            throw std::invalid_argument("checkpoint: misaligned page");
+        const uint8_t *data = r.raw(kPage);
+        c.state.mem.writeBlock(base,
+                               std::vector<uint8_t>(data, data + kPage));
+    }
+    if (!r.atEnd())
+        throw std::invalid_argument("checkpoint: trailing bytes");
+    return c;
+}
+
+}  // namespace pbs::sampling

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Checkpoint capture/restore: a self-contained snapshot of
+ * architectural machine state (registers, sparse memory pages, PC,
+ * probabilistic-instance counters) with a deterministic binary
+ * serialization.
+ *
+ * Checkpoints are what the sampled simulator fans out: the functional
+ * fast-forward engine captures one per sampling interval, and each is
+ * restored into a fresh detailed core on the thread pool (and, because
+ * sampled results are content-addressed by their experiment point,
+ * reused across `pbs_exp` runs through the result cache). The
+ * serialization makes snapshots portable beyond one process: pages are
+ * emitted in ascending address order, so equal states always produce
+ * byte-identical blobs.
+ *
+ * Format (PBSCKPT1, little-endian):
+ *   magic[8] | pc u64 | halted u8 | instructions u64 |
+ *   nregs u64 | regs u64[nregs] | nprob u64 | probSeq u64[nprob] |
+ *   npages u64 | { base u64, bytes[4096] } x npages
+ */
+
+#ifndef PBS_SAMPLING_CHECKPOINT_HH
+#define PBS_SAMPLING_CHECKPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/arch_state.hh"
+
+namespace pbs::sampling {
+
+/** An architectural snapshot, capturable/restorable on any engine. */
+struct Checkpoint
+{
+    cpu::ArchState state;
+
+    /** Deterministic binary encoding (equal states, equal bytes). */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Decode a serialized checkpoint.
+     * @throws std::invalid_argument on a malformed or truncated blob.
+     */
+    static Checkpoint deserialize(const std::vector<uint8_t> &bytes);
+};
+
+}  // namespace pbs::sampling
+
+#endif  // PBS_SAMPLING_CHECKPOINT_HH

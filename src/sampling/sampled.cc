@@ -1,0 +1,204 @@
+#include "sampling/sampled.hh"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "sampling/functional.hh"
+#include "stats/stats.hh"
+
+namespace pbs::sampling {
+
+namespace {
+
+/** Deltas of one measured interval. */
+struct IntervalSample
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t branches = 0;
+    uint64_t probBranches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t regularMispredicts = 0;
+    uint64_t probMispredicts = 0;
+    uint64_t steered = 0;
+    uint64_t detailed = 0;  ///< total detailed insts (warmup included)
+    bool valid = false;
+};
+
+IntervalSample
+measureOne(const isa::Program &prog, const cpu::CoreConfig &detCfg,
+           const cpu::ArchState &chk, uint64_t warmup, uint64_t measure)
+{
+    cpu::Core core(prog, detCfg);
+    core.restoreArch(chk);
+    core.step(warmup);
+    const cpu::CoreStats w = core.stats();
+    core.step(measure);
+    const cpu::CoreStats m = core.stats();
+
+    IntervalSample s;
+    s.instructions = m.instructions - w.instructions;
+    s.cycles = m.cycles - w.cycles;
+    s.branches = m.branches - w.branches;
+    s.probBranches = m.probBranches - w.probBranches;
+    s.mispredicts = m.mispredicts - w.mispredicts;
+    s.regularMispredicts = m.regularMispredicts - w.regularMispredicts;
+    s.probMispredicts = m.probMispredicts - w.probMispredicts;
+    s.steered = m.steeredBranches - w.steeredBranches;
+    s.detailed = m.instructions;
+    s.valid = s.instructions > 0 && s.cycles > 0;
+    return s;
+}
+
+/** Exact fallback: one full detailed run (program too short). */
+SampledRun
+exactRun(const isa::Program &prog, const cpu::CoreConfig &detCfg)
+{
+    cpu::Core core(prog, detCfg);
+    core.run();
+    SampledRun r;
+    r.stats = core.stats();
+    r.est.exact = true;
+    r.est.ffInstructions = 0;
+    r.est.detailedInstructions = r.stats.instructions;
+    r.est.ipc = r.stats.ipc();
+    r.est.mpki = r.stats.mpki();
+    r.finalState = core.saveArch();
+    return r;
+}
+
+uint64_t
+scaled(uint64_t counter, double factor)
+{
+    return uint64_t(std::llround(double(counter) * factor));
+}
+
+}  // namespace
+
+SampledRun
+runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
+{
+    const cpu::SampleParams &sp = cfg.sample;
+    if (sp.interval == 0 || sp.measure == 0)
+        throw std::invalid_argument(
+            "sampled mode: interval and measure must be > 0");
+    if (sp.warmup + sp.measure > sp.interval)
+        throw std::invalid_argument(
+            "sampled mode: warmup + measure must not exceed interval");
+
+    // The detailed configuration used by warmup/measure intervals.
+    cpu::CoreConfig detCfg = cfg;
+    detCfg.execMode = cpu::ExecMode::Detailed;
+    detCfg.mode = cpu::SimMode::Timing;
+
+    // Phase 1: functional fast-forward, capturing one checkpoint per
+    // interval at (k * interval - warmup), the start of that
+    // interval's detailed warmup.
+    FunctionalEngine ff(prog, cfg.maxInstructions);
+    std::vector<cpu::ArchState> checkpoints;
+    for (uint64_t k = 1;; k++) {
+        const uint64_t target = k * sp.interval - sp.warmup;
+        const uint64_t cur = ff.stats().instructions;
+        if (cfg.maxInstructions && target >= cfg.maxInstructions)
+            break;
+        ff.step(target - cur);
+        if (ff.halted())
+            break;
+        checkpoints.push_back(ff.saveArch());
+        if (sp.maxSamples && checkpoints.size() >= sp.maxSamples)
+            break;
+    }
+    ff.run();  // to completion: exact totals, outputs, final memory
+
+    if (checkpoints.size() < 2)
+        return exactRun(prog, detCfg);
+
+    // Phase 2: checkpoint fan-out across the thread pool.
+    std::vector<IntervalSample> samples(checkpoints.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < checkpoints.size();
+             i = next.fetch_add(1)) {
+            samples[i] = measureOne(prog, detCfg, checkpoints[i],
+                                    sp.warmup, sp.measure);
+            // Each checkpoint feeds exactly one sample: release its
+            // memory pages as soon as it is consumed.
+            checkpoints[i].mem = mem::SparseMemory{};
+        }
+    };
+    const unsigned jobs = std::max(
+        1u, std::min<unsigned>(sp.jobs,
+                               unsigned(checkpoints.size())));
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; t++)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    // Phase 3: aggregate. Point estimates use the ratio estimator over
+    // all measured instructions; confidence intervals come from the
+    // per-interval variance (intervals are equal-sized except a
+    // possibly truncated final one, so the two agree asymptotically).
+    stats::RunningStat cpi, mpki;
+    IntervalSample tot;
+    uint64_t validCount = 0;
+    for (const IntervalSample &s : samples) {
+        if (!s.valid)
+            continue;
+        validCount++;
+        cpi.push(double(s.cycles) / double(s.instructions));
+        mpki.push(1000.0 * double(s.mispredicts) /
+                  double(s.instructions));
+        tot.instructions += s.instructions;
+        tot.cycles += s.cycles;
+        tot.mispredicts += s.mispredicts;
+        tot.regularMispredicts += s.regularMispredicts;
+        tot.probMispredicts += s.probMispredicts;
+        tot.steered += s.steered;
+        tot.detailed += s.detailed;
+    }
+    if (validCount < 2)
+        return exactRun(prog, detCfg);
+
+    const double meanCpi = double(tot.cycles) / double(tot.instructions);
+    const double meanMpki =
+        1000.0 * double(tot.mispredicts) / double(tot.instructions);
+
+    SampledRun r;
+    const cpu::CoreStats &exact = ff.stats();
+    const uint64_t n = exact.instructions;
+    const double factor = double(n) / double(tot.instructions);
+
+    r.stats.instructions = n;
+    r.stats.branches = exact.branches;
+    r.stats.probBranches = exact.probBranches;
+    r.stats.cycles = scaled(tot.cycles, factor);
+    r.stats.mispredicts = scaled(tot.mispredicts, factor);
+    r.stats.regularMispredicts = scaled(tot.regularMispredicts, factor);
+    r.stats.probMispredicts = scaled(tot.probMispredicts, factor);
+    r.stats.steeredBranches = scaled(tot.steered, factor);
+
+    r.est.intervals = validCount;
+    r.est.ffInstructions = n;
+    r.est.detailedInstructions = tot.detailed;
+    r.est.ipc = meanCpi > 0.0 ? 1.0 / meanCpi : 0.0;
+    // Delta method: var(1/X) ~ var(X) / mean(X)^4.
+    r.est.ipcCi95 = meanCpi > 0.0
+        ? cpi.ci95HalfWidth() / (meanCpi * meanCpi) : 0.0;
+    r.est.mpki = meanMpki;
+    r.est.mpkiCi95 = mpki.ci95HalfWidth();
+
+    r.finalState = ff.saveArch();
+    return r;
+}
+
+}  // namespace pbs::sampling

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SMARTS-style systematic sampling over the detailed core (Wunderlich
+ * et al., ISCA'03, adapted to this simulator): the program runs
+ * start-to-finish on the functional fast-forward engine, a checkpoint
+ * is captured every `interval` instructions, and each checkpoint fans
+ * out to a fresh detailed core on the thread pool that warms
+ * predictors and caches for `warmup` instructions (statistics
+ * discarded) and then measures `measure` instructions. Per-interval
+ * CPI/MPKI variance yields 95% confidence intervals; totals are scaled
+ * from the exact functional instruction count.
+ *
+ * What is exact and what is estimated:
+ *  - instructions, branches, probBranches, outputs, final memory:
+ *    exact (the functional pass executes the whole program).
+ *  - cycles, mispredictions, steered counts, IPC, MPKI: estimated,
+ *    with confidence intervals in SampleEstimate.
+ *
+ * With PBS enabled the fast-forward executes unsteered (PBS-off value
+ * semantics) while warmup/measure run the full engine, so sampled
+ * PBS-on runs estimate the statistics of a *statistically equivalent*
+ * execution — exactly the property the paper's mechanism guarantees —
+ * rather than replaying one specific detailed-mode value sequence.
+ *
+ * Programs too short to yield at least two measured intervals fall
+ * back to one full detailed run (SampleEstimate::exact).
+ *
+ * Two deliberate approximations:
+ *  - The schedule starts at k = 1 (the first warmup needs `warmup`
+ *    instructions of runway), so the first `interval` instructions —
+ *    the startup transient — contribute to the exact totals but are
+ *    never timed. Shrink `interval` if the startup phase matters.
+ *  - Checkpoints for the whole run are captured before the fan-out
+ *    begins, so peak memory is O(intervals x workload footprint)
+ *    during phase 2 (each checkpoint's pages are released as soon as
+ *    its sample completes). The registered workloads keep footprints
+ *    in the KB-to-MB range; revisit with a streaming capture if a
+ *    future workload does not.
+ */
+
+#ifndef PBS_SAMPLING_SAMPLED_HH
+#define PBS_SAMPLING_SAMPLED_HH
+
+#include <cstdint>
+
+#include "cpu/arch_state.hh"
+#include "cpu/core_config.hh"
+#include "isa/program.hh"
+
+namespace pbs::sampling {
+
+/** What the sampled simulator measured, beyond the point estimates. */
+struct SampleEstimate
+{
+    uint64_t intervals = 0;            ///< measured intervals
+    uint64_t ffInstructions = 0;       ///< functionally fast-forwarded
+    uint64_t detailedInstructions = 0; ///< warmup + measured, detailed
+
+    double ipc = 0.0;
+    double ipcCi95 = 0.0;   ///< 95% CI half-width of the IPC estimate
+    double mpki = 0.0;
+    double mpkiCi95 = 0.0;  ///< 95% CI half-width of the MPKI estimate
+
+    /** Program too short to sample: one exact detailed run instead. */
+    bool exact = false;
+
+    bool operator==(const SampleEstimate &) const = default;
+};
+
+/** Result of one sampled simulation. */
+struct SampledRun
+{
+    /**
+     * CoreStats in the detailed layout: instructions, branches and
+     * probBranches are exact; cycles and the misprediction/steering
+     * counters are estimates scaled to the full run (rounded).
+     */
+    cpu::CoreStats stats;
+
+    SampleEstimate est;
+
+    /** Exact architectural end state (outputs live in .mem). */
+    cpu::ArchState finalState;
+};
+
+/**
+ * Run @p prog under systematic sampling. @p cfg describes the detailed
+ * core used for warmup/measure intervals (predictor, width, PBS...);
+ * cfg.sample supplies the sampling parameters and fan-out thread
+ * count.
+ * @throws std::invalid_argument when cfg.sample is inconsistent
+ *         (interval == 0, measure == 0, or warmup+measure > interval).
+ */
+SampledRun runSampled(const isa::Program &prog,
+                      const cpu::CoreConfig &cfg);
+
+}  // namespace pbs::sampling
+
+#endif  // PBS_SAMPLING_SAMPLED_HH

@@ -196,9 +196,9 @@ native(const WorkloadParams &wp)
 }
 
 std::vector<double>
-simOut(const cpu::Core &core)
+simOut(const mem::SparseMemory &mem)
 {
-    return readOutputs(core, 2);
+    return readOutputs(mem, 2);
 }
 
 }  // namespace

@@ -63,7 +63,13 @@ struct BenchmarkDesc
 
     isa::Program (*build)(const WorkloadParams &, Variant);
     std::vector<double> (*nativeOutput)(const WorkloadParams &);
-    std::vector<double> (*simOutput)(const cpu::Core &);
+
+    /**
+     * Read the benchmark's outputs from a finished simulation's
+     * memory. Takes the memory (not a core) so every execution engine
+     * — detailed, functional, sampled — can produce outputs.
+     */
+    std::vector<double> (*simOutput)(const mem::SparseMemory &);
 };
 
 /** All eight benchmarks, in the paper's Table II order. */
@@ -80,7 +86,7 @@ unsigned registryVersion();
 const BenchmarkDesc &benchmarkByName(const std::string &name);
 
 /** Read @p n doubles from the output region of a finished simulation. */
-std::vector<double> readOutputs(const cpu::Core &core, size_t n);
+std::vector<double> readOutputs(const mem::SparseMemory &mem, size_t n);
 
 // Individual benchmark entry points (one per translation unit).
 BenchmarkDesc dopBenchmark();

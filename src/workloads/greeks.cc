@@ -219,9 +219,9 @@ native(const WorkloadParams &wp)
 }
 
 std::vector<double>
-simOut(const cpu::Core &core)
+simOut(const mem::SparseMemory &mem)
 {
-    return readOutputs(core, 3);
+    return readOutputs(mem, 3);
 }
 
 }  // namespace

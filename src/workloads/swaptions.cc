@@ -187,9 +187,9 @@ native(const WorkloadParams &wp)
 }
 
 std::vector<double>
-simOut(const cpu::Core &core)
+simOut(const mem::SparseMemory &mem)
 {
-    return readOutputs(core, 1);
+    return readOutputs(mem, 1);
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ TEST_P(BinaryCompat, EncodedProgramRunsIdentically)
     c1.run();
     cpu::Core c2(aware, cfg);
     c2.run();
-    EXPECT_EQ(b.simOutput(c1), b.simOutput(c2));
+    EXPECT_EQ(b.simOutput(c1.memory()), b.simOutput(c2.memory()));
 
     // Legacy machine: probabilistic markings ignored; the program must
     // still compute the *original* (native) results.
@@ -70,7 +70,7 @@ TEST_P(BinaryCompat, EncodedProgramRunsIdentically)
     c3.run();
     ASSERT_TRUE(c3.halted());
     std::vector<double> ref = b.nativeOutput(p);
-    std::vector<double> out = b.simOutput(c3);
+    std::vector<double> out = b.simOutput(c3.memory());
     ASSERT_EQ(out.size(), ref.size());
     for (size_t i = 0; i < out.size(); i++)
         EXPECT_DOUBLE_EQ(out[i], ref[i]) << name << " output " << i;

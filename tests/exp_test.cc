@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <unordered_set>
 
 #include <gtest/gtest.h>
 
@@ -143,7 +144,7 @@ TEST(ExpSpec, ParsesKeyValueTextAndExpands)
         "workload  = pi, dop\n"
         "predictor = tournament, tage_scl\n"
         "pbs       = off, on\n"
-        "mode      = functional\n"
+        "mode      = mpki\n"
         "scale     = 1000\n"
         "seeds     = 2\n");
     ASSERT_TRUE(parsed.ok) << parsed.error;
@@ -158,9 +159,63 @@ TEST(ExpSpec, ParsesKeyValueTextAndExpands)
     EXPECT_TRUE(grid.points.back().pbs);
     EXPECT_EQ(grid.points.back().workload, "dop");
     for (const auto &pt : grid.points) {
-        EXPECT_TRUE(pt.functional);
+        EXPECT_TRUE(pt.functional);       // mpki = SimMode::Functional
+        EXPECT_EQ(pt.mode, "detailed");
         EXPECT_EQ(pt.scale, 1000u);
     }
+}
+
+TEST(ExpSpec, ExecutionModesExpandAndKeySeparately)
+{
+    auto parsed = exp::parseSpecText(
+        "workload  = pi\n"
+        "mode      = detailed, timing, legacy, functional, sampled\n"
+        "sample-interval = 50000\n"
+        "sample-warmup   = 5000\n"
+        "sample-measure  = 2000\n"
+        "scale     = 1000\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    auto grid = exp::expandSpec(parsed.spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+    ASSERT_EQ(grid.points.size(), 5u);
+    EXPECT_EQ(grid.points[0].mode, "detailed");
+    EXPECT_EQ(grid.points[1].mode, "detailed");  // timing alias
+    EXPECT_EQ(grid.points[2].mode, "legacy");
+    EXPECT_EQ(grid.points[3].mode, "functional");
+    EXPECT_EQ(grid.points[4].mode, "sampled");
+    for (const auto &pt : grid.points)
+        EXPECT_FALSE(pt.functional);
+
+    // Sampling parameters attach to sampled points only.
+    EXPECT_EQ(grid.points[4].sampleInterval, 50000u);
+    EXPECT_EQ(grid.points[4].sampleWarmup, 5000u);
+    EXPECT_EQ(grid.points[4].sampleMeasure, 2000u);
+    EXPECT_EQ(grid.points[0].sampleInterval, 0u);
+
+    // The execution mode and the sampling parameters are part of the
+    // canonical point JSON, so detailed, functional and sampled
+    // results can never collide in the result cache.
+    std::unordered_set<std::string> keys;
+    for (const auto &pt : grid.points)
+        keys.insert(exp::cacheKey(pt));
+    EXPECT_EQ(keys.size(), 4u);  // detailed == timing, rest distinct
+
+    exp::ExpPoint tweaked = grid.points[4];
+    tweaked.sampleInterval = 60000;
+    EXPECT_NE(exp::cacheKey(tweaked), exp::cacheKey(grid.points[4]));
+
+    // Round trip through the canonical JSON preserves the new fields.
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(exp::pointJson(grid.points[4]), v, err))
+        << err;
+    exp::ExpPoint back;
+    ASSERT_TRUE(exp::readPoint(v, back));
+    EXPECT_EQ(back, grid.points[4]);
+
+    EXPECT_FALSE(exp::parseSpecText("mode = warp\n").ok);
+    EXPECT_FALSE(exp::parseSpecText("sample-interval = 0\n").ok);
 }
 
 TEST(ExpSpec, RejectsBadAxesAndEmptySpecs)

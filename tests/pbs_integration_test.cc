@@ -104,7 +104,7 @@ TEST_P(PbsBenchmarkTest, DeterministicReplay)
     auto run = [&] {
         cpu::Core core(b.build(p, Variant::Marked), funcConfig(true));
         core.run();
-        auto out = b.simOutput(core);
+        auto out = b.simOutput(core.memory());
         out.push_back(double(core.stats().steeredBranches));
         out.push_back(double(core.stats().mispredicts));
         return out;
@@ -118,7 +118,7 @@ TEST_P(PbsBenchmarkTest, OutputAccuracyWithinBounds)
     WorkloadParams p = smallParams(b);
     cpu::Core core(b.build(p, Variant::Marked), funcConfig(true));
     core.run();
-    std::vector<double> sim = b.simOutput(core);
+    std::vector<double> sim = b.simOutput(core.memory());
     std::vector<double> ref = b.nativeOutput(p);
     ASSERT_EQ(sim.size(), ref.size());
 

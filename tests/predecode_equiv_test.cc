@@ -37,7 +37,7 @@ outcomeOf(const workloads::BenchmarkDesc &b, const cpu::Core &core)
     out.trace = core.probTrace();
     for (unsigned r = 0; r < isa::kNumRegs; r++)
         out.regs[r] = core.reg(r);
-    out.outputs = b.simOutput(core);
+    out.outputs = b.simOutput(core.memory());
     out.pc = core.pc();
     return out;
 }

@@ -238,7 +238,7 @@ TEST_P(PbsConfigSweep, InvariantsHoldOnPi)
     // Steered branches are a subset of probabilistic branches.
     EXPECT_LE(core.stats().steeredBranches, core.stats().probBranches);
     // The estimate stays statistically sane for every configuration.
-    double pi_est = b.simOutput(core)[0];
+    double pi_est = b.simOutput(core.memory())[0];
     EXPECT_NEAR(pi_est, 3.14159, 0.05);
     // Storage accounting scales with the configuration.
     EXPECT_EQ(core.pbs().storageBits(),

@@ -52,7 +52,7 @@ TEST_P(GoldenTest, SimMatchesNativeBitExactly)
     core.run();
     ASSERT_TRUE(core.halted()) << name << ": did not reach HALT";
 
-    std::vector<double> sim = b.simOutput(core);
+    std::vector<double> sim = b.simOutput(core.memory());
     std::vector<double> ref = b.nativeOutput(p);
     ASSERT_EQ(sim.size(), ref.size());
     for (size_t i = 0; i < sim.size(); i++) {
@@ -154,7 +154,7 @@ TEST(WorkloadVariants, VariantsMatchMarkedOutputs)
             cpu::Core core(prog, functionalConfig());
             core.run();
             ASSERT_TRUE(core.halted());
-            std::vector<double> sim = b.simOutput(core);
+            std::vector<double> sim = b.simOutput(core.memory());
             ASSERT_EQ(sim.size(), ref.size());
             for (size_t i = 0; i < sim.size(); i++) {
                 EXPECT_DOUBLE_EQ(sim[i], ref[i])
