@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sampling-parameter Pareto sweep: which (interval, warmup, measure)
+ * triples are worth using?
+ *
+ * Every sampled run trades accuracy for speed: wider intervals mean
+ * fewer detailed instructions (faster) but fewer samples (noisier).
+ * This example sweeps a small grid of triples over pi and bandit with
+ * TAGE-SC-L (PBS off and on), measures each against a full detailed
+ * reference run, and prints the error-vs-simulated-MIPS table with the
+ * Pareto-frontier rows starred — the parameter choices no other triple
+ * beats on both error and speed. The same sweep is available from the
+ * CLI as:
+ *
+ *   pbs_exp --pareto --workloads pi,bandit --predictors tage-sc-l \
+ *           --pbs off,on --sample-grid 500000/100000/60000,... \
+ *           --csv pareto.csv
+ *
+ * Build tree:  ./build/examples/pareto_sweep
+ */
+
+#include <cstdio>
+
+#include "exp/pareto.hh"
+
+int
+main()
+{
+    using namespace pbs;
+
+    exp::ParetoConfig cfg;
+    exp::applySpecKey(cfg.spec, "workload", "pi,bandit");
+    exp::applySpecKey(cfg.spec, "predictor", "tage-sc-l");
+    exp::applySpecKey(cfg.spec, "pbs", "off,on");
+    // A compact ladder around the subsystem defaults (500k/100k/60k);
+    // leave spec.sampleGrid empty to sweep the full built-in grid.
+    exp::applySpecKey(cfg.spec, "sample-grid",
+                      "1000000/100000/50000, 500000/100000/60000, "
+                      "250000/50000/30000");
+    cfg.repeats = 1;
+    cfg.progress = true;
+
+    const auto rows = exp::runParetoSweep(cfg);
+    std::printf("%s", exp::paretoTable(rows).c_str());
+    std::printf(
+        "\nRows marked '*' are on the error-vs-speed Pareto frontier "
+        "for their\n(workload, predictor, pbs) group. MIPS figures are "
+        "machine-specific; the\nerror columns are bit-deterministic. "
+        "Widen the interval to go faster, shrink\nit (or raise "
+        "warmup/measure) to tighten the estimates.\n");
+    return 0;
+}

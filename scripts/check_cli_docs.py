@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Keep docs/cli.md honest: every flag documented for a binary must
+appear in that binary's --help output.
+
+Usage:
+    scripts/check_cli_docs.py pbs_sim=./build/pbs_sim \
+        pbs_exp=./build/pbs_exp pbs_bench=./build/pbs_bench
+
+docs/cli.md is split into sections by its "## `<binary>`" headings;
+within each section every `--long-flag` token is collected and checked
+against the corresponding binary's --help text. Flags mentioned for a
+binary that has no section (or sections for unknown binaries) fail the
+check too, so the reference can never silently drift from the CLIs.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+SECTION_RE = re.compile(r"^##\s+`([a-z_]+)`", re.MULTILINE)
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+
+
+def help_text(binary: str) -> str:
+    # pbs_bench prints usage to stderr; capture both streams.
+    proc = subprocess.run(
+        [binary, "--help"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=60,
+    )
+    return proc.stdout
+
+
+def sections(text: str) -> dict:
+    """Map binary name -> its section text (heading to next heading)."""
+    out = {}
+    matches = list(SECTION_RE.finditer(text))
+    for i, m in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        out[m.group(1)] = text[m.start():end]
+    return out
+
+
+def main() -> int:
+    binaries = {}
+    for arg in sys.argv[1:]:
+        name, _, path = arg.partition("=")
+        if not path:
+            print(f"bad argument (want name=path): {arg}")
+            return 2
+        binaries[name] = path
+    if not binaries:
+        print(__doc__)
+        return 2
+
+    text = DOCS.read_text()
+    docs = sections(text)
+    failures = []
+
+    for name in sorted(binaries):
+        if name not in docs:
+            failures.append(f"docs/cli.md has no '## `{name}`' section")
+    for name in sorted(docs):
+        if name not in binaries:
+            failures.append(
+                f"docs/cli.md section '{name}' has no binary to check "
+                f"against (pass {name}=<path>)"
+            )
+
+    for name, path in sorted(binaries.items()):
+        if name not in docs:
+            continue
+        documented = set(FLAG_RE.findall(docs[name]))
+        available = set(FLAG_RE.findall(help_text(path)))
+        for flag in sorted(documented - available):
+            failures.append(
+                f"{name}: docs/cli.md documents {flag}, which is not in "
+                f"`{name} --help`"
+            )
+        print(
+            f"{name}: {len(documented)} documented flags, "
+            f"{len(documented & available)} verified against --help"
+        )
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print("docs/cli.md is in sync with the binaries' --help output")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -185,6 +185,31 @@ parseArgs(const std::vector<std::string> &args)
         } else if ((m = takeValue(arg, "--sample-max")) != 0) {
             if (m < 0 || !parseU64Arg(v, o.sampleMax))
                 return fail("bad --sample-max value");
+        } else if ((m = takeValue(arg, "--save-checkpoints")) != 0) {
+            if (m < 0 || v.empty())
+                return fail(arg + " needs a directory");
+            o.saveCheckpoints = v;
+        } else if ((m = takeValue(arg, "--load-checkpoints")) != 0) {
+            if (m < 0 || v.empty())
+                return fail(arg + " needs a directory");
+            o.loadCheckpoints = v;
+        } else if ((m = takeValue(arg, "--shard")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            const size_t slash = v.find('/');
+            uint64_t k = 0, n = 0;
+            if (slash == std::string::npos ||
+                !parseU64Arg(v.substr(0, slash), k) ||
+                !parseU64Arg(v.substr(slash + 1), n)) {
+                return fail("bad --shard value: " + v +
+                            " (expected K/N, e.g. 1/2)");
+            }
+            if (n == 0 || k == 0 || k > n || n > 0xffffffffull) {
+                return fail("--shard index out of range: " + v +
+                            " (need 1 <= K <= N)");
+            }
+            o.shardIndex = unsigned(k);
+            o.shardCount = unsigned(n);
         } else if ((m = takeValue(arg, "--variant")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
@@ -266,6 +291,37 @@ parseArgs(const std::vector<std::string> &args)
     if (o.mode == "sampled" && o.trace)
         return fail("--trace is not available in sampled mode");
 
+    const bool store = !o.saveCheckpoints.empty() ||
+                       !o.loadCheckpoints.empty() || o.shardCount;
+    if (store) {
+        if (o.mode != "sampled") {
+            return fail("--save-checkpoints/--load-checkpoints/--shard "
+                        "require --mode sampled");
+        }
+        if (!o.report.empty())
+            return fail("checkpoint-store options apply to --workload "
+                        "runs, not reports");
+        if (o.seeds != 1) {
+            return fail("checkpoint sets are per-seed; use --seeds 1 "
+                        "(run one set per seed)");
+        }
+        if (!o.saveCheckpoints.empty() && !o.loadCheckpoints.empty()) {
+            return fail("--save-checkpoints and --load-checkpoints are "
+                        "mutually exclusive (save captures a fresh "
+                        "set)");
+        }
+    }
+    if (o.shardCount) {
+        if (o.loadCheckpoints.empty()) {
+            return fail("--shard needs --load-checkpoints (shards claim "
+                        "slices of a persisted set)");
+        }
+        if (o.format != "json") {
+            return fail("--shard emits a pbs-shard-v1 partial result; "
+                        "use --format json");
+        }
+    }
+
     if (o.report.empty()) {
         const std::string canon = canonicalPredictor(o.predictor);
         if (canon.empty())
@@ -307,10 +363,19 @@ usageText()
         "                       (see README \"Simulation modes\")\n"
         "  --functional         alias for --mode mpki (predictor/PBS\n"
         "                       updates without timing; MPKI sweeps)\n"
+        "  --timing             undo --functional (timing fidelity)\n"
         "  --sample-interval <n>  sampled: insts between measurements\n"
         "  --sample-warmup <n>    sampled: detailed warmup per sample\n"
         "  --sample-measure <n>   sampled: measured insts per sample\n"
         "  --sample-max <n>       sampled: cap on measured samples\n"
+        "  --save-checkpoints <dir>  sampled: persist the checkpoint\n"
+        "                       set for cross-process fan-out\n"
+        "  --load-checkpoints <dir>  sampled: replay from a persisted\n"
+        "                       set instead of fast-forwarding\n"
+        "  --shard <k/n>        sampled: claim shard k of n over the\n"
+        "                       loaded set and emit a pbs-shard-v1\n"
+        "                       partial result (merge the parts with\n"
+        "                       pbs_exp --merge); needs --format json\n"
         "  --variant <v>        marked | predicated | cfd\n"
         "  --scale <n>          iteration count (0 = workload default)\n"
         "  --div <n>            divide the default scale by n\n"
@@ -321,7 +386,7 @@ usageText()
         "  --seeds <n>          run n consecutive seeds (default 1)\n"
         "  --jobs <n>           worker threads for the batch (default 1)\n"
         "  --format <f>         batch output: text (default) or json\n"
-        "                       (the pbs-batch-v1 schema; see README)\n"
+        "                       (the pbs-batch-v2 schema; see README)\n"
         "\n"
         "Reports (the paper's fig/table harnesses):\n"
         "  --report <name>      render one report (see --list)\n"

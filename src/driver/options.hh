@@ -55,6 +55,21 @@ struct DriverOptions
     uint64_t sampleMeasure = 0;      ///< measured insts per sample
     uint64_t sampleMax = 0;          ///< cap on samples (0 = all)
 
+    // Persistent checkpoint store (mode == "sampled", single seed;
+    // see docs/sampling.md for the on-disk format).
+    std::string saveCheckpoints;     ///< capture and persist a set here
+    std::string loadCheckpoints;     ///< replay from the set stored here
+    unsigned shardIndex = 0;         ///< 1-based shard (--shard K/N)
+    unsigned shardCount = 0;         ///< total shards (0 = no sharding)
+
+    /**
+     * Code-version salt baked into checkpoint-set keys. The pbs_sim
+     * binary fills this with exp::versionSalt() before dispatching, so
+     * a set captured by different code is rejected at load. Tests may
+     * set their own value (it is just a string compared on load).
+     */
+    std::string storeSalt;
+
     // Workload parameters.
     workloads::Variant variant = workloads::Variant::Marked;
     uint64_t scale = 0;              ///< 0 = workload default

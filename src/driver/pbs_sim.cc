@@ -14,6 +14,8 @@
 #include "driver/reports.hh"
 #include "driver/runner.hh"
 #include "exp/artifact.hh"
+#include "exp/cache.hh"
+#include "exp/merge.hh"
 
 namespace {
 
@@ -46,7 +48,10 @@ main(int argc, char **argv)
                      driver::usageText().c_str());
         return 2;
     }
-    const auto &opts = parsed.opts;
+    driver::DriverOptions opts = parsed.opts;
+    // Checkpoint-set keys carry the same code-version salt as the
+    // experiment cache, so stale sets are rejected, never replayed.
+    opts.storeSalt = exp::versionSalt();
 
     if (opts.help) {
         std::printf("%s", driver::usageText().c_str());
@@ -61,6 +66,10 @@ main(int argc, char **argv)
         if (!opts.report.empty())
             return driver::runReport(opts.report, opts.divisor,
                                      opts.jobs);
+        if (opts.shardCount) {
+            std::printf("%s", exp::runShard(opts).c_str());
+            return 0;
+        }
         if (opts.format == "json") {
             auto results = driver::runBatch(opts);
             std::printf("%s", exp::batchJson(opts, results).c_str());

@@ -130,15 +130,10 @@ sweepCsv(const std::vector<ExpPoint> &points, Engine &engine)
     return out;
 }
 
-std::string
-batchJson(const driver::DriverOptions &opts,
-          const std::vector<driver::SeedResult> &results)
+void
+writeBatchConfig(JsonWriter &w, const driver::DriverOptions &opts)
 {
-    JsonWriter w;
     w.beginObject();
-    w.key("schema").value("pbs-batch-v1");
-
-    w.key("config").beginObject();
     w.key("workload").value(opts.workload);
     w.key("predictor").value(opts.predictor);
     w.key("variant").value(variantName(opts.variant));
@@ -154,6 +149,13 @@ batchJson(const driver::DriverOptions &opts,
         w.key("sample_warmup").value(sp.warmup);
         w.key("sample_measure").value(sp.measure);
         w.key("sample_max").value(sp.maxSamples);
+        if (opts.seeds == 1) {
+            // The checkpoint-set identity this run corresponds to
+            // (what the persistent store keys on), whether or not a
+            // store was actually used.
+            w.key("ckpt_set").value(sampling::storeSetHash(
+                driver::checkpointStoreKey(opts)));
+        }
     }
     w.key("stall").value(!opts.noStall);
     w.key("context").value(!opts.noContext);
@@ -164,6 +166,18 @@ batchJson(const driver::DriverOptions &opts,
     w.key("seed").value(opts.seed);
     w.key("seeds").value(opts.seeds);
     w.endObject();
+}
+
+std::string
+batchJson(const driver::DriverOptions &opts,
+          const std::vector<driver::SeedResult> &results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-batch-v2");
+
+    w.key("config");
+    writeBatchConfig(w, opts);
 
     w.key("runs").beginArray();
     for (const auto &r : results) {

@@ -1,100 +1,24 @@
 /**
  * @file
- * Canonical JSON for the experiment engine: a writer whose byte output
- * is deterministic (fixed key order is the caller's job; number
- * formatting is exact and reproducible), and a small parser for reading
- * cache entries and artifacts back.
- *
- * Doubles are printed with the shortest representation that round-trips
- * through strtod, so a value that travels disk -> memory -> disk is
- * byte-identical. uint64 counters are printed as exact decimal integers
- * (never through a double), so all 64 bits survive.
+ * Compatibility forwarder: the canonical JSON writer/parser moved to
+ * `src/util/json.hh` so layers below the experiment engine (notably
+ * the sampling subsystem's checkpoint-store manifest) can use it
+ * without a layering inversion. Existing exp code keeps its spellings.
  */
 
 #ifndef PBS_EXP_JSON_HH
 #define PBS_EXP_JSON_HH
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
+#include "util/json.hh"
 
 namespace pbs::exp {
 
-/** Shortest decimal form of @p v that strtod parses back bit-exactly. */
-std::string canonicalDouble(double v);
-
-/** JSON string escaping (adds the surrounding quotes). */
-std::string jsonEscape(const std::string &s);
-
-/**
- * Streaming writer producing compact canonical JSON. Keys are emitted
- * in call order; commas are managed automatically.
- */
-class JsonWriter
-{
-  public:
-    JsonWriter &beginObject();
-    JsonWriter &endObject();
-    JsonWriter &beginArray();
-    JsonWriter &endArray();
-
-    /** Object member key; must be followed by exactly one value. */
-    JsonWriter &key(const std::string &k);
-
-    JsonWriter &value(const std::string &s);
-    JsonWriter &value(const char *s);
-    JsonWriter &value(bool b);
-    JsonWriter &value(uint64_t v);
-    JsonWriter &value(int v);
-    JsonWriter &value(unsigned v);
-    JsonWriter &value(double v);
-    JsonWriter &null();
-
-    /** Splice a pre-rendered JSON fragment in value position. */
-    JsonWriter &raw(const std::string &fragment);
-
-    /** Insert a newline (cosmetic; between top-level array elements). */
-    JsonWriter &newline();
-
-    const std::string &str() const { return out_; }
-
-  private:
-    void comma();
-
-    std::string out_;
-    std::vector<bool> first_;  ///< per nesting level
-    bool pendingKey_ = false;
-};
-
-/** Parsed JSON value. Numbers keep their lexeme for exact re-reads. */
-class JsonValue
-{
-  public:
-    enum class Type { Null, Bool, Number, String, Array, Object };
-
-    Type type = Type::Null;
-    bool boolean = false;
-    std::string text;  ///< string contents, or the number lexeme
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> members;
-
-    bool isNull() const { return type == Type::Null; }
-
-    /** Object member lookup; nullptr when absent or not an object. */
-    const JsonValue *find(const std::string &k) const;
-
-    /** Exact integer reads (the lexeme never passes through a double). */
-    uint64_t asU64(uint64_t fallback = 0) const;
-    int64_t asI64(int64_t fallback = 0) const;
-    double asDouble(double fallback = 0.0) const;
-    bool asBool(bool fallback = false) const;
-    std::string asString(const std::string &fallback = "") const;
-};
-
-/** Parse @p text; @return false (and sets @p err) on malformed input. */
-bool parseJson(const std::string &text, JsonValue &out, std::string &err);
+using util::JsonValue;
+using util::JsonWriter;
+using util::canonicalDouble;
+using util::jsonEscape;
+using util::parseJson;
+using util::rewriteJson;
 
 }  // namespace pbs::exp
 

@@ -1,0 +1,303 @@
+#include "exp/merge.hh"
+
+#include <stdexcept>
+
+#include "driver/runner.hh"
+#include "exp/artifact.hh"
+#include "exp/point.hh"
+#include "sampling/store.hh"
+
+namespace pbs::exp {
+
+namespace {
+
+[[noreturn]] void
+failShard(const std::string &what)
+{
+    throw std::runtime_error("shard: " + what);
+}
+
+[[noreturn]] void
+failMerge(const std::string &what)
+{
+    throw std::runtime_error("merge: " + what);
+}
+
+void
+writeSample(JsonWriter &w, size_t index,
+            const sampling::IntervalSample &s)
+{
+    w.beginObject();
+    w.key("index").value(uint64_t(index));
+    w.key("instructions").value(s.instructions);
+    w.key("cycles").value(s.cycles);
+    w.key("mispredicts").value(s.mispredicts);
+    w.key("regular_mispredicts").value(s.regularMispredicts);
+    w.key("prob_mispredicts").value(s.probMispredicts);
+    w.key("steered").value(s.steered);
+    w.key("detailed").value(s.detailed);
+    w.key("valid").value(s.valid);
+    w.endObject();
+}
+
+/** One parsed shard document (the fields the merge consumes). */
+struct ShardDoc
+{
+    std::string setHash;
+    uint64_t index = 0;
+    uint64_t count = 0;
+    uint64_t intervals = 0;
+    std::string configEcho;  ///< canonical re-render, for equality
+    JsonValue config;        ///< owned copy (lexemes preserved)
+    cpu::CoreStats totals;
+    std::string totalsEcho;
+    std::string outputsEcho;
+    std::vector<double> outputs;
+    std::vector<std::pair<uint64_t, sampling::IntervalSample>> samples;
+};
+
+ShardDoc
+parseShard(const JsonValue &v, size_t docNo)
+{
+    const std::string where = "document " + std::to_string(docNo + 1);
+    const JsonValue *schema = v.find("schema");
+    if (!schema || schema->asString() != kShardSchema)
+        failMerge(where + " is not a " + std::string(kShardSchema) +
+                  " shard result");
+
+    ShardDoc d;
+    const JsonValue *setHash = v.find("set_hash");
+    const JsonValue *shard = v.find("shard");
+    const JsonValue *intervals = v.find("intervals");
+    const JsonValue *config = v.find("config");
+    const JsonValue *totals = v.find("totals");
+    const JsonValue *outputs = v.find("outputs");
+    const JsonValue *samples = v.find("samples");
+    if (!setHash || !shard || !intervals || !config || !totals ||
+        !outputs || !samples ||
+        samples->type != JsonValue::Type::Array ||
+        outputs->type != JsonValue::Type::Array)
+        failMerge(where + " is missing required fields");
+
+    d.setHash = setHash->asString();
+    d.index = shard->find("index") ? shard->find("index")->asU64() : 0;
+    d.count = shard->find("count") ? shard->find("count")->asU64() : 0;
+    d.intervals = intervals->asU64();
+    d.config = *config;
+    d.configEcho = rewriteJson(*config);
+    d.totalsEcho = rewriteJson(*totals);
+    d.outputsEcho = rewriteJson(*outputs);
+
+    auto u64 = [&](const char *k) {
+        const JsonValue *f = totals->find(k);
+        return f ? f->asU64() : 0;
+    };
+    d.totals.instructions = u64("instructions");
+    d.totals.branches = u64("branches");
+    d.totals.probBranches = u64("prob_branches");
+
+    for (const auto &o : outputs->items)
+        d.outputs.push_back(o.asDouble());
+
+    for (const auto &item : samples->items) {
+        const JsonValue *idx = item.find("index");
+        if (!idx)
+            failMerge(where + " has a sample without an index");
+        sampling::IntervalSample s;
+        auto field = [&](const char *k) {
+            const JsonValue *f = item.find(k);
+            return f ? f->asU64() : 0;
+        };
+        s.instructions = field("instructions");
+        s.cycles = field("cycles");
+        s.mispredicts = field("mispredicts");
+        s.regularMispredicts = field("regular_mispredicts");
+        s.probMispredicts = field("prob_mispredicts");
+        s.steered = field("steered");
+        s.detailed = field("detailed");
+        const JsonValue *valid = item.find("valid");
+        s.valid = valid && valid->asBool();
+        d.samples.emplace_back(idx->asU64(), s);
+    }
+    return d;
+}
+
+}  // namespace
+
+std::string
+runShard(const driver::DriverOptions &opts)
+{
+    const auto &b = workloads::benchmarkByName(opts.workload);
+    cpu::CoreConfig cfg = driver::coreConfig(opts);
+    cfg.sample.jobs = opts.jobs;
+
+    // The sliced load reads only this shard's checkpoint files (plus
+    // the final state), so N processes pay O(set/N) I/O each.
+    const sampling::StoreKey key = driver::checkpointStoreKey(opts);
+    sampling::CheckpointSet set = sampling::loadCheckpointSet(
+        opts.loadCheckpoints, key, opts.shardIndex, opts.shardCount);
+
+    const size_t total = set.checkpoints.size();
+    if (total < 2) {
+        failShard("checkpoint set has fewer than two intervals; run "
+                  "single-process sampled mode instead");
+    }
+
+    const std::vector<size_t> claimed =
+        sampling::shardIndices(total, opts.shardIndex,
+                               opts.shardCount);
+
+    const isa::Program prog =
+        b.build(driver::workloadParams(opts, opts.seed), opts.variant);
+    const auto samples =
+        sampling::measureIntervals(prog, cfg, set, claimed);
+    const std::vector<double> outputs =
+        b.simOutput(set.finalState.mem);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(kShardSchema);
+    w.key("set_hash").value(sampling::storeSetHash(key));
+    w.key("shard").beginObject();
+    w.key("index").value(opts.shardIndex);
+    w.key("count").value(opts.shardCount);
+    w.endObject();
+    w.key("intervals").value(uint64_t(total));
+    w.key("config");
+    writeBatchConfig(w, opts);
+    w.key("totals").beginObject();
+    w.key("instructions").value(set.totals.instructions);
+    w.key("branches").value(set.totals.branches);
+    w.key("prob_branches").value(set.totals.probBranches);
+    w.endObject();
+    w.key("outputs").beginArray();
+    for (double d : outputs)
+        w.value(d);
+    w.endArray();
+    w.key("samples").beginArray();
+    for (size_t i = 0; i < claimed.size(); i++) {
+        w.newline();
+        writeSample(w, claimed[i], samples[i]);
+    }
+    w.newline();
+    w.endArray();
+    w.endObject();
+    w.newline();
+    return w.str();
+}
+
+std::string
+mergeShards(const std::vector<std::string> &shardDocs)
+{
+    if (shardDocs.empty())
+        failMerge("no shard documents given");
+
+    std::vector<ShardDoc> docs;
+    docs.reserve(shardDocs.size());
+    for (size_t i = 0; i < shardDocs.size(); i++) {
+        JsonValue v;
+        std::string err;
+        if (!parseJson(shardDocs[i], v, err))
+            failMerge("document " + std::to_string(i + 1) +
+                      " is not valid JSON: " + err);
+        docs.push_back(parseShard(v, i));
+    }
+
+    const ShardDoc &first = docs.front();
+    for (size_t i = 1; i < docs.size(); i++) {
+        const ShardDoc &d = docs[i];
+        if (d.setHash != first.setHash)
+            failMerge("shards come from different checkpoint sets (" +
+                      first.setHash + " vs " + d.setHash + ")");
+        if (d.configEcho != first.configEcho)
+            failMerge("shards were run under different configurations");
+        if (d.intervals != first.intervals ||
+            d.count != first.count)
+            failMerge("shards disagree on the interval/shard counts");
+        if (d.totalsEcho != first.totalsEcho ||
+            d.outputsEcho != first.outputsEcho)
+            failMerge("shards disagree on the exact functional totals");
+    }
+
+    // Reassemble the per-interval samples: disjoint, complete, and in
+    // interval order (the aggregation order a single process uses).
+    // Full coverage needs at least `total` samples across the shards,
+    // so checking that first also bounds the allocation below against
+    // a corrupt or hand-edited interval count.
+    const uint64_t total = first.intervals;
+    uint64_t supplied = 0;
+    for (const ShardDoc &d : docs)
+        supplied += d.samples.size();
+    if (supplied < total) {
+        failMerge(std::to_string(total - supplied) + " of " +
+                  std::to_string(total) +
+                  " intervals are missing; merge all " +
+                  std::to_string(first.count) + " shards together");
+    }
+    std::vector<sampling::IntervalSample> samples(total);
+    std::vector<bool> seen(total, false);
+    for (const ShardDoc &d : docs) {
+        for (const auto &[index, s] : d.samples) {
+            if (index >= total)
+                failMerge("sample index " + std::to_string(index) +
+                          " is out of range (set has " +
+                          std::to_string(total) + " intervals)");
+            if (seen[index])
+                failMerge("overlapping shards: interval " +
+                          std::to_string(index) +
+                          " is claimed more than once");
+            seen[index] = true;
+            samples[index] = s;
+        }
+    }
+    uint64_t missing = 0;
+    for (uint64_t i = 0; i < total; i++)
+        missing += seen[i] ? 0 : 1;
+    if (missing) {
+        failMerge(std::to_string(missing) + " of " +
+                  std::to_string(total) +
+                  " intervals are missing; merge all " +
+                  std::to_string(first.count) + " shards together");
+    }
+
+    sampling::SampledRun run;
+    if (!sampling::aggregateSamples(first.totals, cpu::ArchState{},
+                                    samples, run)) {
+        failMerge("fewer than two valid measured intervals; run "
+                  "single-process sampled mode instead");
+    }
+
+    Measurement m;
+    m.stats = run.stats;
+    m.outputs = first.outputs;
+    m.hasSampling = true;
+    m.sampling = run.est;
+
+    // Byte-identical to batchJson() of the single-process run: the
+    // config is echoed lexeme-exactly from the shards, the measurement
+    // is recomputed from the same integers through the same writer.
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-batch-v2");
+    w.key("config");
+    rewriteJson(w, first.config);
+    w.key("runs").beginArray();
+    w.newline();
+    w.beginObject();
+    const JsonValue *seed = first.config.find("seed");
+    w.key("seed").value(seed ? seed->asU64() : 0);
+    w.key("result");
+    writeMeasurement(w, PointKind::Sim, m);
+    w.key("derived").beginObject();
+    w.key("ipc").value(m.stats.ipc());
+    w.key("mpki").value(m.stats.mpki());
+    w.endObject();
+    w.endObject();
+    w.newline();
+    w.endArray();
+    w.endObject();
+    w.newline();
+    return w.str();
+}
+
+}  // namespace pbs::exp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cross-process sampled-simulation fan-out: shard partial results and
+ * their merge.
+ *
+ * `pbs_sim --load-checkpoints DIR --shard K/N` claims the deterministic
+ * slice {i : i mod N == K-1} of a persisted checkpoint set, measures
+ * only those intervals, and emits a `pbs-shard-v1` document carrying
+ * the raw per-interval *integer* counters (plus the set identity, the
+ * exact functional totals, and the batch config echo). Because the
+ * per-interval counters are exact integers, `pbs_exp --merge` can
+ * re-run the single-process aggregation over the concatenated samples
+ * in interval order and produce a `pbs-batch-v2` document that is
+ * **byte-identical** to what one `pbs_sim --mode sampled --format
+ * json` process would have printed — estimates, confidence intervals,
+ * and all.
+ */
+
+#ifndef PBS_EXP_MERGE_HH
+#define PBS_EXP_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/options.hh"
+
+namespace pbs::exp {
+
+/** The shard partial-result schema tag. */
+inline constexpr const char *kShardSchema = "pbs-shard-v1";
+
+/**
+ * Run shard opts.shardIndex/opts.shardCount over the checkpoint set at
+ * opts.loadCheckpoints and render the pbs-shard-v1 partial result.
+ * @throws std::runtime_error on store validation failures or a set too
+ *         small to shard (fewer than two intervals).
+ */
+std::string runShard(const driver::DriverOptions &opts);
+
+/**
+ * Merge shard documents into the pbs-batch-v2 document of the
+ * equivalent single-process run. The shards must belong to the same
+ * checkpoint set and configuration, be pairwise disjoint, and together
+ * cover every interval exactly once.
+ * @throws std::runtime_error naming the first violated requirement
+ *         (overlapping shards, missing intervals, mixed sets...).
+ */
+std::string mergeShards(const std::vector<std::string> &shardDocs);
+
+}  // namespace pbs::exp
+
+#endif  // PBS_EXP_MERGE_HH

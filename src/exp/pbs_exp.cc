@@ -19,6 +19,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,8 @@
 #include "exp/artifact.hh"
 #include "exp/cache.hh"
 #include "exp/engine.hh"
+#include "exp/merge.hh"
+#include "exp/pareto.hh"
 #include "exp/spec.hh"
 
 namespace {
@@ -51,11 +54,19 @@ struct ExpCliOptions
     bool quiet = false;
     bool list = false;
     bool help = false;
+
+    bool merge = false;
+    std::vector<std::string> mergeFiles;  ///< positional, after --merge
+
+    bool pareto = false;
+    unsigned repeats = 1;                 ///< --pareto timing repeats
 };
 
 const char *kUsage =
     "usage: pbs_exp --spec <file> [axis flags] [output flags]\n"
     "       pbs_exp --workloads <w1,w2,...> [axis flags] [output flags]\n"
+    "       pbs_exp --pareto --workloads <list> [axis flags] [--csv F]\n"
+    "       pbs_exp --merge <part1.json> <part2.json> ... [--out F]\n"
     "       pbs_exp --report <name> [--div N]\n"
     "       pbs_exp --gc [--all]\n"
     "       pbs_exp --list\n"
@@ -76,6 +87,9 @@ const char *kUsage =
     "  --sample-interval <n>  sampled: insts between measurements\n"
     "  --sample-warmup <n>    sampled: detailed warmup per sample\n"
     "  --sample-measure <n>   sampled: measured insts per sample\n"
+    "  --sample-grid <list>   sampled: interval/warmup/measure triples\n"
+    "                       (a true axis over sampled points; drives\n"
+    "                       the --pareto sweep)\n"
     "\n"
     "Execution and output:\n"
     "  --jobs <n>           worker threads (default 1)\n"
@@ -84,6 +98,16 @@ const char *kUsage =
     "  --cache-dir <dir>    result cache location (default .pbs-cache)\n"
     "  --no-cache           disable the result cache\n"
     "  --quiet              suppress per-point progress on stderr\n"
+    "\n"
+    "Sampling fan-out and Pareto:\n"
+    "  --merge <files...>   merge pbs-shard-v1 partial results (from\n"
+    "                       pbs_sim --shard K/N) into the pbs-batch-v2\n"
+    "                       document of the equivalent single-process\n"
+    "                       run, byte-identical\n"
+    "  --pareto             error-vs-MIPS sweep over the sample grid\n"
+    "                       (sampled vs detailed reference; table to\n"
+    "                       stdout, --csv for the artifact)\n"
+    "  --repeats <n>        --pareto: wall-time repeats per point\n"
     "\n"
     "Maintenance and reports:\n"
     "  --gc                 prune cache entries from other code versions\n"
@@ -144,6 +168,7 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
         {"--sample-interval", "sample-interval"},
         {"--sample-warmup", "sample-warmup"},
         {"--sample-measure", "sample-measure"},
+        {"--sample-grid", "sample-grid"},
     };
 
     for (i = 0; i < args.size(); i++) {
@@ -159,6 +184,24 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
         }
         if (arg == "--gc") {
             o.gc = true;
+            continue;
+        }
+        if (arg == "--merge") {
+            o.merge = true;
+            continue;
+        }
+        if (arg == "--pareto") {
+            o.pareto = true;
+            continue;
+        }
+        if ((m = takeValue(arg, "--repeats")) != 0) {
+            if (m < 0 || !driver::parseUnsignedArg(v, o.repeats) ||
+                o.repeats == 0)
+                return fail("bad --repeats value");
+            continue;
+        }
+        if (o.merge && !arg.empty() && arg[0] != '-') {
+            o.mergeFiles.push_back(arg);
             continue;
         }
         if (arg == "--all") {
@@ -255,7 +298,22 @@ printLists()
     for (const auto &r : driver::allReports())
         std::printf("  %-10s %s\n", r.name.c_str(), r.title.c_str());
     std::printf("spec keys: workload predictor variant width mode pbs "
-                "scale div seed seeds\n");
+                "scale div seed seeds sample-interval sample-warmup "
+                "sample-measure sample-grid\n");
+}
+
+bool
+readFileOrComplain(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "pbs_exp: cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
 }
 
 }  // namespace
@@ -293,6 +351,36 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (o.merge) {
+        if (!o.specFile.empty() || !o.axes.empty() ||
+            !o.report.empty() || !o.csv.empty() || o.pareto) {
+            return fail("--merge only combines shard files (--out "
+                        "writes the merged document)");
+        }
+        if (o.mergeFiles.empty())
+            return fail("--merge needs at least one pbs-shard-v1 file");
+        std::vector<std::string> docs;
+        for (const auto &path : o.mergeFiles) {
+            std::string text;
+            if (!readFileOrComplain(path, text))
+                return 1;
+            docs.push_back(std::move(text));
+        }
+        try {
+            const std::string merged = exp::mergeShards(docs);
+            if (!o.out.empty()) {
+                if (!writeFileOrComplain(o.out, merged))
+                    return 1;
+            } else {
+                std::printf("%s", merged.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "pbs_exp: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+
     exp::EngineConfig ecfg;
     ecfg.cacheDir = cacheDir;
     ecfg.jobs = o.jobs;
@@ -322,8 +410,8 @@ main(int argc, char **argv)
         }
 
         if (o.specFile.empty() && o.axes.empty())
-            return fail("one of --spec, axis flags, --report, or --gc "
-                        "is required");
+            return fail("one of --spec, axis flags, --pareto, --merge, "
+                        "--report, or --gc is required");
 
         exp::SweepSpec spec;
         if (!o.specFile.empty()) {
@@ -337,6 +425,22 @@ main(int argc, char **argv)
             std::string err = exp::applySpecKey(spec, key, value);
             if (!err.empty())
                 return fail(err);
+        }
+
+        if (o.pareto) {
+            if (!o.out.empty())
+                return fail("--pareto prints a table to stdout; --csv "
+                            "writes the artifact");
+            exp::ParetoConfig pcfg;
+            pcfg.spec = spec;
+            pcfg.repeats = o.repeats;
+            pcfg.progress = !o.quiet;
+            const auto rows = exp::runParetoSweep(pcfg);
+            std::printf("%s", exp::paretoTable(rows).c_str());
+            if (!o.csv.empty() &&
+                !writeFileOrComplain(o.csv, exp::paretoCsv(rows)))
+                return 1;
+            return 0;
         }
 
         auto expanded = exp::expandSpec(spec);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/hash.hh"
+
 namespace pbs::exp {
 
 uint64_t
@@ -328,22 +330,7 @@ readMeasurement(const JsonValue &v, PointKind kind, Measurement &out)
 std::string
 contentHash(const std::string &data)
 {
-    // Two FNV-1a 64-bit passes with distinct offset bases give a
-    // 128-bit address: not cryptographic, but collision-safe at the
-    // scale of any realistic sweep grid.
-    auto fnv = [&](uint64_t h) {
-        for (unsigned char c : data) {
-            h ^= c;
-            h *= 1099511628211ull;
-        }
-        return h;
-    };
-    uint64_t a = fnv(14695981039346656037ull);
-    uint64_t b = fnv(14695981039346656037ull ^ 0x9e3779b97f4a7c15ull);
-    char buf[33];
-    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                  (unsigned long long)a, (unsigned long long)b);
-    return buf;
+    return util::fnv1a128Hex(data);
 }
 
 }  // namespace pbs::exp

@@ -130,6 +130,31 @@ applySpecKey(SweepSpec &spec, const std::string &rawKey,
         spec.sampleMeasure = n;
         return "";
     }
+    if (key == "sample-grid") {
+        std::vector<SampleTriple> grid;
+        for (const auto &v : list) {
+            SampleTriple t;
+            size_t a = v.find('/');
+            size_t b = a == std::string::npos ? a : v.find('/', a + 1);
+            if (b == std::string::npos ||
+                !parseU64Value(trim(v.substr(0, a)), t.interval) ||
+                !parseU64Value(trim(v.substr(a + 1, b - a - 1)),
+                               t.warmup) ||
+                !parseU64Value(trim(v.substr(b + 1)), t.measure)) {
+                return "bad sample-grid triple '" + v +
+                       "' (expected interval/warmup/measure)";
+            }
+            if (t.interval == 0 || t.measure == 0 ||
+                t.warmup + t.measure > t.interval) {
+                return "inconsistent sample-grid triple '" + v +
+                       "' (need interval > 0, measure > 0, "
+                       "warmup + measure <= interval)";
+            }
+            grid.push_back(t);
+        }
+        spec.sampleGrid = grid;
+        return "";
+    }
     if (key == "pbs") {
         for (const auto &v : list) {
             bool known = false;
@@ -280,29 +305,41 @@ expandSpec(const SweepSpec &spec)
         for (const auto &predictor : predictors)
         for (const auto &variant : spec.variants)
         for (unsigned width : spec.widths)
-        for (const auto &mode : spec.modes)
-        for (const auto &pbsMode : spec.pbsModes)
-        for (uint64_t scale : scales)
-        for (unsigned s = 0; s < spec.seeds; s++) {
-            ExpPoint pt;
-            pt.workload = workload;
-            pt.predictor = predictor;
-            pt.variant = variant;
-            pt.wide = width == 8;
-            pt.functional = mode == "mpki";
-            pt.mode = pt.functional ? "detailed" : mode;
-            if (pt.mode == "sampled") {
-                pt.sampleInterval = spec.sampleInterval;
-                pt.sampleWarmup = spec.sampleWarmup;
-                pt.sampleMeasure = spec.sampleMeasure;
+        for (const auto &mode : spec.modes) {
+            // The sample-grid axis multiplies sampled points only; a
+            // single pass with the scalar sample-* keys otherwise.
+            std::vector<SampleTriple> triples;
+            if (mode == "sampled" && !spec.sampleGrid.empty()) {
+                triples = spec.sampleGrid;
+            } else if (mode == "sampled") {
+                triples.push_back({spec.sampleInterval,
+                                   spec.sampleWarmup,
+                                   spec.sampleMeasure});
+            } else {
+                triples.push_back({});
             }
-            pt.pbs = pbsMode != "off";
-            pt.stallOnBusy = pbsMode != "no-stall";
-            pt.contextSupport = pbsMode != "no-context";
-            pt.constValGuard = pbsMode != "no-guard";
-            pt.scale = scale;
-            pt.seed = spec.seed + s;
-            r.points.push_back(pt);
+            for (const SampleTriple &triple : triples)
+            for (const auto &pbsMode : spec.pbsModes)
+            for (uint64_t scale : scales)
+            for (unsigned s = 0; s < spec.seeds; s++) {
+                ExpPoint pt;
+                pt.workload = workload;
+                pt.predictor = predictor;
+                pt.variant = variant;
+                pt.wide = width == 8;
+                pt.functional = mode == "mpki";
+                pt.mode = pt.functional ? "detailed" : mode;
+                pt.sampleInterval = triple.interval;
+                pt.sampleWarmup = triple.warmup;
+                pt.sampleMeasure = triple.measure;
+                pt.pbs = pbsMode != "off";
+                pt.stallOnBusy = pbsMode != "no-stall";
+                pt.contextSupport = pbsMode != "no-context";
+                pt.constValGuard = pbsMode != "no-guard";
+                pt.scale = scale;
+                pt.seed = spec.seed + s;
+                r.points.push_back(pt);
+            }
         }
     }
     r.ok = true;
@@ -340,6 +377,13 @@ specJson(const SweepSpec &spec)
     w.key("sample_interval").value(spec.sampleInterval);
     w.key("sample_warmup").value(spec.sampleWarmup);
     w.key("sample_measure").value(spec.sampleMeasure);
+    w.key("sample_grid").beginArray();
+    for (const auto &t : spec.sampleGrid) {
+        w.value(std::to_string(t.interval) + "/" +
+                std::to_string(t.warmup) + "/" +
+                std::to_string(t.measure));
+    }
+    w.endArray();
     w.endObject();
     return w.str();
 }

@@ -22,11 +22,15 @@
  *   sample-interval = insts between sampled-mode measurements
  *   sample-warmup   = sampled-mode detailed warmup instructions
  *   sample-measure  = sampled-mode measured instructions
+ *   sample-grid     = interval/warmup/measure triples; a true axis
+ *                     that multiplies *sampled* points only (the
+ *                     error-vs-speed Pareto sweeps expand over it)
  *
  * Expansion order is fixed (workload, predictor, variant, width, mode,
- * pbs, scale, seed — innermost last), so a spec always enumerates the
- * same points in the same order and artifacts are reproducible byte for
- * byte.
+ * sample-grid triple, pbs, scale, seed — innermost last; the triple
+ * axis collapses to one pass for non-sampled modes), so a spec always
+ * enumerates the same points in the same order and artifacts are
+ * reproducible byte for byte.
  */
 
 #ifndef PBS_EXP_SPEC_HH
@@ -39,6 +43,16 @@
 #include "exp/point.hh"
 
 namespace pbs::exp {
+
+/** One (interval, warmup, measure) sampling parameterization. */
+struct SampleTriple
+{
+    uint64_t interval = 0;
+    uint64_t warmup = 0;
+    uint64_t measure = 0;
+
+    bool operator==(const SampleTriple &) const = default;
+};
 
 /** A parsed sweep description (axes, not yet expanded). */
 struct SweepSpec
@@ -59,6 +73,14 @@ struct SweepSpec
     uint64_t sampleInterval = 0;
     uint64_t sampleWarmup = 0;
     uint64_t sampleMeasure = 0;
+
+    /**
+     * Sampling-parameter axis: when non-empty, each mode == "sampled"
+     * grid point expands into one point per triple (the single-valued
+     * sample-* keys above are ignored for those points). Non-sampled
+     * modes are unaffected — the axis never multiplies them.
+     */
+    std::vector<SampleTriple> sampleGrid;
 };
 
 /** Outcome of parsing / expanding a spec. */

@@ -14,44 +14,25 @@ namespace pbs::sampling {
 
 namespace {
 
-/** Deltas of one measured interval. */
-struct IntervalSample
+void
+validateParams(const cpu::SampleParams &sp)
 {
-    uint64_t instructions = 0;
-    uint64_t cycles = 0;
-    uint64_t branches = 0;
-    uint64_t probBranches = 0;
-    uint64_t mispredicts = 0;
-    uint64_t regularMispredicts = 0;
-    uint64_t probMispredicts = 0;
-    uint64_t steered = 0;
-    uint64_t detailed = 0;  ///< total detailed insts (warmup included)
-    bool valid = false;
-};
+    if (sp.interval == 0 || sp.measure == 0)
+        throw std::invalid_argument(
+            "sampled mode: interval and measure must be > 0");
+    if (sp.warmup + sp.measure > sp.interval)
+        throw std::invalid_argument(
+            "sampled mode: warmup + measure must not exceed interval");
+}
 
-IntervalSample
-measureOne(const isa::Program &prog, const cpu::CoreConfig &detCfg,
-           const cpu::ArchState &chk, uint64_t warmup, uint64_t measure)
+/** The detailed configuration used by warmup/measure intervals. */
+cpu::CoreConfig
+detailedConfig(const cpu::CoreConfig &cfg)
 {
-    cpu::Core core(prog, detCfg);
-    core.restoreArch(chk);
-    core.step(warmup);
-    const cpu::CoreStats w = core.stats();
-    core.step(measure);
-    const cpu::CoreStats m = core.stats();
-
-    IntervalSample s;
-    s.instructions = m.instructions - w.instructions;
-    s.cycles = m.cycles - w.cycles;
-    s.branches = m.branches - w.branches;
-    s.probBranches = m.probBranches - w.probBranches;
-    s.mispredicts = m.mispredicts - w.mispredicts;
-    s.regularMispredicts = m.regularMispredicts - w.regularMispredicts;
-    s.probMispredicts = m.probMispredicts - w.probMispredicts;
-    s.steered = m.steeredBranches - w.steeredBranches;
-    s.detailed = m.instructions;
-    s.valid = s.instructions > 0 && s.cycles > 0;
-    return s;
+    cpu::CoreConfig detCfg = cfg;
+    detCfg.execMode = cpu::ExecMode::Detailed;
+    detCfg.mode = cpu::SimMode::Timing;
+    return detCfg;
 }
 
 /** Exact fallback: one full detailed run (program too short). */
@@ -79,27 +60,16 @@ scaled(uint64_t counter, double factor)
 
 }  // namespace
 
-SampledRun
-runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
+CheckpointSet
+captureCheckpoints(const isa::Program &prog, const cpu::CoreConfig &cfg)
 {
     const cpu::SampleParams &sp = cfg.sample;
-    if (sp.interval == 0 || sp.measure == 0)
-        throw std::invalid_argument(
-            "sampled mode: interval and measure must be > 0");
-    if (sp.warmup + sp.measure > sp.interval)
-        throw std::invalid_argument(
-            "sampled mode: warmup + measure must not exceed interval");
+    validateParams(sp);
 
-    // The detailed configuration used by warmup/measure intervals.
-    cpu::CoreConfig detCfg = cfg;
-    detCfg.execMode = cpu::ExecMode::Detailed;
-    detCfg.mode = cpu::SimMode::Timing;
-
-    // Phase 1: functional fast-forward, capturing one checkpoint per
-    // interval at (k * interval - warmup), the start of that
-    // interval's detailed warmup.
+    // Capture one checkpoint per interval at (k * interval - warmup),
+    // the start of that interval's detailed warmup.
     FunctionalEngine ff(prog, cfg.maxInstructions);
-    std::vector<cpu::ArchState> checkpoints;
+    CheckpointSet set;
     for (uint64_t k = 1;; k++) {
         const uint64_t target = k * sp.interval - sp.warmup;
         const uint64_t cur = ff.stats().instructions;
@@ -108,32 +78,65 @@ runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
         ff.step(target - cur);
         if (ff.halted())
             break;
-        checkpoints.push_back(ff.saveArch());
-        if (sp.maxSamples && checkpoints.size() >= sp.maxSamples)
+        set.checkpoints.push_back(ff.saveArch());
+        if (sp.maxSamples && set.checkpoints.size() >= sp.maxSamples)
             break;
     }
     ff.run();  // to completion: exact totals, outputs, final memory
+    set.totals = ff.stats();
+    set.finalState = ff.saveArch();
+    return set;
+}
 
-    if (checkpoints.size() < 2)
-        return exactRun(prog, detCfg);
+IntervalSample
+measureInterval(const isa::Program &prog, const cpu::CoreConfig &detCfg,
+                const cpu::ArchState &chk, uint64_t warmup,
+                uint64_t measure)
+{
+    cpu::Core core(prog, detCfg);
+    core.restoreArch(chk);
+    core.step(warmup);
+    const cpu::CoreStats w = core.stats();
+    core.step(measure);
+    const cpu::CoreStats m = core.stats();
 
-    // Phase 2: checkpoint fan-out across the thread pool.
-    std::vector<IntervalSample> samples(checkpoints.size());
+    IntervalSample s;
+    s.instructions = m.instructions - w.instructions;
+    s.cycles = m.cycles - w.cycles;
+    s.mispredicts = m.mispredicts - w.mispredicts;
+    s.regularMispredicts = m.regularMispredicts - w.regularMispredicts;
+    s.probMispredicts = m.probMispredicts - w.probMispredicts;
+    s.steered = m.steeredBranches - w.steeredBranches;
+    s.detailed = m.instructions;
+    s.valid = s.instructions > 0 && s.cycles > 0;
+    return s;
+}
+
+std::vector<IntervalSample>
+measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,
+                 CheckpointSet &set, const std::vector<size_t> &indices)
+{
+    const cpu::SampleParams &sp = cfg.sample;
+    validateParams(sp);
+    const cpu::CoreConfig detCfg = detailedConfig(cfg);
+
+    std::vector<IntervalSample> samples(indices.size());
     std::atomic<size_t> next{0};
     auto worker = [&]() {
-        for (size_t i = next.fetch_add(1); i < checkpoints.size();
+        for (size_t i = next.fetch_add(1); i < indices.size();
              i = next.fetch_add(1)) {
-            samples[i] = measureOne(prog, detCfg, checkpoints[i],
-                                    sp.warmup, sp.measure);
+            cpu::ArchState &chk = set.checkpoints.at(indices[i]);
+            samples[i] = measureInterval(prog, detCfg, chk, sp.warmup,
+                                         sp.measure);
             // Each checkpoint feeds exactly one sample: release its
             // memory pages as soon as it is consumed.
-            checkpoints[i].mem = mem::SparseMemory{};
+            chk.mem = mem::SparseMemory{};
         }
     };
     const unsigned jobs = std::max(
-        1u, std::min<unsigned>(sp.jobs,
-                               unsigned(checkpoints.size())));
-    if (jobs == 1) {
+        1u,
+        std::min<unsigned>(sp.jobs, unsigned(indices.size())));
+    if (jobs <= 1) {
         worker();
     } else {
         std::vector<std::thread> pool;
@@ -143,11 +146,19 @@ runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
         for (auto &th : pool)
             th.join();
     }
+    return samples;
+}
 
-    // Phase 3: aggregate. Point estimates use the ratio estimator over
-    // all measured instructions; confidence intervals come from the
-    // per-interval variance (intervals are equal-sized except a
-    // possibly truncated final one, so the two agree asymptotically).
+bool
+aggregateSamples(const cpu::CoreStats &totals,
+                 const cpu::ArchState &finalState,
+                 const std::vector<IntervalSample> &samples,
+                 SampledRun &out)
+{
+    // Point estimates use the ratio estimator over all measured
+    // instructions; confidence intervals come from the per-interval
+    // variance (intervals are equal-sized except a possibly truncated
+    // final one, so the two agree asymptotically).
     stats::RunningStat cpi, mpki;
     IntervalSample tot;
     uint64_t validCount = 0;
@@ -167,20 +178,19 @@ runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
         tot.detailed += s.detailed;
     }
     if (validCount < 2)
-        return exactRun(prog, detCfg);
+        return false;
 
     const double meanCpi = double(tot.cycles) / double(tot.instructions);
     const double meanMpki =
         1000.0 * double(tot.mispredicts) / double(tot.instructions);
 
     SampledRun r;
-    const cpu::CoreStats &exact = ff.stats();
-    const uint64_t n = exact.instructions;
+    const uint64_t n = totals.instructions;
     const double factor = double(n) / double(tot.instructions);
 
     r.stats.instructions = n;
-    r.stats.branches = exact.branches;
-    r.stats.probBranches = exact.probBranches;
+    r.stats.branches = totals.branches;
+    r.stats.probBranches = totals.probBranches;
     r.stats.cycles = scaled(tot.cycles, factor);
     r.stats.mispredicts = scaled(tot.mispredicts, factor);
     r.stats.regularMispredicts = scaled(tot.regularMispredicts, factor);
@@ -197,8 +207,36 @@ runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
     r.est.mpki = meanMpki;
     r.est.mpkiCi95 = mpki.ci95HalfWidth();
 
-    r.finalState = ff.saveArch();
+    r.finalState = finalState;
+    out = std::move(r);
+    return true;
+}
+
+SampledRun
+runSampledOnSet(const isa::Program &prog, const cpu::CoreConfig &cfg,
+                CheckpointSet &set)
+{
+    validateParams(cfg.sample);
+    const cpu::CoreConfig detCfg = detailedConfig(cfg);
+    if (set.checkpoints.size() < 2)
+        return exactRun(prog, detCfg);
+
+    std::vector<size_t> all(set.checkpoints.size());
+    for (size_t i = 0; i < all.size(); i++)
+        all[i] = i;
+    const auto samples = measureIntervals(prog, cfg, set, all);
+
+    SampledRun r;
+    if (!aggregateSamples(set.totals, set.finalState, samples, r))
+        return exactRun(prog, detCfg);
     return r;
+}
+
+SampledRun
+runSampled(const isa::Program &prog, const cpu::CoreConfig &cfg)
+{
+    CheckpointSet set = captureCheckpoints(prog, cfg);
+    return runSampledOnSet(prog, cfg, set);
 }
 
 }  // namespace pbs::sampling

@@ -41,7 +41,9 @@
 #ifndef PBS_SAMPLING_SAMPLED_HH
 #define PBS_SAMPLING_SAMPLED_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "cpu/arch_state.hh"
 #include "cpu/core_config.hh"
@@ -93,6 +95,100 @@ struct SampledRun
  */
 SampledRun runSampled(const isa::Program &prog,
                       const cpu::CoreConfig &cfg);
+
+// ---------------------------------------------------------------------
+// The three phases of a sampled run, exposed individually so the
+// checkpoint store (store.hh) can persist phase 1, independent
+// processes can each run a slice of phase 2 (`pbs_sim --shard K/N`),
+// and `pbs_exp --merge` can re-run phase 3 over the concatenated
+// per-interval samples — bit-identical to a single-process run.
+// ---------------------------------------------------------------------
+
+/**
+ * Integer deltas of one measured interval: the unit of work a shard
+ * emits and the merge step aggregates. All counters are exact, so
+ * partial results from different processes combine without any
+ * floating-point order sensitivity.
+ */
+struct IntervalSample
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t mispredicts = 0;
+    uint64_t regularMispredicts = 0;
+    uint64_t probMispredicts = 0;
+    uint64_t steered = 0;
+    uint64_t detailed = 0;  ///< total detailed insts (warmup included)
+    bool valid = false;
+
+    bool operator==(const IntervalSample &) const = default;
+};
+
+/**
+ * Phase-1 output: everything the fan-out needs, decoupled from the
+ * functional engine that produced it (and what the checkpoint store
+ * persists). `totals` carries the exact architectural counters of the
+ * full functional pass; `finalState` the exact end-of-program state
+ * (program outputs live in its memory).
+ */
+struct CheckpointSet
+{
+    std::vector<cpu::ArchState> checkpoints;
+    cpu::ArchState finalState;
+    cpu::CoreStats totals;
+};
+
+/**
+ * Phase 1: functional fast-forward to completion, capturing one
+ * checkpoint per sampling interval at (k * interval - warmup).
+ * @throws std::invalid_argument on inconsistent cfg.sample (same
+ *         contract as runSampled).
+ */
+CheckpointSet captureCheckpoints(const isa::Program &prog,
+                                 const cpu::CoreConfig &cfg);
+
+/**
+ * Phase 2 for one interval: restore @p chk into a fresh detailed core,
+ * warm for @p warmup instructions, measure @p measure instructions.
+ */
+IntervalSample measureInterval(const isa::Program &prog,
+                               const cpu::CoreConfig &detCfg,
+                               const cpu::ArchState &chk,
+                               uint64_t warmup, uint64_t measure);
+
+/**
+ * Phase 2 for a slice: measure the checkpoints named by @p indices on
+ * a cfg.sample.jobs-thread pool, returning one sample per index (in
+ * @p indices order). Consumed checkpoints have their memory pages
+ * released. @p indices must be valid positions in set.checkpoints.
+ */
+std::vector<IntervalSample>
+measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,
+                 CheckpointSet &set, const std::vector<size_t> &indices);
+
+/**
+ * Phase 3: ratio-estimator totals and per-interval-variance CIs over
+ * @p samples, which must be ordered by interval index and cover every
+ * interval exactly once (the aggregation is order-sensitive only in
+ * its floating-point rounding, so a fixed order keeps merged results
+ * bit-identical to single-process ones).
+ * @return false when fewer than two samples are valid — the caller
+ *         must fall back to one exact detailed run.
+ */
+bool aggregateSamples(const cpu::CoreStats &totals,
+                      const cpu::ArchState &finalState,
+                      const std::vector<IntervalSample> &samples,
+                      SampledRun &out);
+
+/**
+ * Phases 2+3 over an existing checkpoint set (captured in-process or
+ * loaded from a store): fan out every checkpoint, aggregate, and fall
+ * back to one exact detailed run when the set is too small to sample.
+ * Results are bit-identical to runSampled() with the same prog/cfg.
+ */
+SampledRun runSampledOnSet(const isa::Program &prog,
+                           const cpu::CoreConfig &cfg,
+                           CheckpointSet &set);
 
 }  // namespace pbs::sampling
 

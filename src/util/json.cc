@@ -1,4 +1,4 @@
-#include "exp/json.hh"
+#include "util/json.hh"
 
 #include <cctype>
 #include <cerrno>
@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
-namespace pbs::exp {
+namespace pbs::util {
 
 std::string
 canonicalDouble(double v)
@@ -481,4 +481,45 @@ parseJson(const std::string &text, JsonValue &out, std::string &err)
     return true;
 }
 
-}  // namespace pbs::exp
+void
+rewriteJson(JsonWriter &w, const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        w.null();
+        break;
+      case JsonValue::Type::Bool:
+        w.value(v.boolean);
+        break;
+      case JsonValue::Type::Number:
+        w.raw(v.text);  // the original lexeme, exact
+        break;
+      case JsonValue::Type::String:
+        w.value(v.text);
+        break;
+      case JsonValue::Type::Array:
+        w.beginArray();
+        for (const auto &item : v.items)
+            rewriteJson(w, item);
+        w.endArray();
+        break;
+      case JsonValue::Type::Object:
+        w.beginObject();
+        for (const auto &[k, member] : v.members) {
+            w.key(k);
+            rewriteJson(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+std::string
+rewriteJson(const JsonValue &v)
+{
+    JsonWriter w;
+    rewriteJson(w, v);
+    return w.str();
+}
+
+}  // namespace pbs::util

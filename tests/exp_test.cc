@@ -19,6 +19,8 @@
 #include "exp/cache.hh"
 #include "exp/engine.hh"
 #include "exp/json.hh"
+#include "exp/merge.hh"
+#include "exp/pareto.hh"
 #include "exp/spec.hh"
 
 namespace fs = std::filesystem;
@@ -398,9 +400,11 @@ TEST(ExpArtifact, BatchJsonCarriesConfigAndPerSeedMetrics)
     exp::JsonValue v;
     std::string err;
     ASSERT_TRUE(exp::parseJson(json, v, err)) << err;
-    EXPECT_EQ(v.find("schema")->asString(), "pbs-batch-v1");
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-batch-v2");
     EXPECT_EQ(v.find("config")->find("workload")->asString(), "pi");
     EXPECT_TRUE(v.find("config")->find("pbs")->asBool());
+    // Non-sampled runs carry no checkpoint-set identity.
+    EXPECT_EQ(v.find("config")->find("ckpt_set"), nullptr);
     const auto *runs = v.find("runs");
     ASSERT_NE(runs, nullptr);
     ASSERT_EQ(runs->items.size(), 3u);
@@ -409,6 +413,183 @@ TEST(ExpArtifact, BatchJsonCarriesConfigAndPerSeedMetrics)
         runs->items[0].find("result")->find("stats");
     ASSERT_NE(stats, nullptr);
     EXPECT_GT(stats->find("instructions")->asU64(), 0u);
+}
+
+// --- sample-grid axis ------------------------------------------------
+
+TEST(ExpSpec, SampleGridMultipliesSampledPointsOnly)
+{
+    auto parsed = exp::parseSpecText(
+        "workload = pi\n"
+        "mode = detailed, sampled\n"
+        "sample-grid = 100000/10000/5000, 200000/20000/10000\n"
+        "scale = 1000\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    auto grid = exp::expandSpec(parsed.spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+    ASSERT_EQ(grid.points.size(), 3u);  // 1 detailed + 2 sampled
+    EXPECT_EQ(grid.points[0].mode, "detailed");
+    EXPECT_EQ(grid.points[0].sampleInterval, 0u);
+    EXPECT_EQ(grid.points[1].mode, "sampled");
+    EXPECT_EQ(grid.points[1].sampleInterval, 100000u);
+    EXPECT_EQ(grid.points[1].sampleWarmup, 10000u);
+    EXPECT_EQ(grid.points[1].sampleMeasure, 5000u);
+    EXPECT_EQ(grid.points[2].sampleInterval, 200000u);
+
+    // Distinct triples key distinct cache entries.
+    EXPECT_NE(exp::cacheKey(grid.points[1]),
+              exp::cacheKey(grid.points[2]));
+
+    // Malformed and inconsistent triples are rejected at parse time.
+    EXPECT_FALSE(exp::parseSpecText("sample-grid = 1000\n").ok);
+    EXPECT_FALSE(exp::parseSpecText("sample-grid = 0/0/0\n").ok);
+    EXPECT_FALSE(
+        exp::parseSpecText("sample-grid = 1000/900/200\n").ok);
+}
+
+// --- shard partial results and their merge ---------------------------
+
+/**
+ * The cross-process fan-out contract end to end, in-process: save a
+ * checkpoint set, run both shards, merge, and require the merged
+ * document byte-identical to the single-process batch document.
+ */
+class ShardMergeTest : public ExpCacheTest
+{
+  protected:
+    static constexpr const char *kSalt = "shard-test-salt/r1/s1";
+
+    driver::DriverOptions
+    baseOpts(std::initializer_list<std::string> extra) const
+    {
+        std::vector<std::string> args = {
+            "--workload", "pi", "--mode", "sampled", "--div", "20",
+            "--seed", "5", "--sample-interval", "40000",
+            "--sample-warmup", "10000", "--sample-measure", "5000",
+            "--format", "json"};
+        args.insert(args.end(), extra);
+        auto parsed = driver::parseArgs(args);
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        driver::DriverOptions opts = parsed.opts;
+        opts.storeSalt = kSalt;
+        return opts;
+    }
+};
+
+TEST_F(ShardMergeTest, MergedShardsAreByteIdenticalToSingleProcess)
+{
+    // Single process, saving the set as a side effect.
+    auto saveOpts = baseOpts({"--save-checkpoints", cacheDir()});
+    const std::string single =
+        exp::batchJson(saveOpts, driver::runBatch(saveOpts));
+
+    // Two independent "processes" claim complementary slices.
+    const std::string part1 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "1/2"}));
+    const std::string part2 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "2/2"}));
+
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(part1, v, err)) << err;
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-shard-v1");
+    EXPECT_GT(v.find("samples")->items.size(), 0u);
+
+    const std::string merged = exp::mergeShards({part1, part2});
+    EXPECT_EQ(merged, single);
+
+    // Shard order must not matter.
+    EXPECT_EQ(exp::mergeShards({part2, part1}), single);
+
+    // The single-process document carries the set identity the
+    // shards measured against.
+    ASSERT_TRUE(exp::parseJson(single, v, err)) << err;
+    ASSERT_NE(v.find("config")->find("ckpt_set"), nullptr);
+    EXPECT_EQ(v.find("config")->find("ckpt_set")->asString(),
+              sampling::storeSetHash(
+                  driver::checkpointStoreKey(saveOpts)));
+}
+
+TEST_F(ShardMergeTest, MergeRejectsOverlapGapsAndForeignShards)
+{
+    auto saveOpts = baseOpts({"--save-checkpoints", cacheDir()});
+    driver::runBatch(saveOpts);
+    const std::string part1 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "1/2"}));
+    const std::string part2 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "2/2"}));
+
+    auto failure = [](std::vector<std::string> docs) {
+        try {
+            exp::mergeShards(docs);
+        } catch (const std::runtime_error &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+
+    // The same shard twice overlaps; a lone shard leaves gaps.
+    EXPECT_NE(failure({part1, part1}).find("overlapping"),
+              std::string::npos);
+    EXPECT_NE(failure({part1}).find("missing"), std::string::npos);
+    EXPECT_NE(failure({}).find("no shard"), std::string::npos);
+
+    // A shard from a different checkpoint set is refused.
+    std::string foreign = part2;
+    const size_t at = foreign.find("\"set_hash\":\"");
+    ASSERT_NE(at, std::string::npos);
+    foreign[at + 12] = foreign[at + 12] == '0' ? '1' : '0';
+    EXPECT_NE(failure({part1, foreign}).find("different checkpoint"),
+              std::string::npos);
+
+    // Junk input is named, not crashed on.
+    EXPECT_NE(failure({part1, "{not json"}).find("not valid JSON"),
+              std::string::npos);
+    EXPECT_NE(failure({part1, "{}"}).find("shard result"),
+              std::string::npos);
+}
+
+TEST(DriverShardOptions, ShardFlagValidation)
+{
+    auto ok = driver::parseArgs(
+        {"--workload", "pi", "--mode", "sampled", "--load-checkpoints",
+         "d", "--shard", "2/4", "--format", "json"});
+    ASSERT_TRUE(ok.ok) << ok.error;
+    EXPECT_EQ(ok.opts.shardIndex, 2u);
+    EXPECT_EQ(ok.opts.shardCount, 4u);
+
+    // Out-of-range and malformed shard specs.
+    for (const char *bad : {"0/2", "3/2", "2", "a/b", "1/0"}) {
+        EXPECT_FALSE(driver::parseArgs(
+                         {"--workload", "pi", "--mode", "sampled",
+                          "--load-checkpoints", "d", "--shard", bad,
+                          "--format", "json"})
+                         .ok)
+            << bad;
+    }
+
+    // Store flags demand sampled mode, one seed, and a json shard.
+    EXPECT_FALSE(driver::parseArgs(
+                     {"--workload", "pi", "--save-checkpoints", "d"})
+                     .ok);
+    EXPECT_FALSE(driver::parseArgs(
+                     {"--workload", "pi", "--mode", "sampled",
+                      "--seeds", "2", "--save-checkpoints", "d"})
+                     .ok);
+    EXPECT_FALSE(driver::parseArgs(
+                     {"--workload", "pi", "--mode", "sampled",
+                      "--save-checkpoints", "d", "--load-checkpoints",
+                      "d"})
+                     .ok);
+    EXPECT_FALSE(driver::parseArgs(
+                     {"--workload", "pi", "--mode", "sampled",
+                      "--load-checkpoints", "d", "--shard", "1/2"})
+                     .ok);  // text format
+    EXPECT_FALSE(driver::parseArgs(
+                     {"--workload", "pi", "--mode", "sampled",
+                      "--shard", "1/2", "--format", "json"})
+                     .ok);  // no --load-checkpoints
 }
 
 }  // namespace
