@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Keep docs/cli.md honest: every flag documented for a binary must
-appear in that binary's --help output.
+"""Keep docs/cli.md honest, in both directions: every flag documented
+for a binary must appear in that binary's --help output, and every
+flag a binary's --help advertises must be documented.
 
 Usage:
     scripts/check_cli_docs.py pbs_sim=./build/pbs_sim \
@@ -8,7 +9,8 @@ Usage:
 
 docs/cli.md is split into sections by its "## `<binary>`" headings;
 within each section every `--long-flag` token is collected and checked
-against the corresponding binary's --help text. Flags mentioned for a
+against the corresponding binary's --help text — and vice versa, so a
+newly-added flag cannot ship undocumented. Flags mentioned for a
 binary that has no section (or sections for unknown binaries) fail the
 check too, so the reference can never silently drift from the CLIs.
 """
@@ -80,6 +82,11 @@ def main() -> int:
             failures.append(
                 f"{name}: docs/cli.md documents {flag}, which is not in "
                 f"`{name} --help`"
+            )
+        for flag in sorted(available - documented):
+            failures.append(
+                f"{name}: `{name} --help` advertises {flag}, which "
+                f"docs/cli.md does not document"
             )
         print(
             f"{name}: {len(documented)} documented flags, "

@@ -212,6 +212,13 @@ runSummaryJson(const EngineCounters &counters, size_t points,
     w.key("disk_hits").value(counters.diskHits);
     w.key("mem_hits").value(counters.memHits);
     w.key("stored").value(counters.stored);
+    w.key("store_failed").value(counters.storeFailed);
+    w.key("campaign_groups").value(counters.campaignGroups);
+    w.key("captures").value(counters.captures);
+    w.key("ckpt_set_loads").value(counters.ckptSetLoads);
+    w.key("partial_hits").value(counters.partialHits);
+    w.key("partial_computed").value(counters.partialComputed);
+    w.key("partial_stored").value(counters.partialStored);
     w.key("elapsed_ms").value(elapsedMs);
     if (!out.empty())
         w.key("out").value(out);

@@ -1,9 +1,12 @@
 #include "exp/cache.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "sampling/store.hh"
 
 // Build-time generated salt (git describe + dirty-diff hash); absent
 // when building outside the CMake tree.
@@ -32,6 +35,53 @@ readFile(const fs::path &path, std::string &out)
     return in.good() || in.eof();
 }
 
+/**
+ * Atomic publish: write a per-key temp file, then rename. Parallel
+ * writers of the same key race benignly (identical contents).
+ */
+bool
+publishFile(const fs::path &path, const std::string &text)
+{
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec)
+        return false;
+
+    const fs::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+        if (!outFile)
+            return false;
+        outFile << text << '\n';
+        if (!outFile.good())
+            return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Whether a gc scan must spare @p path because it was modified within
+ * the grace window before @p cutoff. Unreadable mtimes are spared too:
+ * when in doubt, keep.
+ */
+bool
+withinGrace(const fs::path &path, uint64_t graceSeconds,
+            fs::file_time_type cutoff)
+{
+    if (graceSeconds == 0)
+        return false;
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return true;
+    return mtime >= cutoff;
+}
+
 }  // namespace
 
 std::string
@@ -54,9 +104,29 @@ cacheKey(const ExpPoint &pt)
 }
 
 std::string
+partialKey(const ExpPoint &pt, uint64_t index)
+{
+    return contentHash("partial|" +
+                       pointJson(normalizedSamplePoint(pt)) + "|" +
+                       std::to_string(index) + "|" + versionSalt());
+}
+
+std::string
 ResultCache::entryPath(const std::string &key) const
 {
     return (fs::path(dir_) / (key + ".json")).string();
+}
+
+std::string
+ResultCache::partialPath(const std::string &key) const
+{
+    return (fs::path(dir_) / "partials" / (key + ".json")).string();
+}
+
+std::string
+ResultCache::checkpointSetDir(const std::string &setHash) const
+{
+    return (fs::path(dir_) / "ckpt" / setHash).string();
 }
 
 bool
@@ -87,11 +157,6 @@ ResultCache::store(const std::string &key, const ExpPoint &pt,
     if (!enabled())
         return false;
 
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec)
-        return false;
-
     JsonWriter w;
     w.beginObject();
     w.key("salt").value(versionSalt());
@@ -101,60 +166,144 @@ ResultCache::store(const std::string &key, const ExpPoint &pt,
     writeMeasurement(w, pt.kind, m);
     w.endObject();
 
-    // Atomic publish: write a per-key temp file, then rename. Parallel
-    // writers of the same key race benignly (identical contents).
-    const std::string path = entryPath(key);
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
-        if (!outFile)
-            return false;
-        outFile << w.str() << '\n';
-        if (!outFile.good())
-            return false;
-    }
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
+    return publishFile(entryPath(key), w.str());
+}
+
+bool
+ResultCache::loadPartial(const std::string &key,
+                         sampling::IntervalSample &out) const
+{
+    if (!enabled())
         return false;
-    }
-    return true;
+    std::string text;
+    if (!readFile(partialPath(key), text))
+        return false;
+
+    JsonValue v;
+    std::string err;
+    if (!parseJson(text, v, err))
+        return false;
+    const JsonValue *salt = v.find("salt");
+    if (!salt || salt->asString() != versionSalt())
+        return false;
+    const JsonValue *sample = v.find("sample");
+    return sample && readIntervalSample(*sample, out);
+}
+
+bool
+ResultCache::storePartial(const std::string &key, const ExpPoint &pt,
+                          uint64_t index,
+                          const sampling::IntervalSample &s) const
+{
+    if (!enabled())
+        return false;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("salt").value(versionSalt());
+    w.key("point");
+    writePoint(w, normalizedSamplePoint(pt));
+    w.key("index").value(index);
+    w.key("sample");
+    writeIntervalSample(w, s);
+    w.endObject();
+
+    return publishFile(partialPath(key), w.str());
 }
 
 ResultCache::GcResult
-ResultCache::gc(bool all) const
+ResultCache::gc(bool all, uint64_t graceSeconds) const
 {
     GcResult r;
     if (!enabled())
         return r;
 
-    // A failed construction (missing dir) yields the end iterator, so
-    // the loop simply does nothing.
-    std::error_code ec;
     const std::string salt = versionSalt();
-    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
-        if (!entry.is_regular_file())
+    const fs::file_time_type cutoff =
+        fs::file_time_type::clock::now() -
+        std::chrono::seconds(graceSeconds);
+
+    // Results and per-interval partials: one JSON file per entry, with
+    // the salt embedded at the top level of either kind. A failed
+    // directory_iterator construction (missing dir) yields the end
+    // iterator, so a missing subdirectory simply contributes nothing.
+    auto sweepFiles = [&](const fs::path &where) {
+        std::error_code ec;
+        for (const auto &entry : fs::directory_iterator(where, ec)) {
+            if (!entry.is_regular_file())
+                continue;
+            const fs::path &path = entry.path();
+            if (path.extension() != ".json" &&
+                path.extension() != ".tmp") {
+                continue;
+            }
+            // An in-flight writer's entry (or leftover .tmp) inside
+            // the grace window is never touched — a concurrent
+            // campaign may be mid-publish.
+            if (withinGrace(path, graceSeconds, cutoff)) {
+                r.kept++;
+                continue;
+            }
+
+            bool stale = true;
+            if (!all && path.extension() == ".json") {
+                std::string text;
+                JsonValue v;
+                std::string err;
+                if (readFile(path, text) && parseJson(text, v, err)) {
+                    const JsonValue *s = v.find("salt");
+                    stale = !s || s->asString() != salt;
+                }
+            }
+
+            if (stale) {
+                std::error_code rmEc;
+                fs::remove(path, rmEc);
+                if (!rmEc)
+                    r.removed++;
+            } else {
+                r.kept++;
+            }
+        }
+    };
+    sweepFiles(dir_);
+    sweepFiles(fs::path(dir_) / "partials");
+
+    // Checkpoint sets: one directory per set, judged by the salt its
+    // manifest records (sampling/store.hh pins it under key.salt). A
+    // directory without a readable manifest is a dead capture — but
+    // only outside the grace window, since a concurrent campaign
+    // writes the manifest last.
+    std::error_code ec;
+    const fs::path ckptRoot = fs::path(dir_) / "ckpt";
+    for (const auto &entry : fs::directory_iterator(ckptRoot, ec)) {
+        if (!entry.is_directory())
             continue;
-        const fs::path &path = entry.path();
-        if (path.extension() != ".json" &&
-            path.extension() != ".tmp") {
+        // The directory mtime refreshes as checkpoint files land, so
+        // an in-progress capture (manifest not yet written) is always
+        // inside the grace window.
+        const fs::path &setDir = entry.path();
+        const fs::path manifest = setDir / sampling::kStoreManifest;
+        if (withinGrace(setDir, graceSeconds, cutoff)) {
+            r.kept++;
             continue;
         }
 
         bool stale = true;
-        if (!all && path.extension() == ".json") {
+        if (!all) {
             std::string text;
             JsonValue v;
             std::string err;
-            if (readFile(path, text) && parseJson(text, v, err)) {
-                const JsonValue *s = v.find("salt");
+            if (readFile(manifest, text) && parseJson(text, v, err)) {
+                const JsonValue *key = v.find("key");
+                const JsonValue *s = key ? key->find("salt") : nullptr;
                 stale = !s || s->asString() != salt;
             }
         }
 
         if (stale) {
             std::error_code rmEc;
-            fs::remove(path, rmEc);
+            fs::remove_all(setDir, rmEc);
             if (!rmEc)
                 r.removed++;
         } else {

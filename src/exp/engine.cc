@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <thread>
 
 #include "driver/runner.hh"
 #include "randtest/battery.hh"
+#include "sampling/store.hh"
 
 namespace pbs::exp {
 
@@ -82,8 +84,16 @@ pointCost(const ExpPoint &pt)
         // Architectural-only: ~6x cheaper than detailed timing.
         cost = std::max<uint64_t>(1, cost / 6);
     } else if (pt.mode == "sampled") {
-        // Fast-forward plus a detailed fraction: between the two.
-        cost = std::max<uint64_t>(1, cost / 3);
+        // One functional pass over the whole run plus a detailed
+        // (timing-speed) fraction of it: (warmup + measure) / interval
+        // of the instructions at the 4x timing multiplier. A sparse
+        // 2M-interval Pareto point is genuinely cheaper than the
+        // default 500k config and must schedule accordingly.
+        const cpu::SampleParams sp = pointCoreConfig(pt).sample;
+        const uint64_t ff = std::max<uint64_t>(1, cost / 6);
+        const uint64_t detailed =
+            4 * cost * (sp.warmup + sp.measure) / sp.interval;
+        cost = ff + detailed;
     } else if (!pt.functional) {
         cost *= 4;  // the timing model is ~4x the mpki fidelity
     }
@@ -142,11 +152,30 @@ Engine::insert(const std::string &key, const ExpPoint &pt,
         }
         result = &it->second;
     }
-    if (shouldStore && cache_.store(key, pt, *result)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        counters_.stored++;
+    if (shouldStore) {
+        if (cache_.store(key, pt, *result)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            counters_.stored++;
+        } else {
+            noteStoreFailure("result");
+        }
     }
     return *result;
+}
+
+void
+Engine::noteStoreFailure(const char *what)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.storeFailed++;
+    if (storeWarned_)
+        return;
+    storeWarned_ = true;
+    std::fprintf(stderr,
+                 "pbs_exp: warning: failed to write %s entry under %s "
+                 "(disk full or unwritable?); results will be "
+                 "recomputed on the next run\n",
+                 what, cache_.dir().c_str());
 }
 
 const Measurement &
@@ -163,13 +192,7 @@ Engine::runAll(const std::vector<ExpPoint> &points)
 {
     // Pre-pass (serial): resolve memo/disk hits and deduplicate, so the
     // pool only ever simulates.
-    struct Job
-    {
-        ExpPoint pt;
-        std::string key;
-        uint64_t cost;
-    };
-    std::vector<Job> jobs;
+    std::vector<PendingPoint> jobs;
     {
         std::unordered_map<std::string, bool> seen;
         for (const auto &pt : points) {
@@ -185,10 +208,36 @@ Engine::runAll(const std::vector<ExpPoint> &points)
     if (jobs.empty())
         return;
 
+    if (cfg_.campaign) {
+        // Sampled Sim points reschedule around their shared checkpoint
+        // sets; everything else (detailed, functional, rand) runs on
+        // the ordinary pool. Both paths land in the same memo/cache,
+        // so artifacts are byte-identical either way.
+        std::vector<PendingPoint> sampled, rest;
+        for (auto &job : jobs) {
+            auto &dst = (job.pt.kind == PointKind::Sim &&
+                         job.pt.mode == "sampled")
+                            ? sampled
+                            : rest;
+            dst.push_back(std::move(job));
+        }
+        runCampaign(std::move(sampled));
+        runPool(std::move(rest));
+        return;
+    }
+    runPool(std::move(jobs));
+}
+
+void
+Engine::runPool(std::vector<PendingPoint> jobs)
+{
+    if (jobs.empty())
+        return;
+
     // Cost-aware ordering: big points first (stable for determinism of
     // the *schedule*; results are order-independent anyway).
     std::stable_sort(jobs.begin(), jobs.end(),
-                     [](const Job &a, const Job &b) {
+                     [](const PendingPoint &a, const PendingPoint &b) {
                          return a.cost > b.cost;
                      });
 
@@ -197,7 +246,7 @@ Engine::runAll(const std::vector<ExpPoint> &points)
     auto worker = [&]() {
         for (size_t i = next.fetch_add(1); i < jobs.size();
              i = next.fetch_add(1)) {
-            const Job &job = jobs[i];
+            const PendingPoint &job = jobs[i];
             insert(job.key, job.pt, computePoint(job.pt),
                    /*fromDisk=*/false);
             size_t n = done.fetch_add(1) + 1;
@@ -224,6 +273,185 @@ Engine::runAll(const std::vector<ExpPoint> &points)
             pool.emplace_back(worker);
         for (auto &th : pool)
             th.join();
+    }
+}
+
+void
+Engine::runCampaign(std::vector<PendingPoint> jobs)
+{
+    if (jobs.empty())
+        return;
+
+    // Group by checkpoint-set identity (std::map: deterministic group
+    // order). Every point in a group shares workload, variant, scale,
+    // seed, instruction cap, and the capture-shaping sampling
+    // parameters — only the detailed-measure configuration differs.
+    const std::string salt = versionSalt();
+    std::map<std::string, std::vector<PendingPoint>> groups;
+    for (auto &job : jobs) {
+        const std::string setHash =
+            sampling::storeSetHash(checkpointStoreKey(job.pt, salt));
+        groups[setHash].push_back(std::move(job));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.campaignGroups += groups.size();
+    }
+
+    for (auto &[setHash, group] : groups) {
+        const ExpPoint &pt0 = group.front().pt;
+        const auto &b = workloads::benchmarkByName(pt0.workload);
+        const isa::Program prog =
+            b.build(pointParams(pt0), variantFromName(pt0.variant));
+        const sampling::StoreKey skey = checkpointStoreKey(pt0, salt);
+
+        // Load the persisted set, else capture once and persist it.
+        // The capture config is pt0's: capture only reads the
+        // StoreKey-pinned fields, which are equal across the group.
+        sampling::CheckpointSet set;
+        bool loaded = false;
+        if (cache_.enabled()) {
+            std::string err;
+            loaded = sampling::tryLoadCheckpointSet(
+                cache_.checkpointSetDir(setHash), skey, set, err);
+        }
+        if (loaded) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            counters_.ckptSetLoads++;
+        } else {
+            set = sampling::captureCheckpoints(prog,
+                                               pointCoreConfig(pt0));
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                counters_.captures++;
+            }
+            if (cache_.enabled()) {
+                try {
+                    sampling::saveCheckpointSet(
+                        cache_.checkpointSetDir(setHash), skey, set);
+                } catch (const std::exception &) {
+                    noteStoreFailure("checkpoint-set");
+                }
+            }
+        }
+
+        // One work record per configuration in the group.
+        const size_t intervals = set.checkpoints.size();
+        struct ConfigWork
+        {
+            const PendingPoint *job = nullptr;
+            cpu::CoreConfig detCfg;
+            uint64_t warmup = 0;
+            uint64_t measure = 0;
+            std::vector<sampling::IntervalSample> samples;
+        };
+        std::vector<ConfigWork> works(group.size());
+        for (size_t c = 0; c < group.size(); c++) {
+            ConfigWork &cw = works[c];
+            cw.job = &group[c];
+            const cpu::CoreConfig cfg = pointCoreConfig(group[c].pt);
+            cw.detCfg = sampling::detailedMeasureConfig(cfg);
+            cw.warmup = cfg.sample.warmup;
+            cw.measure = cfg.sample.measure;
+            cw.samples.resize(intervals);
+        }
+
+        // Partial pre-pass (serial): resume every (config, interval)
+        // the cache already holds; only the gaps hit the pool. A set
+        // too small to sample (< 2 intervals) measures nothing — every
+        // configuration takes the exact-detailed fallback below, just
+        // as runSampledOnSet() would.
+        struct Task
+        {
+            size_t config = 0;
+            size_t interval = 0;
+        };
+        std::vector<Task> tasks;
+        for (size_t c = 0; intervals >= 2 && c < works.size(); c++) {
+            for (size_t i = 0; i < intervals; i++) {
+                const std::string pk =
+                    partialKey(works[c].job->pt, i);
+                if (cache_.loadPartial(pk, works[c].samples[i])) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    counters_.partialHits++;
+                } else {
+                    tasks.push_back({c, i});
+                }
+            }
+        }
+
+        // Fan out the gaps: one task per missing (config, interval),
+        // all against the shared, never-released checkpoint set.
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            for (size_t t = next.fetch_add(1); t < tasks.size();
+                 t = next.fetch_add(1)) {
+                ConfigWork &cw = works[tasks[t].config];
+                const size_t i = tasks[t].interval;
+                const sampling::IntervalSample s =
+                    sampling::measureInterval(prog, cw.detCfg,
+                                              set.checkpoints[i],
+                                              cw.warmup, cw.measure);
+                cw.samples[i] = s;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    counters_.partialComputed++;
+                }
+                if (!cache_.enabled())
+                    continue;
+                if (cache_.storePartial(partialKey(cw.job->pt, i),
+                                        cw.job->pt, i, s)) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    counters_.partialStored++;
+                } else {
+                    noteStoreFailure("partial");
+                }
+            }
+        };
+        const unsigned n = std::max(
+            1u, std::min<unsigned>(cfg_.jobs, unsigned(tasks.size())));
+        if (n <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(n);
+            for (unsigned t = 0; t < n; t++)
+                pool.emplace_back(worker);
+            for (auto &th : pool)
+                th.join();
+        }
+
+        // Aggregate each configuration — bit-identical to the
+        // per-point runSampled() path, including the exact-detailed
+        // fallback for sets too small to sample.
+        size_t done = 0;
+        for (ConfigWork &cw : works) {
+            sampling::SampledRun run;
+            if (intervals < 2 ||
+                !sampling::aggregateSamples(set.totals, set.finalState,
+                                            cw.samples, run)) {
+                run = sampling::runExactDetailed(prog, cw.detCfg);
+            }
+            Measurement m;
+            m.stats = run.stats;
+            m.hasSampling = true;
+            m.sampling = run.est;
+            m.outputs = b.simOutput(run.finalState.mem);
+            insert(cw.job->key, cw.job->pt, std::move(m),
+                   /*fromDisk=*/false);
+            done++;
+            if (cfg_.progress) {
+                std::fprintf(stderr,
+                             "[campaign %zu/%zu] %s %s%s scale=%llu "
+                             "seed=%llu\n",
+                             done, works.size(),
+                             cw.job->pt.workload.c_str(),
+                             cw.job->pt.predictor.c_str(),
+                             cw.job->pt.pbs ? "+pbs" : "",
+                             (unsigned long long)cw.job->pt.scale,
+                             (unsigned long long)cw.job->pt.seed);
+            }
+        }
     }
 }
 

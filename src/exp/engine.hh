@@ -8,6 +8,17 @@
  * mode, wide core) start first so the pool drains without a long tail —
  * but results are keyed by point value, so artifacts and reports are
  * byte-identical for any jobs count and any schedule.
+ *
+ * Campaign mode (EngineConfig::campaign) reschedules sampled points
+ * around their shared checkpoint sets: points are grouped by
+ * checkpointStoreKey() — which deliberately excludes the predictor,
+ * width, PBS knobs, and measure length — each group's set is captured
+ * exactly once (or loaded from the cache's `ckpt/` store), and every
+ * configuration in the group fans its warmup/measure intervals out
+ * over the shared set. Per-interval IntervalSamples are persisted as
+ * content-addressed cache partials, so an interrupted campaign resumes
+ * with zero re-simulation and concurrent campaigns compose through the
+ * shared cache. Results are byte-identical to the per-point path.
  */
 
 #ifndef PBS_EXP_ENGINE_HH
@@ -30,6 +41,7 @@ struct EngineConfig
     std::string cacheDir;     ///< empty: in-memory memoization only
     unsigned jobs = 1;        ///< worker threads for runAll()
     bool progress = false;    ///< per-point progress lines on stderr
+    bool campaign = false;    ///< group sampled points by ckpt set
 };
 
 /** Cache/compute counters for one engine lifetime. */
@@ -40,6 +52,17 @@ struct EngineCounters
     uint64_t diskHits = 0;    ///< loaded from the result cache
     uint64_t computed = 0;    ///< actually simulated
     uint64_t stored = 0;      ///< written to the result cache
+    uint64_t storeFailed = 0; ///< cache writes that failed (I/O)
+
+    // Campaign mode. The capture-once contract is captures ==
+    // distinct StoreKeys among the scheduled points that were neither
+    // memo/disk hits nor satisfied by a persisted set (ckptSetLoads).
+    uint64_t campaignGroups = 0;   ///< distinct checkpoint StoreKeys
+    uint64_t captures = 0;         ///< functional capture passes run
+    uint64_t ckptSetLoads = 0;     ///< sets loaded from the cache
+    uint64_t partialHits = 0;      ///< intervals reused from partials
+    uint64_t partialComputed = 0;  ///< intervals actually measured
+    uint64_t partialStored = 0;    ///< partials written to the cache
 };
 
 class Engine
@@ -66,17 +89,35 @@ class Engine
     static Measurement computePoint(const ExpPoint &pt);
 
   private:
+    /** One deduplicated, cache-missing point awaiting computation. */
+    struct PendingPoint
+    {
+        ExpPoint pt;
+        std::string key;
+        uint64_t cost = 0;
+    };
+
     /** Memo lookup/disk load; nullptr when the point needs computing. */
     const Measurement *lookup(const std::string &key,
                               const ExpPoint &pt);
     const Measurement &insert(const std::string &key, const ExpPoint &pt,
                               Measurement m, bool fromDisk);
 
+    /** Cost-ordered point-at-a-time pool (the non-campaign path). */
+    void runPool(std::vector<PendingPoint> jobs);
+
+    /** Checkpoint-set-grouped scheduling for sampled Sim points. */
+    void runCampaign(std::vector<PendingPoint> jobs);
+
+    /** Count a failed cache write; warn on stderr the first time. */
+    void noteStoreFailure(const char *what);
+
     EngineConfig cfg_;
     ResultCache cache_;
     EngineCounters counters_;
     std::mutex mutex_;
     std::unordered_map<std::string, Measurement> memo_;
+    bool storeWarned_ = false;
 };
 
 /** Relative cost estimate used for scheduling (big first). */

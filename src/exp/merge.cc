@@ -124,6 +124,61 @@ parseShard(const JsonValue &v, size_t docNo)
 
 }  // namespace
 
+bool
+pointFromBatchConfig(const JsonValue &config, ExpPoint &out)
+{
+    if (config.type != JsonValue::Type::Object)
+        return false;
+
+    const JsonValue *mode = config.find("mode");
+    if (!mode || mode->asString() != "sampled")
+        return false;
+    // An ExpPoint is one (workload, seed) at uncapped sampling: batch
+    // configs with several seeds or a sample cap have no point form.
+    const JsonValue *seeds = config.find("seeds");
+    if (seeds && seeds->asU64() != 1)
+        return false;
+    const JsonValue *sampleMax = config.find("sample_max");
+    if (sampleMax && sampleMax->asU64() != 0)
+        return false;
+
+    ExpPoint pt;
+    const JsonValue *f;
+    if ((f = config.find("workload")))
+        pt.workload = f->asString();
+    if ((f = config.find("predictor")))
+        pt.predictor = f->asString(pt.predictor);
+    if ((f = config.find("variant")))
+        pt.variant = f->asString(pt.variant);
+    if ((f = config.find("wide")))
+        pt.wide = f->asBool();
+    pt.mode = "sampled";
+    if ((f = config.find("functional")))
+        pt.functional = f->asBool();
+    if ((f = config.find("pbs")))
+        pt.pbs = f->asBool();
+    if ((f = config.find("sample_interval")))
+        pt.sampleInterval = f->asU64();
+    if ((f = config.find("sample_warmup")))
+        pt.sampleWarmup = f->asU64();
+    if ((f = config.find("sample_measure")))
+        pt.sampleMeasure = f->asU64();
+    if ((f = config.find("stall")))
+        pt.stallOnBusy = f->asBool(true);
+    if ((f = config.find("context")))
+        pt.contextSupport = f->asBool(true);
+    if ((f = config.find("guard")))
+        pt.constValGuard = f->asBool(true);
+    if ((f = config.find("scale")))
+        pt.scale = f->asU64();
+    if ((f = config.find("seed")))
+        pt.seed = f->asU64();
+    if (pt.workload.empty() || pt.scale == 0)
+        return false;
+    out = std::move(pt);
+    return true;
+}
+
 std::string
 runShard(const driver::DriverOptions &opts)
 {
@@ -187,7 +242,8 @@ runShard(const driver::DriverOptions &opts)
 }
 
 std::string
-mergeShards(const std::vector<std::string> &shardDocs)
+mergeShards(const std::vector<std::string> &shardDocs,
+            const ResultCache *cache)
 {
     if (shardDocs.empty())
         failMerge("no shard documents given");
@@ -219,16 +275,26 @@ mergeShards(const std::vector<std::string> &shardDocs)
             failMerge("shards disagree on the exact functional totals");
     }
 
+    // When the config is expressible as an ExpPoint and a cache is
+    // given, the merge goes through the cache: supplied samples become
+    // partials, missing intervals may come *from* partials, and the
+    // merged measurement is stored as a result entry.
+    ExpPoint pt;
+    const bool viaCache = cache && cache->enabled() &&
+                          pointFromBatchConfig(first.config, pt);
+
     // Reassemble the per-interval samples: disjoint, complete, and in
     // interval order (the aggregation order a single process uses).
     // Full coverage needs at least `total` samples across the shards,
     // so checking that first also bounds the allocation below against
-    // a corrupt or hand-edited interval count.
+    // a corrupt or hand-edited interval count — unless the cache can
+    // fill gaps, in which case incompleteness is judged after the
+    // fill.
     const uint64_t total = first.intervals;
     uint64_t supplied = 0;
     for (const ShardDoc &d : docs)
         supplied += d.samples.size();
-    if (supplied < total) {
+    if (supplied < total && !viaCache) {
         failMerge(std::to_string(total - supplied) + " of " +
                   std::to_string(total) +
                   " intervals are missing; merge all " +
@@ -248,16 +314,26 @@ mergeShards(const std::vector<std::string> &shardDocs)
                           " is claimed more than once");
             seen[index] = true;
             samples[index] = s;
+            if (viaCache)
+                cache->storePartial(partialKey(pt, index), pt, index,
+                                    s);
         }
     }
     uint64_t missing = 0;
-    for (uint64_t i = 0; i < total; i++)
+    for (uint64_t i = 0; i < total; i++) {
+        if (!seen[i] && viaCache &&
+            cache->loadPartial(partialKey(pt, i), samples[i])) {
+            seen[i] = true;
+        }
         missing += seen[i] ? 0 : 1;
+    }
     if (missing) {
         failMerge(std::to_string(missing) + " of " +
                   std::to_string(total) +
                   " intervals are missing; merge all " +
-                  std::to_string(first.count) + " shards together");
+                  std::to_string(first.count) +
+                  " shards together (the exp cache held no partials "
+                  "for the gaps)");
     }
 
     sampling::SampledRun run;
@@ -272,6 +348,11 @@ mergeShards(const std::vector<std::string> &shardDocs)
     m.outputs = first.outputs;
     m.hasSampling = true;
     m.sampling = run.est;
+
+    // A campaign (or plain sweep) asking for this exact point later
+    // is now a disk hit, not a re-simulation.
+    if (viaCache)
+        cache->store(cacheKey(pt), pt, m);
 
     // Byte-identical to batchJson() of the single-process run: the
     // config is echoed lexeme-exactly from the shards, the measurement

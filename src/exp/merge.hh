@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "driver/options.hh"
+#include "exp/cache.hh"
 
 namespace pbs::exp {
 
@@ -42,10 +43,27 @@ std::string runShard(const driver::DriverOptions &opts);
  * equivalent single-process run. The shards must belong to the same
  * checkpoint set and configuration, be pairwise disjoint, and together
  * cover every interval exactly once.
+ *
+ * With a non-null enabled @p cache (and a config an ExpPoint can
+ * express — single seed, no sample cap), the merge goes through the
+ * exp cache instead of being a parallel format: every supplied
+ * per-interval sample is stored as a content-addressed partial,
+ * intervals *missing* from the given shards are filled from partials a
+ * campaign (or earlier merge) already computed, and the merged
+ * Measurement is stored as an ordinary result entry.
  * @throws std::runtime_error naming the first violated requirement
  *         (overlapping shards, missing intervals, mixed sets...).
  */
-std::string mergeShards(const std::vector<std::string> &shardDocs);
+std::string mergeShards(const std::vector<std::string> &shardDocs,
+                        const ResultCache *cache = nullptr);
+
+/**
+ * Map a pbs-batch-v2/pbs-shard-v1 `config` object back to the sampled
+ * ExpPoint it describes. @return false when the config is not
+ * point-expressible (multi-seed batches, sample_max != 0, or a
+ * non-sampled mode).
+ */
+bool pointFromBatchConfig(const JsonValue &config, ExpPoint &out);
 
 }  // namespace pbs::exp
 

@@ -49,8 +49,10 @@ struct ExpCliOptions
     unsigned jobs = 1;
     std::string cacheDir = exp::kDefaultCacheDir;
     bool noCache = false;
+    bool campaign = false;
     bool gc = false;
     bool gcAll = false;
+    uint64_t gcGrace = exp::kDefaultGcGraceSeconds;
     bool quiet = false;
     bool list = false;
     bool help = false;
@@ -68,7 +70,7 @@ const char *kUsage =
     "       pbs_exp --pareto --workloads <list> [axis flags] [--csv F]\n"
     "       pbs_exp --merge <part1.json> <part2.json> ... [--out F]\n"
     "       pbs_exp --report <name> [--div N]\n"
-    "       pbs_exp --gc [--all]\n"
+    "       pbs_exp --gc [--all] [--grace <seconds>]\n"
     "       pbs_exp --list\n"
     "\n"
     "Sweep axes (comma-separated lists; override the spec file):\n"
@@ -97,6 +99,11 @@ const char *kUsage =
     "  --csv <file>         write the CSV artifact\n"
     "  --cache-dir <dir>    result cache location (default .pbs-cache)\n"
     "  --no-cache           disable the result cache\n"
+    "  --campaign           group sampled points by checkpoint set:\n"
+    "                       capture each (workload, variant, scale,\n"
+    "                       seed, interval) once, fan every config out\n"
+    "                       over the shared set, and resume from\n"
+    "                       per-interval cache partials\n"
     "  --quiet              suppress per-point progress on stderr\n"
     "\n"
     "Sampling fan-out and Pareto:\n"
@@ -112,6 +119,8 @@ const char *kUsage =
     "Maintenance and reports:\n"
     "  --gc                 prune cache entries from other code versions\n"
     "  --gc --all           prune the entire cache\n"
+    "  --grace <seconds>    --gc: spare anything modified this recently\n"
+    "                       (default 300; 0 prunes unconditionally)\n"
     "  --report <name>      render a fig/table report through the\n"
     "                       cached engine (identical output to pbs_sim)\n"
     "  --list               list workloads, predictors, reports\n";
@@ -210,6 +219,17 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
         }
         if (arg == "--no-cache") {
             o.noCache = true;
+            continue;
+        }
+        if (arg == "--campaign") {
+            o.campaign = true;
+            continue;
+        }
+        if ((m = takeValue(arg, "--grace")) != 0) {
+            if (m < 0)
+                return fail(arg + " needs a value");
+            if (!driver::parseU64Arg(v, o.gcGrace))
+                return fail("bad --grace value: " + v);
             continue;
         }
         if (arg == "--quiet") {
@@ -343,7 +363,7 @@ main(int argc, char **argv)
                         "report as a separate invocation");
         }
         exp::ResultCache cache(cacheDir);
-        auto r = cache.gc(o.gcAll);
+        auto r = cache.gc(o.gcAll, o.gcGrace);
         std::printf("{\"schema\":\"pbs-exp-gc-v1\",\"kept\":%llu,"
                     "\"removed\":%llu}\n",
                     (unsigned long long)r.kept,
@@ -367,7 +387,8 @@ main(int argc, char **argv)
             docs.push_back(std::move(text));
         }
         try {
-            const std::string merged = exp::mergeShards(docs);
+            const exp::ResultCache cache(cacheDir);
+            const std::string merged = exp::mergeShards(docs, &cache);
             if (!o.out.empty()) {
                 if (!writeFileOrComplain(o.out, merged))
                     return 1;
@@ -385,6 +406,7 @@ main(int argc, char **argv)
     ecfg.cacheDir = cacheDir;
     ecfg.jobs = o.jobs;
     ecfg.progress = !o.quiet;
+    ecfg.campaign = o.campaign;
     exp::Engine engine(ecfg);
 
     try {

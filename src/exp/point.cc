@@ -177,6 +177,36 @@ pointParams(const ExpPoint &pt)
     return p;
 }
 
+ExpPoint
+normalizedSamplePoint(const ExpPoint &pt)
+{
+    if (pt.mode != "sampled")
+        return pt;
+    const cpu::SampleParams sp = pointCoreConfig(pt).sample;
+    ExpPoint out = pt;
+    out.sampleInterval = sp.interval;
+    out.sampleWarmup = sp.warmup;
+    out.sampleMeasure = sp.measure;
+    return out;
+}
+
+sampling::StoreKey
+checkpointStoreKey(const ExpPoint &pt, const std::string &salt)
+{
+    const cpu::CoreConfig cfg = pointCoreConfig(pt);
+    sampling::StoreKey key;
+    key.workload = pt.workload;
+    key.variant = pt.variant;
+    key.scale = pt.scale;
+    key.seed = pt.seed;
+    key.maxInstructions = cfg.maxInstructions;
+    key.interval = cfg.sample.interval;
+    key.warmup = cfg.sample.warmup;
+    key.maxSamples = cfg.sample.maxSamples;
+    key.salt = salt;
+    return key;
+}
+
 namespace {
 
 void
@@ -324,6 +354,43 @@ readMeasurement(const JsonValue &v, PointKind kind, Measurement &out)
     out.outputs.reserve(o->items.size());
     for (const auto &item : o->items)
         out.outputs.push_back(item.asDouble());
+    return true;
+}
+
+void
+writeIntervalSample(JsonWriter &w, const sampling::IntervalSample &s)
+{
+    w.beginObject();
+    w.key("instructions").value(s.instructions);
+    w.key("cycles").value(s.cycles);
+    w.key("mispredicts").value(s.mispredicts);
+    w.key("regular_mispredicts").value(s.regularMispredicts);
+    w.key("prob_mispredicts").value(s.probMispredicts);
+    w.key("steered").value(s.steered);
+    w.key("detailed").value(s.detailed);
+    w.key("valid").value(s.valid);
+    w.endObject();
+}
+
+bool
+readIntervalSample(const JsonValue &v, sampling::IntervalSample &out)
+{
+    if (v.type != JsonValue::Type::Object)
+        return false;
+    out = sampling::IntervalSample{};
+    auto u64 = [&](const char *k) {
+        const JsonValue *f = v.find(k);
+        return f ? f->asU64() : 0;
+    };
+    out.instructions = u64("instructions");
+    out.cycles = u64("cycles");
+    out.mispredicts = u64("mispredicts");
+    out.regularMispredicts = u64("regular_mispredicts");
+    out.probMispredicts = u64("prob_mispredicts");
+    out.steered = u64("steered");
+    out.detailed = u64("detailed");
+    const JsonValue *valid = v.find("valid");
+    out.valid = valid && valid->asBool();
     return true;
 }
 

@@ -22,6 +22,7 @@
 #include "cpu/core_config.hh"
 #include "exp/json.hh"
 #include "sampling/sampled.hh"
+#include "sampling/store.hh"
 #include "workloads/common.hh"
 
 namespace pbs::exp {
@@ -95,6 +96,27 @@ cpu::CoreConfig pointCoreConfig(const ExpPoint &pt);
 /** The workload parameters a point describes. */
 workloads::WorkloadParams pointParams(const ExpPoint &pt);
 
+/**
+ * The point with its sampling parameters resolved to their effective
+ * values (0/"default" replaced by the subsystem defaults the run
+ * actually uses). Two sampled points that reach the same effective
+ * parameters through different spellings normalize identically, so
+ * campaign checkpoint groups and per-interval partials are shared
+ * between them. Non-sampled points are returned unchanged.
+ */
+ExpPoint normalizedSamplePoint(const ExpPoint &pt);
+
+/**
+ * The persistent checkpoint-store key of a sampled point: workload
+ * identity, resolved scale, seed, instruction cap, and the
+ * capture-shaping sampling parameters (effective values). Predictor,
+ * width, PBS knobs, and the measure length are deliberately absent —
+ * one captured set serves every detailed configuration in a campaign
+ * group. @p salt is the caller's code-version salt (versionSalt()).
+ */
+sampling::StoreKey checkpointStoreKey(const ExpPoint &pt,
+                                      const std::string &salt);
+
 /** Variant enum from its canonical spelling ("marked" on unknown). */
 workloads::Variant variantFromName(const std::string &name);
 const char *variantName(workloads::Variant v);
@@ -127,6 +149,16 @@ void writeMeasurement(JsonWriter &w, PointKind kind,
                       const Measurement &m);
 bool readMeasurement(const JsonValue &v, PointKind kind,
                      Measurement &out);
+
+/**
+ * Canonical JSON of one per-interval sample — the shared body of
+ * shard documents and cache partials (field names match pbs-shard-v1
+ * sample objects, minus the index, which lives beside it).
+ */
+void writeIntervalSample(JsonWriter &w,
+                         const sampling::IntervalSample &s);
+bool readIntervalSample(const JsonValue &v,
+                        sampling::IntervalSample &out);
 
 /** 128-bit FNV-1a content hash, as 32 lowercase hex characters. */
 std::string contentHash(const std::string &data);

@@ -25,9 +25,16 @@ validateParams(const cpu::SampleParams &sp)
             "sampled mode: warmup + measure must not exceed interval");
 }
 
-/** The detailed configuration used by warmup/measure intervals. */
+uint64_t
+scaled(uint64_t counter, double factor)
+{
+    return uint64_t(std::llround(double(counter) * factor));
+}
+
+}  // namespace
+
 cpu::CoreConfig
-detailedConfig(const cpu::CoreConfig &cfg)
+detailedMeasureConfig(const cpu::CoreConfig &cfg)
 {
     cpu::CoreConfig detCfg = cfg;
     detCfg.execMode = cpu::ExecMode::Detailed;
@@ -35,9 +42,8 @@ detailedConfig(const cpu::CoreConfig &cfg)
     return detCfg;
 }
 
-/** Exact fallback: one full detailed run (program too short). */
 SampledRun
-exactRun(const isa::Program &prog, const cpu::CoreConfig &detCfg)
+runExactDetailed(const isa::Program &prog, const cpu::CoreConfig &detCfg)
 {
     cpu::Core core(prog, detCfg);
     core.run();
@@ -51,14 +57,6 @@ exactRun(const isa::Program &prog, const cpu::CoreConfig &detCfg)
     r.finalState = core.saveArch();
     return r;
 }
-
-uint64_t
-scaled(uint64_t counter, double factor)
-{
-    return uint64_t(std::llround(double(counter) * factor));
-}
-
-}  // namespace
 
 CheckpointSet
 captureCheckpoints(const isa::Program &prog, const cpu::CoreConfig &cfg)
@@ -118,7 +116,7 @@ measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,
 {
     const cpu::SampleParams &sp = cfg.sample;
     validateParams(sp);
-    const cpu::CoreConfig detCfg = detailedConfig(cfg);
+    const cpu::CoreConfig detCfg = detailedMeasureConfig(cfg);
 
     std::vector<IntervalSample> samples(indices.size());
     std::atomic<size_t> next{0};
@@ -217,9 +215,9 @@ runSampledOnSet(const isa::Program &prog, const cpu::CoreConfig &cfg,
                 CheckpointSet &set)
 {
     validateParams(cfg.sample);
-    const cpu::CoreConfig detCfg = detailedConfig(cfg);
+    const cpu::CoreConfig detCfg = detailedMeasureConfig(cfg);
     if (set.checkpoints.size() < 2)
-        return exactRun(prog, detCfg);
+        return runExactDetailed(prog, detCfg);
 
     std::vector<size_t> all(set.checkpoints.size());
     for (size_t i = 0; i < all.size(); i++)
@@ -228,7 +226,7 @@ runSampledOnSet(const isa::Program &prog, const cpu::CoreConfig &cfg,
 
     SampledRun r;
     if (!aggregateSamples(set.totals, set.finalState, samples, r))
-        return exactRun(prog, detCfg);
+        return runExactDetailed(prog, detCfg);
     return r;
 }
 

@@ -148,6 +148,23 @@ CheckpointSet captureCheckpoints(const isa::Program &prog,
                                  const cpu::CoreConfig &cfg);
 
 /**
+ * The detailed configuration warmup/measure intervals run under:
+ * @p cfg with execMode/mode forced back to Detailed/Timing. Exposed so
+ * out-of-process schedulers (the exp engine's campaign mode) measure
+ * under *exactly* the configuration the in-process phases use.
+ */
+cpu::CoreConfig detailedMeasureConfig(const cpu::CoreConfig &cfg);
+
+/**
+ * The exact fallback every sampled path takes when a program is too
+ * short to sample (fewer than two valid intervals): one full detailed
+ * run under detailedMeasureConfig(). Exposed for the same reason —
+ * a campaign's fallback must be bit-identical to runSampledOnSet's.
+ */
+SampledRun runExactDetailed(const isa::Program &prog,
+                            const cpu::CoreConfig &detCfg);
+
+/**
  * Phase 2 for one interval: restore @p chk into a fresh detailed core,
  * warm for @p warmup instructions, measure @p measure instructions.
  */

@@ -378,4 +378,17 @@ loadCheckpointSet(const std::string &dir, const StoreKey &expect,
     return set;
 }
 
+bool
+tryLoadCheckpointSet(const std::string &dir, const StoreKey &expect,
+                     CheckpointSet &out, std::string &error)
+{
+    try {
+        out = loadCheckpointSet(dir, expect);
+        return true;
+    } catch (const std::exception &e) {
+        error = e.what();
+        return false;
+    }
+}
+
 }  // namespace pbs::sampling

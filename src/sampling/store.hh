@@ -126,6 +126,15 @@ CheckpointSet loadCheckpointSet(const std::string &dir,
                                 unsigned shardIndex = 0,
                                 unsigned shardCount = 0);
 
+/**
+ * Non-throwing loadCheckpointSet: a missing, stale, or corrupt set is
+ * an expected cache miss for schedulers that fall back to capturing
+ * (the exp engine's campaign mode). @return false with the rejection
+ * reason in @p error; @p out is untouched on failure.
+ */
+bool tryLoadCheckpointSet(const std::string &dir, const StoreKey &expect,
+                          CheckpointSet &out, std::string &error);
+
 }  // namespace pbs::sampling
 
 #endif  // PBS_SAMPLING_STORE_HH

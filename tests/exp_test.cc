@@ -7,6 +7,7 @@
  * and a warm-cache rerun performs zero simulation work.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -548,6 +549,261 @@ TEST_F(ShardMergeTest, MergeRejectsOverlapGapsAndForeignShards)
               std::string::npos);
     EXPECT_NE(failure({part1, "{}"}).find("shard result"),
               std::string::npos);
+}
+
+// --- campaign mode ---------------------------------------------------
+
+/** A fig07-style predictor x PBS grid over one sampled workload. */
+class CampaignTest : public ExpCacheTest
+{
+  protected:
+    std::vector<exp::ExpPoint>
+    grid() const
+    {
+        auto parsed = exp::parseSpecText(
+            "workload = pi\n"
+            "predictor = tournament, tage-sc-l\n"
+            "pbs = off, on\n"
+            "mode = sampled\n"
+            "sample-grid = 40000/10000/5000\n"
+            "div = 20\n");
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        auto expanded = exp::expandSpec(parsed.spec);
+        EXPECT_TRUE(expanded.ok) << expanded.error;
+        return expanded.points;
+    }
+
+    /** Run the grid; return (sweep JSON, counters). */
+    std::pair<std::string, exp::EngineCounters>
+    run(const std::vector<exp::ExpPoint> &points, bool campaign,
+        const std::string &dir, unsigned jobs = 2)
+    {
+        exp::EngineConfig cfg;
+        cfg.cacheDir = dir;
+        cfg.jobs = jobs;
+        cfg.campaign = campaign;
+        exp::Engine engine(cfg);
+        engine.runAll(points);
+        return {exp::sweepJson(points, engine, ""),
+                engine.counters()};
+    }
+};
+
+TEST_F(CampaignTest, CapturesOncePerStoreKeyAndMatchesPerPointPath)
+{
+    const auto points = grid();
+    ASSERT_EQ(points.size(), 4u);
+
+    // All four configs share one checkpoint StoreKey by construction.
+    std::unordered_set<std::string> storeKeys;
+    for (const auto &pt : points)
+        storeKeys.insert(sampling::storeSetHash(
+            exp::checkpointStoreKey(pt, exp::versionSalt())));
+    ASSERT_EQ(storeKeys.size(), 1u);
+
+    // Reference: the per-point path, cache disabled.
+    const auto [reference, refCounters] = run(points, false, "");
+    EXPECT_EQ(refCounters.computed, 4u);
+    EXPECT_EQ(refCounters.captures, 0u);
+
+    // Campaign: one capture serves the whole grid, every interval is
+    // measured exactly once per config and persisted as a partial.
+    const auto [artifact, c] = run(points, true, cacheDir());
+    EXPECT_EQ(artifact, reference)
+        << "campaign scheduling must not change results";
+    EXPECT_EQ(c.campaignGroups, storeKeys.size());
+    EXPECT_EQ(c.captures, storeKeys.size())
+        << "exactly one capture per distinct StoreKey";
+    EXPECT_EQ(c.ckptSetLoads, 0u);
+    EXPECT_EQ(c.computed, 4u);
+    EXPECT_EQ(c.partialHits, 0u);
+    EXPECT_GT(c.partialComputed, 0u);
+    EXPECT_EQ(c.partialComputed % 4u, 0u)
+        << "every config measures the same shared interval set";
+    EXPECT_EQ(c.partialStored, c.partialComputed);
+
+    // Warm rerun: everything is a disk hit, nothing is re-simulated
+    // and nothing is re-captured.
+    const auto [warm, w] = run(points, true, cacheDir());
+    EXPECT_EQ(warm, reference);
+    EXPECT_EQ(w.computed, 0u);
+    EXPECT_EQ(w.captures, 0u);
+    EXPECT_EQ(w.partialComputed, 0u);
+    EXPECT_EQ(w.diskHits, 4u);
+}
+
+TEST_F(CampaignTest, ResumesInterruptedRunWithZeroResimulation)
+{
+    const auto points = grid();
+
+    // Single-shot cold campaign: the document to reproduce.
+    const auto [reference, cold] = run(points, true, cacheDir());
+    ASSERT_GT(cold.partialStored, 4u);
+
+    // "Kill" the campaign partway: final results never landed and
+    // only some partials survived (delete every other one).
+    for (const auto &e : fs::directory_iterator(cacheDir()))
+        if (e.is_regular_file())
+            fs::remove(e.path());
+    size_t kept = 0, dropped = 0;
+    {
+        std::vector<fs::path> partials;
+        for (const auto &e :
+             fs::directory_iterator(fs::path(cacheDir()) / "partials"))
+            partials.push_back(e.path());
+        std::sort(partials.begin(), partials.end());
+        for (size_t i = 0; i < partials.size(); i++) {
+            if (i % 2) {
+                fs::remove(partials[i]);
+                dropped++;
+            } else {
+                kept++;
+            }
+        }
+    }
+    ASSERT_GT(kept, 0u);
+    ASSERT_GT(dropped, 0u);
+
+    // Resume: byte-identical document, zero re-captures, full reuse
+    // of every surviving partial.
+    const auto [resumed, c] = run(points, true, cacheDir());
+    EXPECT_EQ(resumed, reference)
+        << "an interrupted-then-resumed campaign must reproduce the "
+           "single-shot document byte-identically";
+    EXPECT_EQ(c.captures, 0u) << "zero re-captures on resume";
+    EXPECT_EQ(c.ckptSetLoads, 1u);
+    EXPECT_EQ(c.partialHits, kept) << "100% reuse of kept partials";
+    EXPECT_EQ(c.partialComputed, dropped);
+    EXPECT_EQ(c.computed, 4u);
+}
+
+TEST_F(ExpCacheTest, PointCostReflectsSampleParameters)
+{
+    exp::ExpPoint detailed;
+    detailed.workload = "pi";
+    detailed.mode = "detailed";
+    detailed.scale = 1'000'000;
+
+    exp::ExpPoint dense = detailed;
+    dense.mode = "sampled";  // defaults: 500k interval, 160k detailed
+
+    exp::ExpPoint sparse = dense;
+    sparse.sampleInterval = 2'000'000;
+    sparse.sampleWarmup = 100'000;
+    sparse.sampleMeasure = 60'000;
+
+    // A sparse-interval Pareto point simulates far fewer detailed
+    // instructions than the default config and must cost less, and
+    // both must undercut full detailed timing.
+    EXPECT_LT(exp::pointCost(sparse), exp::pointCost(dense));
+    EXPECT_LT(exp::pointCost(dense), exp::pointCost(detailed));
+
+    // More measured instructions per interval -> more cost.
+    exp::ExpPoint heavy = dense;
+    heavy.sampleMeasure = 300'000;
+    EXPECT_GT(exp::pointCost(heavy), exp::pointCost(dense));
+}
+
+TEST_F(ExpCacheTest, StoreFailureWarnsOnceAndCounts)
+{
+    // Occupy the cache path with a regular file: every store fails.
+    std::ofstream(dir_) << "not a directory";
+
+    exp::EngineConfig cfg;
+    cfg.cacheDir = cacheDir();
+    exp::Engine engine(cfg);
+
+    ::testing::internal::CaptureStderr();
+    engine.measure(tinyPoint(1));
+    engine.measure(tinyPoint(2));
+    const std::string err = ::testing::internal::GetCapturedStderr();
+
+    EXPECT_EQ(engine.counters().computed, 2u);
+    EXPECT_EQ(engine.counters().stored, 0u);
+    EXPECT_EQ(engine.counters().storeFailed, 2u);
+
+    // Warn once, not per failure.
+    const std::string needle = "failed to write";
+    size_t first = err.find(needle);
+    ASSERT_NE(first, std::string::npos) << err;
+    EXPECT_EQ(err.find(needle, first + 1), std::string::npos) << err;
+}
+
+TEST_F(ExpCacheTest, GcGraceSparesFreshEntriesOfEveryKind)
+{
+    exp::ResultCache cache(cacheDir());
+    exp::ExpPoint pt = tinyPoint();
+    ASSERT_TRUE(
+        cache.store(exp::cacheKey(pt), pt, exp::Measurement{}));
+
+    // Freshly-written stale-salt state of all three kinds, as an
+    // in-flight campaign under older code would leave behind.
+    fs::create_directories(fs::path(cacheDir()) / "partials");
+    std::ofstream(fs::path(cacheDir()) / "deadbeef.json")
+        << "{\"salt\":\"other-version/r0/s0\"}";
+    std::ofstream(fs::path(cacheDir()) / "partials" / "cafe.json")
+        << "{\"salt\":\"other-version/r0/s0\"}";
+    fs::create_directories(fs::path(cacheDir()) / "ckpt" / "ffff");
+    std::ofstream(fs::path(cacheDir()) / "ckpt" / "ffff" /
+                  "manifest.json")
+        << "{\"key\":{\"salt\":\"other-version/r0/s0\"}}";
+
+    // Within the grace window nothing may be deleted — a concurrent
+    // writer could still be mid-campaign.
+    auto graced = cache.gc(false, /*graceSeconds=*/3600);
+    EXPECT_EQ(graced.removed, 0u);
+    EXPECT_EQ(graced.kept, 4u);
+    // Even --all respects the grace window.
+    EXPECT_EQ(cache.gc(true, 3600).removed, 0u);
+
+    // Without grace the stale generations go and the live entry stays.
+    auto r = cache.gc(false, 0);
+    EXPECT_EQ(r.removed, 3u);
+    EXPECT_EQ(r.kept, 1u);
+    exp::Measurement m;
+    EXPECT_TRUE(cache.load(exp::cacheKey(pt), pt.kind, m));
+}
+
+TEST_F(ShardMergeTest, MergeThroughCacheStoresAndFillsFromPartials)
+{
+    auto saveOpts = baseOpts({"--save-checkpoints", cacheDir()});
+    const std::string single =
+        exp::batchJson(saveOpts, driver::runBatch(saveOpts));
+    const std::string part1 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "1/2"}));
+    const std::string part2 = exp::runShard(
+        baseOpts({"--load-checkpoints", cacheDir(), "--shard", "2/2"}));
+
+    // Through the cache: same bytes as the cache-less merge, plus
+    // every per-interval sample persisted as a partial and the merged
+    // measurement stored as an ordinary result entry.
+    const fs::path expDir = fs::path(cacheDir()) / "exp-cache";
+    exp::ResultCache cache(expDir.string());
+    EXPECT_EQ(exp::mergeShards({part1, part2}, &cache), single);
+
+    exp::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(exp::parseJson(single, v, err)) << err;
+    exp::ExpPoint pt;
+    ASSERT_TRUE(exp::pointFromBatchConfig(*v.find("config"), pt));
+    exp::Measurement m;
+    EXPECT_TRUE(cache.load(exp::cacheKey(pt), pt.kind, m))
+        << "the merged measurement must be a result-cache entry";
+
+    // A lone shard normally fails with gaps — but with the cache the
+    // missing intervals come from the partials the first merge wrote.
+    EXPECT_THROW(exp::mergeShards({part1}), std::runtime_error);
+    EXPECT_EQ(exp::mergeShards({part1}, &cache), single);
+    EXPECT_EQ(exp::mergeShards({part2}, &cache), single);
+
+    // And the engine sees the merged result as a plain disk hit: the
+    // sharded fan-out now feeds sweeps through one cache path.
+    exp::EngineConfig ecfg;
+    ecfg.cacheDir = expDir.string();
+    exp::Engine engine(ecfg);
+    EXPECT_EQ(engine.measure(pt), m);
+    EXPECT_EQ(engine.counters().computed, 0u);
+    EXPECT_EQ(engine.counters().diskHits, 1u);
 }
 
 TEST(DriverShardOptions, ShardFlagValidation)
