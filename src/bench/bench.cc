@@ -10,6 +10,7 @@
 #include "cpu/core.hh"
 #include "driver/options.hh"
 #include "exp/json.hh"
+#include "obs/obs.hh"
 #include "sampling/functional.hh"
 #include "sampling/sampled.hh"
 #include "workloads/common.hh"
@@ -238,7 +239,10 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
 
             BenchResult r;
             r.point = pt;
-            double best_ms = 0.0;
+            obs::Span span("point", pt.workload + " " + pt.predictor +
+                                        " " + pt.mode);
+            std::vector<double> repMs;
+            repMs.reserve(std::max(1u, cfg.repeats));
             for (unsigned rep = 0;
                  rep < std::max(1u, cfg.repeats); rep++) {
                 // Simulated-MIPS measures *simulation*: program
@@ -272,8 +276,7 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
                     ms = elapsedMs(t0, Clock::now());
                     s = core.stats();
                 }
-                if (rep == 0 || ms < best_ms)
-                    best_ms = ms;
+                repMs.push_back(ms);
 
                 r.metrics.instructions = s.instructions;
                 r.metrics.cycles = s.cycles;
@@ -281,9 +284,22 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
                 r.metrics.mispredicts = s.mispredicts;
                 r.metrics.steered = s.steeredBranches;
             }
-            r.wallMs = best_ms;
-            r.mips = best_ms > 0.0
-                ? double(r.metrics.instructions) / best_ms / 1000.0
+            // Min is the noise-robust point estimate (and the one the
+            // baseline gate compares); median and mean ride along in
+            // the unhashed timing fields so noisy CI runners can be
+            // diagnosed from the artifact.
+            std::sort(repMs.begin(), repMs.end());
+            const size_t n = repMs.size();
+            r.wallMs = repMs.front();
+            r.wallMsMedian = (n % 2)
+                ? repMs[n / 2]
+                : 0.5 * (repMs[n / 2 - 1] + repMs[n / 2]);
+            double sum = 0.0;
+            for (double ms : repMs)
+                sum += ms;
+            r.wallMsMean = sum / double(n);
+            r.mips = r.wallMs > 0.0
+                ? double(r.metrics.instructions) / r.wallMs / 1000.0
                 : 0.0;
             results[i] = r;
         }
@@ -298,7 +314,10 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
         std::vector<std::thread> pool;
         pool.reserve(jobs);
         for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, t]() {
+                obs::newTrack("bench worker " + std::to_string(t));
+                worker();
+            });
         for (auto &th : pool)
             th.join();
     }
@@ -345,6 +364,8 @@ benchJson(const std::vector<BenchResult> &results,
         w.beginObject();
         writePointFields(w, r);
         w.key("wall_ms").value(r.wallMs);
+        w.key("wall_ms_median").value(r.wallMsMedian);
+        w.key("wall_ms_mean").value(r.wallMsMean);
         w.key("mips").value(r.mips);
         w.endObject();
     }

@@ -73,8 +73,10 @@ struct BenchResult
 {
     BenchPoint point;
     BenchMetrics metrics;
-    double wallMs = 0.0;  ///< best-of-repeats simulation wall time
-    double mips = 0.0;    ///< instructions / wallMs / 1000
+    double wallMs = 0.0;        ///< best-of-repeats simulation wall time
+    double wallMsMedian = 0.0;  ///< median across --repeats
+    double wallMsMean = 0.0;    ///< mean across --repeats
+    double mips = 0.0;          ///< instructions / wallMs / 1000
 };
 
 /**

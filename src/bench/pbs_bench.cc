@@ -31,6 +31,8 @@
 
 #include "bench/bench.hh"
 #include "driver/options.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace {
 
@@ -48,7 +50,7 @@ usage(const char *msg = nullptr)
         "                 [--sample-warmup N] [--sample-measure N]\n"
         "                 [--seed S] [--out FILE] [--baseline FILE]\n"
         "                 [--max-regress F] [--write-baseline FILE]\n"
-        "                 [--list]\n"
+        "                 [--trace FILE] [--metrics FILE] [--list]\n"
         "modes: detailed (default), legacy, functional, sampled, mpki\n");
     return msg ? 2 : 0;
 }
@@ -68,6 +70,7 @@ main(int argc, char **argv)
 {
     bench::BenchConfig cfg;
     std::string out, baseline, writeBaseline;
+    std::string traceFile, metricsFile;
     std::string workloads, predictors, modes;
     double maxRegress = 0.20;
     bool list = false;
@@ -137,6 +140,16 @@ main(int argc, char **argv)
             if (r < 0)
                 return usage("bad --out");
             out = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--trace",
+                                                v))) {
+            if (r < 0 || v.empty())
+                return usage("bad --trace (needs an output file)");
+            traceFile = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--metrics",
+                                                v))) {
+            if (r < 0 || v.empty())
+                return usage("bad --metrics (needs an output file)");
+            metricsFile = v;
         } else if ((r = driver::takeOptionValue(args, i, "--baseline",
                                                 v))) {
             if (r < 0)
@@ -191,12 +204,27 @@ main(int argc, char **argv)
         return 0;
     }
 
+    obs::Options obsOpts;
+    obsOpts.trace = !traceFile.empty();
+    obsOpts.metrics = !metricsFile.empty();
+    if (obsOpts.trace || obsOpts.metrics)
+        obs::enable(obsOpts);
+
     std::fprintf(stderr,
                  "pbs_bench: %zu points, div %u, %u job(s), %u repeat(s)\n",
                  points.size(), cfg.divisor, cfg.jobs,
                  std::max(1u, cfg.repeats));
 
     const auto results = bench::runBench(points, cfg);
+
+    if (!traceFile.empty() && !obs::writeTrace(traceFile)) {
+        std::fprintf(stderr, "pbs_bench: warning: cannot write trace "
+                     "%s\n", traceFile.c_str());
+    }
+    if (!metricsFile.empty() && !obs::writeMetrics(metricsFile)) {
+        std::fprintf(stderr, "pbs_bench: warning: cannot write metrics "
+                     "%s\n", metricsFile.c_str());
+    }
 
     // Human-readable summary on stdout.
     std::printf("%-10s %-16s %-4s %-10s %14s %10s %10s\n", "workload",

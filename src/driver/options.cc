@@ -139,8 +139,18 @@ parseArgs(const std::vector<std::string> &args)
             o.noContext = true;
         } else if (arg == "--no-guard") {
             o.noGuard = true;
-        } else if (arg == "--trace") {
-            o.trace = true;
+        } else if (arg == "--prob-trace") {
+            o.probTrace = true;
+        } else if ((m = takeValue(arg, "--trace")) != 0) {
+            if (m < 0 || v.empty())
+                return fail("--trace needs an output file (the span "
+                            "timeline; --prob-trace records the "
+                            "probabilistic-branch trace)");
+            o.traceFile = v;
+        } else if ((m = takeValue(arg, "--metrics")) != 0) {
+            if (m < 0 || v.empty())
+                return fail(arg + " needs an output file");
+            o.metricsFile = v;
         } else if ((m = takeValue(arg, "--workload")) != 0 ||
                    (m = takeValue(arg, "--benchmark")) != 0) {
             if (m < 0)
@@ -288,8 +298,8 @@ parseArgs(const std::vector<std::string> &args)
          o.sampleMax)) {
         return fail("--sample-* options require --mode sampled");
     }
-    if (o.mode == "sampled" && o.trace)
-        return fail("--trace is not available in sampled mode");
+    if (o.mode == "sampled" && o.probTrace)
+        return fail("--prob-trace is not available in sampled mode");
 
     const bool store = !o.saveCheckpoints.empty() ||
                        !o.loadCheckpoints.empty() || o.shardCount;
@@ -379,7 +389,15 @@ usageText()
         "  --variant <v>        marked | predicated | cfd\n"
         "  --scale <n>          iteration count (0 = workload default)\n"
         "  --div <n>            divide the default scale by n\n"
-        "  --trace              record the probabilistic-branch trace\n"
+        "  --prob-trace         record the probabilistic-branch trace\n"
+        "\n"
+        "Observability (docs/observability.md):\n"
+        "  --trace <file>       write a pbs-trace-v1 span timeline\n"
+        "                       (Chrome trace-event JSON; load in\n"
+        "                       Perfetto or chrome://tracing)\n"
+        "  --metrics <file>     write a pbs-metrics-v1 snapshot\n"
+        "                       (counters, per-phase wall time,\n"
+        "                       per-worker utilization)\n"
         "\n"
         "Batch options:\n"
         "  --seed <n>           first seed (default 12345)\n"
@@ -423,7 +441,7 @@ coreConfig(const DriverOptions &opts)
     cfg.pbs.stallOnBusy = !opts.noStall;
     cfg.pbs.contextSupport = !opts.noContext;
     cfg.pbs.constValGuard = !opts.noGuard;
-    cfg.traceProbBranches = opts.trace;
+    cfg.traceProbBranches = opts.probTrace;
     return cfg;
 }
 

@@ -47,7 +47,7 @@ struct DriverOptions
     bool noStall = false;            ///< pbs.stallOnBusy = false
     bool noContext = false;          ///< pbs.contextSupport = false
     bool noGuard = false;            ///< pbs.constValGuard = false
-    bool trace = false;              ///< record the prob-branch trace
+    bool probTrace = false;          ///< record the prob-branch trace
 
     // Sampling parameters (mode == "sampled"; 0 = subsystem default).
     uint64_t sampleInterval = 0;     ///< insts between measurements
@@ -82,6 +82,10 @@ struct DriverOptions
 
     // Output control.
     std::string format = "text";     ///< "text" | "json" (batch runs)
+
+    // Observability artifacts (src/obs; empty = collector disabled).
+    std::string traceFile;           ///< pbs-trace-v1 span timeline
+    std::string metricsFile;         ///< pbs-metrics-v1 snapshot
 };
 
 /** Outcome of parsing an argv vector. */

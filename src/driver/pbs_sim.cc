@@ -16,10 +16,27 @@
 #include "exp/artifact.hh"
 #include "exp/cache.hh"
 #include "exp/merge.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace {
 
 using namespace pbs;
+
+/** Write the requested observability artifacts (after the run). */
+void
+writeObsArtifacts(const driver::DriverOptions &opts)
+{
+    if (!opts.traceFile.empty() && !obs::writeTrace(opts.traceFile))
+        std::fprintf(stderr, "pbs_sim: warning: cannot write trace %s\n",
+                     opts.traceFile.c_str());
+    if (!opts.metricsFile.empty() &&
+        !obs::writeMetrics(opts.metricsFile)) {
+        std::fprintf(stderr,
+                     "pbs_sim: warning: cannot write metrics %s\n",
+                     opts.metricsFile.c_str());
+    }
+}
 
 void
 printLists()
@@ -62,20 +79,28 @@ main(int argc, char **argv)
         return 0;
     }
 
+    obs::Options obsOpts;
+    obsOpts.trace = !opts.traceFile.empty();
+    obsOpts.metrics = !opts.metricsFile.empty();
+    if (obsOpts.trace || obsOpts.metrics)
+        obs::enable(obsOpts);
+
     try {
-        if (!opts.report.empty())
-            return driver::runReport(opts.report, opts.divisor,
-                                     opts.jobs);
-        if (opts.shardCount) {
+        int rc;
+        if (!opts.report.empty()) {
+            rc = driver::runReport(opts.report, opts.divisor, opts.jobs);
+        } else if (opts.shardCount) {
             std::printf("%s", exp::runShard(opts).c_str());
-            return 0;
-        }
-        if (opts.format == "json") {
+            rc = 0;
+        } else if (opts.format == "json") {
             auto results = driver::runBatch(opts);
             std::printf("%s", exp::batchJson(opts, results).c_str());
-            return 0;
+            rc = 0;
+        } else {
+            rc = driver::runWorkload(opts);
         }
-        return driver::runWorkload(opts);
+        writeObsArtifacts(opts);
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "pbs_sim: %s\n", e.what());
         return 1;

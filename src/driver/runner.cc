@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "sampling/functional.hh"
 
 namespace pbs::driver {
@@ -15,11 +17,13 @@ runSim(const workloads::BenchmarkDesc &b,
     RunResult r;
     switch (cfg.execMode) {
       case cpu::ExecMode::Functional: {
+        obs::Span span("ff", "functional");
         sampling::FunctionalEngine engine(b.build(p, variant),
                                           cfg.maxInstructions);
         engine.run();
         r.stats = engine.stats();
         r.outputs = b.simOutput(engine.memory());
+        obs::counterAdd("insts.ff", r.stats.instructions);
         return r;
       }
       case cpu::ExecMode::Sampled: {
@@ -36,12 +40,14 @@ runSim(const workloads::BenchmarkDesc &b,
         break;
     }
 
+    obs::Span span("measure", "detailed");
     cpu::Core core(b.build(p, variant), cfg);
     core.run();
     r.stats = core.stats();
     r.pbs = core.pbs().stats();
     r.outputs = b.simOutput(core.memory());
     r.trace = core.probTrace();
+    obs::counterAdd("insts.measure", r.stats.instructions);
     return r;
 }
 
@@ -135,6 +141,9 @@ runBatch(const DriverOptions &opts)
              i = next.fetch_add(1)) {
             const uint64_t seed = opts.seed + i;
             results[i].seed = seed;
+            obs::Span span("point",
+                           opts.workload + " seed " +
+                               std::to_string(seed));
             results[i].run =
                 runSim(b, workloadParams(opts, seed), cfg, opts.variant);
         }
@@ -147,7 +156,10 @@ runBatch(const DriverOptions &opts)
         std::vector<std::thread> pool;
         pool.reserve(jobs);
         for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, t]() {
+                obs::newTrack("batch worker " + std::to_string(t));
+                worker();
+            });
         for (auto &th : pool)
             th.join();
     }

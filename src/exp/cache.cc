@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "sampling/store.hh"
 
 // Build-time generated salt (git describe + dirty-diff hash); absent
@@ -135,6 +136,7 @@ ResultCache::load(const std::string &key, PointKind kind,
 {
     if (!enabled())
         return false;
+    obs::Span span("cache_io", "load");
     std::string text;
     if (!readFile(entryPath(key), text))
         return false;
@@ -156,6 +158,7 @@ ResultCache::store(const std::string &key, const ExpPoint &pt,
 {
     if (!enabled())
         return false;
+    obs::Span span("cache_io", "store");
 
     JsonWriter w;
     w.beginObject();
@@ -175,6 +178,7 @@ ResultCache::loadPartial(const std::string &key,
 {
     if (!enabled())
         return false;
+    obs::Span span("cache_io", "load-partial");
     std::string text;
     if (!readFile(partialPath(key), text))
         return false;
@@ -197,6 +201,7 @@ ResultCache::storePartial(const std::string &key, const ExpPoint &pt,
 {
     if (!enabled())
         return false;
+    obs::Span span("cache_io", "store-partial");
 
     JsonWriter w;
     w.beginObject();

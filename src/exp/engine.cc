@@ -7,6 +7,9 @@
 #include <thread>
 
 #include "driver/runner.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/sink.hh"
 #include "randtest/battery.hh"
 #include "sampling/store.hh"
 
@@ -72,6 +75,13 @@ computeRand(const ExpPoint &pt)
     m.randWeak = tally.weak;
     m.randFail = tally.fail;
     return m;
+}
+
+/** Display label for a point's trace span. */
+std::string
+pointLabel(const ExpPoint &pt)
+{
+    return pt.workload + " " + pt.predictor + (pt.pbs ? "+pbs" : "");
 }
 
 }  // namespace
@@ -171,11 +181,10 @@ Engine::noteStoreFailure(const char *what)
     if (storeWarned_)
         return;
     storeWarned_ = true;
-    std::fprintf(stderr,
-                 "pbs_exp: warning: failed to write %s entry under %s "
-                 "(disk full or unwritable?); results will be "
-                 "recomputed on the next run\n",
-                 what, cache_.dir().c_str());
+    obs::logLinef("pbs_exp: warning: failed to write %s entry under %s "
+                  "(disk full or unwritable?); results will be "
+                  "recomputed on the next run",
+                  what, cache_.dir().c_str());
 }
 
 const Measurement &
@@ -247,17 +256,19 @@ Engine::runPool(std::vector<PendingPoint> jobs)
         for (size_t i = next.fetch_add(1); i < jobs.size();
              i = next.fetch_add(1)) {
             const PendingPoint &job = jobs[i];
-            insert(job.key, job.pt, computePoint(job.pt),
-                   /*fromDisk=*/false);
+            {
+                obs::Span span("point", pointLabel(job.pt));
+                insert(job.key, job.pt, computePoint(job.pt),
+                       /*fromDisk=*/false);
+            }
             size_t n = done.fetch_add(1) + 1;
             if (cfg_.progress) {
-                std::fprintf(stderr,
-                             "[%zu/%zu] %s %s%s scale=%llu seed=%llu\n",
-                             n, jobs.size(), job.pt.workload.c_str(),
-                             job.pt.predictor.c_str(),
-                             job.pt.pbs ? "+pbs" : "",
-                             (unsigned long long)job.pt.scale,
-                             (unsigned long long)job.pt.seed);
+                obs::logLinef("[%zu/%zu] %s %s%s scale=%llu seed=%llu",
+                              n, jobs.size(), job.pt.workload.c_str(),
+                              job.pt.predictor.c_str(),
+                              job.pt.pbs ? "+pbs" : "",
+                              (unsigned long long)job.pt.scale,
+                              (unsigned long long)job.pt.seed);
             }
         }
     };
@@ -270,7 +281,10 @@ Engine::runPool(std::vector<PendingPoint> jobs)
         std::vector<std::thread> pool;
         pool.reserve(n);
         for (unsigned t = 0; t < n; t++)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, t]() {
+                obs::newTrack("sweep worker " + std::to_string(t));
+                worker();
+            });
         for (auto &th : pool)
             th.join();
     }
@@ -416,7 +430,11 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
             std::vector<std::thread> pool;
             pool.reserve(n);
             for (unsigned t = 0; t < n; t++)
-                pool.emplace_back(worker);
+                pool.emplace_back([&worker, t]() {
+                    obs::newTrack("campaign worker " +
+                                  std::to_string(t));
+                    worker();
+                });
             for (auto &th : pool)
                 th.join();
         }
@@ -441,18 +459,36 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
                    /*fromDisk=*/false);
             done++;
             if (cfg_.progress) {
-                std::fprintf(stderr,
-                             "[campaign %zu/%zu] %s %s%s scale=%llu "
-                             "seed=%llu\n",
-                             done, works.size(),
-                             cw.job->pt.workload.c_str(),
-                             cw.job->pt.predictor.c_str(),
-                             cw.job->pt.pbs ? "+pbs" : "",
-                             (unsigned long long)cw.job->pt.scale,
-                             (unsigned long long)cw.job->pt.seed);
+                obs::logLinef("[campaign %zu/%zu] %s %s%s scale=%llu "
+                              "seed=%llu",
+                              done, works.size(),
+                              cw.job->pt.workload.c_str(),
+                              cw.job->pt.predictor.c_str(),
+                              cw.job->pt.pbs ? "+pbs" : "",
+                              (unsigned long long)cw.job->pt.scale,
+                              (unsigned long long)cw.job->pt.seed);
             }
         }
     }
+}
+
+void
+recordEngineMetrics(const EngineCounters &c)
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::counterAdd("exp.requested", c.requested);
+    obs::counterAdd("exp.mem_hits", c.memHits);
+    obs::counterAdd("exp.disk_hits", c.diskHits);
+    obs::counterAdd("exp.computed", c.computed);
+    obs::counterAdd("exp.stored", c.stored);
+    obs::counterAdd("exp.store_failed", c.storeFailed);
+    obs::counterAdd("exp.campaign_groups", c.campaignGroups);
+    obs::counterAdd("exp.captures", c.captures);
+    obs::counterAdd("exp.ckpt_set_loads", c.ckptSetLoads);
+    obs::counterAdd("exp.partial_hits", c.partialHits);
+    obs::counterAdd("exp.partial_computed", c.partialComputed);
+    obs::counterAdd("exp.partial_stored", c.partialStored);
 }
 
 }  // namespace pbs::exp

@@ -123,6 +123,14 @@ class Engine
 /** Relative cost estimate used for scheduling (big first). */
 uint64_t pointCost(const ExpPoint &pt);
 
+/**
+ * Fold one engine lifetime's counters into the observability metrics
+ * registry as `exp.*` counters (no-op unless --metrics is active).
+ * Call once per engine, after its last runAll(): counters are
+ * cumulative totals, and counterAdd sums across engines.
+ */
+void recordEngineMetrics(const EngineCounters &c);
+
 }  // namespace pbs::exp
 
 #endif  // PBS_EXP_ENGINE_HH

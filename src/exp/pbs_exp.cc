@@ -31,6 +31,8 @@
 #include "exp/merge.hh"
 #include "exp/pareto.hh"
 #include "exp/spec.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 
 namespace {
 
@@ -62,6 +64,9 @@ struct ExpCliOptions
 
     bool pareto = false;
     unsigned repeats = 1;                 ///< --pareto timing repeats
+
+    std::string traceFile;                ///< pbs-trace-v1 output
+    std::string metricsFile;              ///< pbs-metrics-v1 output
 };
 
 const char *kUsage =
@@ -105,6 +110,12 @@ const char *kUsage =
     "                       over the shared set, and resume from\n"
     "                       per-interval cache partials\n"
     "  --quiet              suppress per-point progress on stderr\n"
+    "  --trace <file>       write a pbs-trace-v1 span timeline (Chrome\n"
+    "                       trace-event JSON; load in Perfetto) — one\n"
+    "                       track per pool worker\n"
+    "  --metrics <file>     write a pbs-metrics-v1 snapshot (cache and\n"
+    "                       phase counters, per-worker utilization;\n"
+    "                       see docs/observability.md)\n"
     "\n"
     "Sampling fan-out and Pareto:\n"
     "  --merge <files...>   merge pbs-shard-v1 partial results (from\n"
@@ -236,6 +247,18 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
             o.quiet = true;
             continue;
         }
+        if ((m = takeValue(arg, "--trace")) != 0) {
+            if (m < 0 || v.empty())
+                return fail("--trace needs an output file");
+            o.traceFile = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--metrics")) != 0) {
+            if (m < 0 || v.empty())
+                return fail("--metrics needs an output file");
+            o.metricsFile = v;
+            continue;
+        }
         if ((m = takeValue(arg, "--spec")) != 0) {
             if (m < 0)
                 return fail(arg + " needs a value");
@@ -322,6 +345,25 @@ printLists()
                 "sample-measure sample-grid\n");
 }
 
+/**
+ * Write the requested observability artifacts, folding the engine's
+ * counters into the metrics registry first (when one exists).
+ */
+void
+writeObsArtifacts(const ExpCliOptions &o, const exp::Engine *engine)
+{
+    if (engine)
+        exp::recordEngineMetrics(engine->counters());
+    if (!o.traceFile.empty() && !obs::writeTrace(o.traceFile))
+        std::fprintf(stderr, "pbs_exp: warning: cannot write trace %s\n",
+                     o.traceFile.c_str());
+    if (!o.metricsFile.empty() && !obs::writeMetrics(o.metricsFile)) {
+        std::fprintf(stderr,
+                     "pbs_exp: warning: cannot write metrics %s\n",
+                     o.metricsFile.c_str());
+    }
+}
+
 bool
 readFileOrComplain(const std::string &path, std::string &out)
 {
@@ -355,6 +397,12 @@ main(int argc, char **argv)
     }
 
     const std::string cacheDir = o.noCache ? "" : o.cacheDir;
+
+    obs::Options obsOpts;
+    obsOpts.trace = !o.traceFile.empty();
+    obsOpts.metrics = !o.metricsFile.empty();
+    if (obsOpts.trace || obsOpts.metrics)
+        obs::enable(obsOpts);
 
     if (o.gc) {
         if (!o.specFile.empty() || !o.axes.empty() || !o.out.empty() ||
@@ -399,6 +447,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "pbs_exp: %s\n", e.what());
             return 1;
         }
+        writeObsArtifacts(o, nullptr);
         return 0;
     }
 
@@ -428,6 +477,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "%s",
                          exp::runSummaryJson(engine.counters(), 0, 0,
                                              "", "").c_str());
+            writeObsArtifacts(o, &engine);
             return rc;
         }
 
@@ -462,6 +512,7 @@ main(int argc, char **argv)
             if (!o.csv.empty() &&
                 !writeFileOrComplain(o.csv, exp::paretoCsv(rows)))
                 return 1;
+            writeObsArtifacts(o, nullptr);
             return 0;
         }
 
@@ -470,22 +521,28 @@ main(int argc, char **argv)
             return fail(expanded.error);
 
         const auto t0 = std::chrono::steady_clock::now();
-        engine.runAll(expanded.points);
+        {
+            obs::Span span("sweep");
+            engine.runAll(expanded.points);
+        }
         const auto elapsed =
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
 
-        if (!o.out.empty()) {
-            auto text = exp::sweepJson(expanded.points, engine,
-                                       exp::specJson(spec));
-            if (!writeFileOrComplain(o.out, text))
-                return 1;
-        }
-        if (!o.csv.empty()) {
-            auto text = exp::sweepCsv(expanded.points, engine);
-            if (!writeFileOrComplain(o.csv, text))
-                return 1;
+        {
+            obs::Span span("artifact");
+            if (!o.out.empty()) {
+                auto text = exp::sweepJson(expanded.points, engine,
+                                           exp::specJson(spec));
+                if (!writeFileOrComplain(o.out, text))
+                    return 1;
+            }
+            if (!o.csv.empty()) {
+                auto text = exp::sweepCsv(expanded.points, engine);
+                if (!writeFileOrComplain(o.csv, text))
+                    return 1;
+            }
         }
 
         std::printf("%s",
@@ -494,6 +551,7 @@ main(int argc, char **argv)
                                         uint64_t(elapsed), o.out,
                                         o.csv)
                         .c_str());
+        writeObsArtifacts(o, &engine);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "pbs_exp: %s\n", e.what());

@@ -1,0 +1,207 @@
+#include "obs/metrics.hh"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "obs/obs.hh"
+#include "util/json.hh"
+
+namespace pbs::obs {
+
+namespace {
+
+constexpr unsigned kBuckets = 65;  ///< bit_width of a u64 is 0..64
+
+struct Histogram
+{
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, uint64_t> timings;  ///< ns accumulators
+    std::map<std::string, Histogram> histograms;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+}  // namespace
+
+void
+counterAdd(const std::string &name, uint64_t delta)
+{
+    if (!metricsEnabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.counters[name] += delta;
+}
+
+void
+gaugeSet(const std::string &name, double value)
+{
+    if (!metricsEnabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.gauges[name] = value;
+}
+
+void
+timingAdd(const std::string &name, uint64_t ns)
+{
+    if (!metricsEnabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.timings[name] += ns;
+}
+
+unsigned
+histogramBucket(uint64_t value)
+{
+    return unsigned(std::bit_width(value));
+}
+
+void
+histogramAdd(const std::string &name, uint64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    Histogram &h = r.histograms[name];
+    h.count++;
+    h.sum += value;
+    h.buckets[histogramBucket(value)]++;
+}
+
+void
+resetMetricsForTest()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.counters.clear();
+    r.gauges.clear();
+    r.timings.clear();
+    r.histograms.clear();
+}
+
+std::string
+metricsJson()
+{
+    // Snapshot the tracer's track table before taking the registry
+    // lock (trackStats() locks the tracer state; never hold both).
+    std::map<uint32_t, TrackStats> tracks = trackStats();
+
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+
+    util::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-metrics-v1");
+
+    // Deterministic sections: simulation-derived only. std::map gives
+    // sorted key order, so identical runs produce identical bytes.
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : r.counters)
+        w.key(name).value(v);
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : r.gauges)
+        w.key(name).value(v);
+    w.endObject();
+
+    // Volatile sections: wall time and everything derived from it.
+    w.key("timings").beginObject();
+    for (const auto &[name, ns] : r.timings)
+        w.key(name).value(ns);
+    w.endObject();
+
+    w.key("workers").beginObject();
+    for (const auto &[id, t] : tracks) {
+        w.key(std::to_string(id)).beginObject();
+        w.key("name").value(t.name);
+        w.key("busy_ns").value(t.busyNs);
+        w.key("wall_ns").value(t.wallNs());
+        uint64_t wall = t.wallNs();
+        w.key("util").value(wall ? double(t.busyNs) / double(wall) : 0.0);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : r.histograms) {
+        w.key(name).beginObject();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("buckets").beginArray();
+        for (unsigned i = 0; i < kBuckets; i++) {
+            if (h.buckets[i] == 0)
+                continue;
+            w.beginObject();
+            w.key("lo").value(i == 0 ? uint64_t(0) : uint64_t(1) << (i - 1));
+            if (i == 0)
+                w.key("hi").value(uint64_t(0));
+            else if (i == kBuckets - 1)
+                w.key("hi").value(~uint64_t(0));
+            else
+                w.key("hi").value((uint64_t(1) << i) - 1);
+            w.key("n").value(h.buckets[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    // Derived per-phase simulated MIPS: insts.<phase> / phase_ns.<phase>.
+    w.key("derived").beginObject();
+    w.key("mips").beginObject();
+    for (const auto &[name, insts] : r.counters) {
+        constexpr const char *kPrefix = "insts.";
+        if (name.rfind(kPrefix, 0) != 0)
+            continue;
+        std::string phase = name.substr(6);
+        auto it = r.timings.find("phase_ns." + phase);
+        if (it == r.timings.end() || it->second == 0)
+            continue;
+        // insts / (ns / 1000) = million instructions per second.
+        w.key(phase).value(double(insts) * 1000.0 / double(it->second));
+    }
+    w.endObject();
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeMetrics(const std::string &path)
+{
+    std::string doc = metricsJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = (n == doc.size());
+    if (std::fclose(f) != 0)
+        ok = false;
+    return ok;
+}
+
+}  // namespace pbs::obs

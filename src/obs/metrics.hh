@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The typed metrics registry behind `--metrics`: monotonic counters,
+ * gauges, wall-time accumulators, and log2-bucket histograms,
+ * snapshotted into a canonical-JSON `pbs-metrics-v1` document.
+ *
+ * The snapshot separates deterministic sections from volatile ones:
+ * `counters` and `gauges` hold only simulation-derived values (same
+ * run → same bytes; obs_test pins this), while `timings`,
+ * `histograms`, `workers`, and `derived` carry wall-time data that
+ * varies run to run. Per-phase simulated MIPS is derived at snapshot
+ * time from `insts.<phase>` counters paired with `phase_ns.<phase>`
+ * timings.
+ *
+ * Every call is a no-op returning immediately unless metricsEnabled()
+ * (or, for histogram/timing feeds from spans, enabled()) — same
+ * zero-overhead contract as the tracer.
+ */
+
+#ifndef PBS_OBS_METRICS_HH
+#define PBS_OBS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pbs::obs {
+
+/** Add @p delta to monotonic counter @p name (creates at 0). */
+void counterAdd(const std::string &name, uint64_t delta);
+
+/** Set gauge @p name to @p value (last write wins). */
+void gaugeSet(const std::string &name, double value);
+
+/** Accumulate @p ns into wall-time bucket @p name (volatile section). */
+void timingAdd(const std::string &name, uint64_t ns);
+
+/**
+ * Record @p value into histogram @p name. Buckets are fixed log2:
+ * value v lands in bucket std::bit_width(v) (0 for v == 0), i.e.
+ * bucket i >= 1 spans [2^(i-1), 2^i - 1].
+ */
+void histogramAdd(const std::string &name, uint64_t value);
+
+/** The log2 bucket index for @p value (exposed for tests). */
+unsigned histogramBucket(uint64_t value);
+
+/**
+ * Snapshot the registry (plus per-worker track stats from the tracer)
+ * as a `pbs-metrics-v1` canonical-JSON document.
+ */
+std::string metricsJson();
+
+/** Write metricsJson() to @p path. @return false on I/O failure. */
+bool writeMetrics(const std::string &path);
+
+/** Tests only: drop all registered values (called by resetForTest). */
+void resetMetricsForTest();
+
+}  // namespace pbs::obs
+
+#endif  // PBS_OBS_METRICS_HH

@@ -1,0 +1,247 @@
+#include "obs/obs.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "util/clock.hh"
+#include "util/json.hh"
+
+namespace pbs::obs {
+
+namespace detail {
+std::atomic<uint32_t> mode{0};
+}
+
+namespace {
+
+/** One finished span, ready for trace-event emission. */
+struct SpanEvent
+{
+    uint32_t track;
+    const char *phase;      ///< static phase vocabulary string
+    const char *literal;    ///< static name, or nullptr
+    std::string name;       ///< dynamic name when literal is nullptr
+    uint64_t startNs;       ///< relative to the enable() epoch
+    uint64_t durNs;
+};
+
+struct State
+{
+    std::mutex mu;
+    uint64_t epochNs = 0;
+    uint32_t nextTrack = 1;  ///< 0 is the main thread
+    std::vector<SpanEvent> events;
+    std::map<uint32_t, TrackStats> tracks;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+thread_local uint32_t tTrack = 0;
+thread_local int tDepth = 0;
+
+}  // namespace
+
+void
+enable(const Options &opts)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.epochNs == 0) {
+        s.epochNs = util::monotonicNowNs();
+        s.tracks[0].name = "main";
+    }
+    uint32_t bits = (opts.trace ? 1u : 0u) | (opts.metrics ? 2u : 0u);
+    detail::mode.fetch_or(bits, std::memory_order_relaxed);
+}
+
+void
+resetForTest()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    detail::mode.store(0, std::memory_order_relaxed);
+    s.epochNs = 0;
+    s.nextTrack = 1;
+    s.events.clear();
+    s.tracks.clear();
+    tTrack = 0;
+    tDepth = 0;
+    resetMetricsForTest();
+}
+
+uint32_t
+newTrack(const std::string &name)
+{
+    if (!enabled())
+        return 0;
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    uint32_t id = s.nextTrack++;
+    s.tracks[id].name = name;
+    tTrack = id;
+    tDepth = 0;
+    return id;
+}
+
+uint32_t
+currentTrack()
+{
+    return tTrack;
+}
+
+std::map<uint32_t, TrackStats>
+trackStats()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.tracks;
+}
+
+// ---------------------------------------------------------------------
+// Span.
+// ---------------------------------------------------------------------
+
+Span::Span(const char *phase, const char *name)
+    : phase_(phase), literal_(name ? name : phase)
+{
+    if (enabled())
+        begin();
+}
+
+Span::Span(const char *phase, std::string name)
+    : phase_(phase), name_(std::move(name))
+{
+    if (enabled())
+        begin();
+}
+
+void
+Span::begin()
+{
+    active_ = true;
+    depth_ = tDepth++;
+    startNs_ = util::monotonicNowNs();
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    uint64_t endNs = util::monotonicNowNs();
+    uint64_t durNs = endNs > startNs_ ? endNs - startNs_ : 0;
+    tDepth--;
+
+    if (metricsEnabled()) {
+        timingAdd(std::string("phase_ns.") + phase_, durNs);
+        histogramAdd(std::string("span_ns.") + phase_, durNs);
+    }
+
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    uint64_t relStart = startNs_ > s.epochNs ? startNs_ - s.epochNs : 0;
+    if (traceEnabled()) {
+        SpanEvent ev;
+        ev.track = tTrack;
+        ev.phase = phase_;
+        ev.literal = literal_;
+        ev.name = name_;
+        ev.startNs = relStart;
+        ev.durNs = durNs;
+        s.events.push_back(std::move(ev));
+    }
+    if (depth_ == 0) {
+        TrackStats &t = s.tracks[tTrack];
+        t.busyNs += durNs;
+        if (t.lastNs == 0 && t.firstNs == 0)
+            t.firstNs = relStart;
+        if (relStart < t.firstNs)
+            t.firstNs = relStart;
+        if (relStart + durNs > t.lastNs)
+            t.lastNs = relStart + durNs;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace artifact.
+// ---------------------------------------------------------------------
+
+size_t
+traceEventCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.events.size();
+}
+
+std::string
+traceJson()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+
+    util::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-trace-v1");
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: process and per-track thread names, so Perfetto shows
+    // "main", "sweep worker 0", ... instead of bare tids.
+    w.newline().beginObject();
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(0);
+    w.key("name").value("process_name");
+    w.key("args").beginObject().key("name").value("pbs").endObject();
+    w.endObject();
+    for (const auto &[id, t] : s.tracks) {
+        w.newline().beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(1);
+        w.key("tid").value(id);
+        w.key("name").value("thread_name");
+        w.key("args").beginObject().key("name").value(t.name).endObject();
+        w.endObject();
+    }
+
+    for (const SpanEvent &ev : s.events) {
+        w.newline().beginObject();
+        w.key("ph").value("X");
+        w.key("pid").value(1);
+        w.key("tid").value(ev.track);
+        w.key("cat").value(ev.phase);
+        w.key("name").value(ev.literal ? std::string(ev.literal) : ev.name);
+        // Trace-event timestamps are microseconds; keep sub-μs precision
+        // as a fractional part so short cache-I/O spans stay visible.
+        w.key("ts").value(double(ev.startNs) / 1000.0);
+        w.key("dur").value(double(ev.durNs) / 1000.0);
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    std::string doc = traceJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = (n == doc.size());
+    if (std::fclose(f) != 0)
+        ok = false;
+    return ok;
+}
+
+}  // namespace pbs::obs

@@ -1,0 +1,62 @@
+#include "obs/sink.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <mutex>
+
+namespace pbs::obs {
+
+namespace {
+
+std::mutex gSinkMu;
+std::FILE *gSink = nullptr;  ///< nullptr means stderr
+
+std::FILE *
+stream()
+{
+    return gSink ? gSink : stderr;
+}
+
+}  // namespace
+
+void
+setSinkStream(std::FILE *s)
+{
+    std::lock_guard<std::mutex> lk(gSinkMu);
+    gSink = s;
+}
+
+void
+logLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(gSinkMu);
+    std::FILE *f = stream();
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+    std::fflush(f);
+}
+
+void
+logText(const std::string &text)
+{
+    std::lock_guard<std::mutex> lk(gSinkMu);
+    std::FILE *f = stream();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fflush(f);
+}
+
+void
+logLinef(const char *fmt, ...)
+{
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (n < 0)
+        return;
+    // Truncation just clips the line; it still emits atomically.
+    logLine(std::string(buf, std::min(size_t(n), sizeof buf - 1)));
+}
+
+}  // namespace pbs::obs

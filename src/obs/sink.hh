@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A serialized line sink for progress and warning output. Parallel
+ * sweeps used to fprintf(stderr, ...) from every worker thread, and
+ * POSIX only guarantees atomicity per stdio call under contention in
+ * practice — long progress lines and warn-once messages could tear
+ * mid-line. Every line now goes through one mutex-guarded writer, so
+ * lines are emitted whole, in some serial order.
+ *
+ * Unlike the tracer/metrics, the sink is always on: it replaces
+ * existing stderr output rather than adding new instrumentation, so
+ * it has no enable gate.
+ */
+
+#ifndef PBS_OBS_SINK_HH
+#define PBS_OBS_SINK_HH
+
+#include <cstdio>
+#include <string>
+
+namespace pbs::obs {
+
+/** Write @p line plus a trailing newline, atomically. */
+void logLine(const std::string &line);
+
+/** printf-style logLine (the trailing newline is appended). */
+void logLinef(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Write @p text exactly as given (caller controls newlines), atomically. */
+void logText(const std::string &text);
+
+/**
+ * Redirect the sink (default: stderr). Tests point it at a tmpfile to
+ * assert lines never tear; pass nullptr to restore stderr.
+ */
+void setSinkStream(std::FILE *stream);
+
+}  // namespace pbs::obs
+
+#endif  // PBS_OBS_SINK_HH

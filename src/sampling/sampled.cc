@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "sampling/functional.hh"
 #include "stats/stats.hh"
 
@@ -45,8 +47,10 @@ detailedMeasureConfig(const cpu::CoreConfig &cfg)
 SampledRun
 runExactDetailed(const isa::Program &prog, const cpu::CoreConfig &detCfg)
 {
+    obs::Span span("measure", "exact-detailed");
     cpu::Core core(prog, detCfg);
     core.run();
+    obs::counterAdd("insts.measure", core.stats().instructions);
     SampledRun r;
     r.stats = core.stats();
     r.est.exact = true;
@@ -66,6 +70,7 @@ captureCheckpoints(const isa::Program &prog, const cpu::CoreConfig &cfg)
 
     // Capture one checkpoint per interval at (k * interval - warmup),
     // the start of that interval's detailed warmup.
+    obs::Span span("ff", "fast-forward");
     FunctionalEngine ff(prog, cfg.maxInstructions);
     CheckpointSet set;
     for (uint64_t k = 1;; k++) {
@@ -76,13 +81,18 @@ captureCheckpoints(const isa::Program &prog, const cpu::CoreConfig &cfg)
         ff.step(target - cur);
         if (ff.halted())
             break;
-        set.checkpoints.push_back(ff.saveArch());
+        {
+            obs::Span cap("capture");
+            set.checkpoints.push_back(ff.saveArch());
+        }
         if (sp.maxSamples && set.checkpoints.size() >= sp.maxSamples)
             break;
     }
     ff.run();  // to completion: exact totals, outputs, final memory
     set.totals = ff.stats();
     set.finalState = ff.saveArch();
+    obs::counterAdd("insts.ff", set.totals.instructions);
+    obs::counterAdd("sampling.checkpoints_captured", set.checkpoints.size());
     return set;
 }
 
@@ -91,12 +101,26 @@ measureInterval(const isa::Program &prog, const cpu::CoreConfig &detCfg,
                 const cpu::ArchState &chk, uint64_t warmup,
                 uint64_t measure)
 {
+    obs::Span span("interval");
+    cpu::CoreStats base, w, m;
     cpu::Core core(prog, detCfg);
-    core.restoreArch(chk);
-    core.step(warmup);
-    const cpu::CoreStats w = core.stats();
-    core.step(measure);
-    const cpu::CoreStats m = core.stats();
+    {
+        obs::Span sub("restore");
+        core.restoreArch(chk);
+        base = core.stats();
+    }
+    {
+        obs::Span sub("warmup");
+        core.step(warmup);
+        w = core.stats();
+    }
+    {
+        obs::Span sub("measure");
+        core.step(measure);
+        m = core.stats();
+    }
+    obs::counterAdd("insts.warmup", w.instructions - base.instructions);
+    obs::counterAdd("insts.measure", m.instructions - w.instructions);
 
     IntervalSample s;
     s.instructions = m.instructions - w.instructions;
@@ -140,7 +164,10 @@ measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,
         std::vector<std::thread> pool;
         pool.reserve(jobs);
         for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, t]() {
+                obs::newTrack("sample worker " + std::to_string(t));
+                worker();
+            });
         for (auto &th : pool)
             th.join();
     }
@@ -157,6 +184,7 @@ aggregateSamples(const cpu::CoreStats &totals,
     // instructions; confidence intervals come from the per-interval
     // variance (intervals are equal-sized except a possibly truncated
     // final one, so the two agree asymptotically).
+    obs::Span span("aggregate");
     stats::RunningStat cpi, mpki;
     IntervalSample tot;
     uint64_t validCount = 0;

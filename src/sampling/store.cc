@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sampling/checkpoint.hh"
 #include "util/hash.hh"
 #include "util/json.hh"
@@ -161,6 +162,7 @@ SavedSet
 saveCheckpointSet(const std::string &dir, const StoreKey &key,
                   const CheckpointSet &set)
 {
+    obs::Span span("store_io", "save-checkpoint-set");
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec)
@@ -278,6 +280,7 @@ CheckpointSet
 loadCheckpointSet(const std::string &dir, const StoreKey &expect,
                   unsigned shardIndex, unsigned shardCount)
 {
+    obs::Span span("store_io", "load-checkpoint-set");
     const fs::path manifestPath = fs::path(dir) / kStoreManifest;
     std::ifstream in(manifestPath, std::ios::binary);
     if (!in)

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs): trace JSON
+ * well-formedness and schema, histogram log2 bucket edges, metrics
+ * snapshot determinism of the non-timing sections, the serialized log
+ * sink's no-tearing guarantee, and the subsystem's hard invariant —
+ * pbs_sim / pbs_exp artifacts are byte-identical with tracing and
+ * metrics enabled vs. disabled.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/options.hh"
+#include "driver/runner.hh"
+#include "exp/artifact.hh"
+#include "exp/engine.hh"
+#include "exp/spec.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/sink.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace pbs;
+
+/** Every test starts and ends with the collectors off and empty. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::resetForTest(); }
+    void TearDown() override { obs::resetForTest(); }
+
+    static void enableAll()
+    {
+        obs::Options o;
+        o.trace = true;
+        o.metrics = true;
+        obs::enable(o);
+    }
+};
+
+util::JsonValue
+parseOrDie(const std::string &text)
+{
+    util::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(util::parseJson(text, v, err)) << err;
+    return v;
+}
+
+// --- enable gate -----------------------------------------------------
+
+TEST_F(ObsTest, DisabledByDefaultAndRecordsNothing)
+{
+    EXPECT_FALSE(obs::enabled());
+    {
+        obs::Span span("measure");
+        obs::Span nested("warmup", "inner");
+    }
+    obs::counterAdd("x", 5);
+    obs::histogramAdd("h", 3);
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+    EXPECT_EQ(obs::newTrack("ignored"), 0u);
+
+    const util::JsonValue v = parseOrDie(obs::metricsJson());
+    EXPECT_EQ(v.find("counters")->members.size(), 0u);
+    EXPECT_EQ(v.find("histograms")->members.size(), 0u);
+}
+
+// --- trace schema ----------------------------------------------------
+
+TEST_F(ObsTest, TraceJsonIsWellFormedChromeTraceEvents)
+{
+    enableAll();
+    {
+        obs::Span outer("sweep");
+        obs::Span inner("point", std::string("pi tage-sc-l"));
+    }
+    std::thread worker([] {
+        obs::newTrack("sweep worker 0");
+        obs::Span span("ff", "fast-forward");
+    });
+    worker.join();
+
+    const util::JsonValue v = parseOrDie(obs::traceJson());
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-trace-v1");
+    EXPECT_EQ(v.find("displayTimeUnit")->asString(), "ms");
+
+    const util::JsonValue *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, util::JsonValue::Type::Array);
+
+    size_t complete = 0, metadata = 0;
+    std::vector<uint64_t> tids;
+    for (const auto &e : events->items) {
+        const std::string ph = e.find("ph")->asString();
+        ASSERT_TRUE(ph == "X" || ph == "M") << ph;
+        EXPECT_EQ(e.find("pid")->asU64(), 1u);
+        ASSERT_NE(e.find("tid"), nullptr);
+        ASSERT_NE(e.find("name"), nullptr);
+        if (ph == "X") {
+            complete++;
+            tids.push_back(e.find("tid")->asU64());
+            EXPECT_GE(e.find("dur")->asDouble(), 0.0);
+            EXPECT_GE(e.find("ts")->asDouble(), 0.0);
+            ASSERT_NE(e.find("cat"), nullptr);
+        } else {
+            metadata++;
+        }
+    }
+    // Three spans: sweep, point, and the worker's ff.
+    EXPECT_EQ(complete, 3u);
+    // process_name + thread_name for main and the worker track.
+    EXPECT_GE(metadata, 3u);
+    // The worker's span is on a different track than main's.
+    EXPECT_TRUE(std::find(tids.begin(), tids.end(), 0u) != tids.end());
+    EXPECT_TRUE(std::find_if(tids.begin(), tids.end(), [](uint64_t t) {
+                    return t != 0;
+                }) != tids.end());
+}
+
+TEST_F(ObsTest, TrackStatsAccumulateBusyAndExtent)
+{
+    enableAll();
+    std::thread worker([] {
+        obs::newTrack("worker");
+        obs::Span a("interval");
+        obs::Span nested("measure");  // nested: no extra busy time
+    });
+    worker.join();
+
+    const auto tracks = obs::trackStats();
+    ASSERT_EQ(tracks.size(), 2u);  // main + worker
+    const auto &w = tracks.rbegin()->second;
+    EXPECT_EQ(w.name, "worker");
+    EXPECT_GT(w.busyNs, 0u);
+    EXPECT_GE(w.wallNs(), w.busyNs);
+}
+
+// --- histograms ------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketsAreLog2)
+{
+    EXPECT_EQ(obs::histogramBucket(0), 0u);
+    EXPECT_EQ(obs::histogramBucket(1), 1u);
+    EXPECT_EQ(obs::histogramBucket(2), 2u);
+    EXPECT_EQ(obs::histogramBucket(3), 2u);
+    EXPECT_EQ(obs::histogramBucket(4), 3u);
+    EXPECT_EQ(obs::histogramBucket(7), 3u);
+    EXPECT_EQ(obs::histogramBucket(8), 4u);
+    EXPECT_EQ(obs::histogramBucket(1023), 10u);
+    EXPECT_EQ(obs::histogramBucket(1024), 11u);
+    EXPECT_EQ(obs::histogramBucket(~uint64_t(0)), 64u);
+}
+
+TEST_F(ObsTest, HistogramSnapshotHasExactEdgesAndCounts)
+{
+    obs::Options o;
+    o.metrics = true;
+    obs::enable(o);
+
+    // Values 0, 1, 2, 3, 1000: buckets 0, 1, 2 (x2), 10.
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull})
+        obs::histogramAdd("h", v);
+
+    const util::JsonValue v = parseOrDie(obs::metricsJson());
+    const util::JsonValue *h = v.find("histograms")->find("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("count")->asU64(), 5u);
+    EXPECT_EQ(h->find("sum")->asU64(), 1006u);
+
+    const auto &buckets = h->find("buckets")->items;
+    ASSERT_EQ(buckets.size(), 4u);  // empty buckets are omitted
+    uint64_t total = 0;
+    for (const auto &b : buckets) {
+        total += b.find("n")->asU64();
+        EXPECT_GE(b.find("hi")->asU64(), b.find("lo")->asU64());
+    }
+    EXPECT_EQ(total, 5u);
+
+    // Bucket i >= 1 spans [2^(i-1), 2^i - 1]; bucket 0 is {0}.
+    EXPECT_EQ(buckets[0].find("lo")->asU64(), 0u);
+    EXPECT_EQ(buckets[0].find("hi")->asU64(), 0u);
+    EXPECT_EQ(buckets[1].find("lo")->asU64(), 1u);
+    EXPECT_EQ(buckets[1].find("hi")->asU64(), 1u);
+    EXPECT_EQ(buckets[2].find("lo")->asU64(), 2u);
+    EXPECT_EQ(buckets[2].find("hi")->asU64(), 3u);
+    EXPECT_EQ(buckets[2].find("n")->asU64(), 2u);
+    EXPECT_EQ(buckets[3].find("lo")->asU64(), 512u);
+    EXPECT_EQ(buckets[3].find("hi")->asU64(), 1023u);
+}
+
+// --- metrics snapshot ------------------------------------------------
+
+TEST_F(ObsTest, DeterministicSectionsAreByteIdenticalAcrossRuns)
+{
+    auto runOnce = [] {
+        obs::resetForTest();
+        obs::Options o;
+        o.metrics = true;
+        o.trace = true;
+        obs::enable(o);
+        // Same simulation-derived values, different wall-time noise.
+        obs::counterAdd("insts.measure", 123456);
+        obs::counterAdd("exp.computed", 7);
+        obs::gaugeSet("jobs", 4.0);
+        {
+            obs::Span span("measure");
+        }
+        obs::timingAdd("phase_ns.noise", 1);  // volatile section
+        return parseOrDie(obs::metricsJson());
+    };
+
+    const util::JsonValue a = runOnce();
+    const util::JsonValue b = runOnce();
+
+    EXPECT_EQ(a.find("schema")->asString(), "pbs-metrics-v1");
+    EXPECT_EQ(util::rewriteJson(*a.find("counters")),
+              util::rewriteJson(*b.find("counters")));
+    EXPECT_EQ(util::rewriteJson(*a.find("gauges")),
+              util::rewriteJson(*b.find("gauges")));
+}
+
+TEST_F(ObsTest, DerivedMipsPairsInstsWithPhaseTime)
+{
+    obs::Options o;
+    o.metrics = true;
+    obs::enable(o);
+    obs::counterAdd("insts.measure", 5'000'000);
+    obs::timingAdd("phase_ns.measure", 1'000'000'000);  // 1 s
+
+    const util::JsonValue v = parseOrDie(obs::metricsJson());
+    const util::JsonValue *mips = v.find("derived")->find("mips");
+    ASSERT_NE(mips, nullptr);
+    const util::JsonValue *m = mips->find("measure");
+    ASSERT_NE(m, nullptr);
+    EXPECT_NEAR(m->asDouble(), 5.0, 1e-9);  // 5M insts / 1s = 5 MIPS
+}
+
+// --- serialized sink -------------------------------------------------
+
+TEST_F(ObsTest, SinkNeverTearsLinesUnderContention)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    obs::setSinkStream(tmp);
+
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; t++) {
+        pool.emplace_back([t] {
+            for (int i = 0; i < kLines; i++)
+                obs::logLinef("thread-%d line %d end-%d", t, i, t);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    obs::setSinkStream(nullptr);
+
+    std::rewind(tmp);
+    char buf[256];
+    size_t lines = 0;
+    while (std::fgets(buf, sizeof buf, tmp)) {
+        lines++;
+        int t1 = -1, i = -1, t2 = -2;
+        ASSERT_EQ(std::sscanf(buf, "thread-%d line %d end-%d",
+                              &t1, &i, &t2), 3)
+            << "torn line: " << buf;
+        EXPECT_EQ(t1, t2) << "interleaved line: " << buf;
+    }
+    EXPECT_EQ(lines, size_t(kThreads) * kLines);
+    std::fclose(tmp);
+}
+
+// --- the hard invariant: artifacts unchanged under instrumentation ---
+
+driver::DriverOptions
+batchOptions()
+{
+    driver::DriverOptions opts;
+    opts.workload = "pi";
+    opts.predictor = "tage-sc-l";
+    opts.pbs = true;
+    opts.scale = 2000;
+    opts.seeds = 3;
+    opts.jobs = 2;
+    opts.format = "json";
+    return opts;
+}
+
+TEST_F(ObsTest, BatchArtifactByteIdenticalWithObsEnabled)
+{
+    const driver::DriverOptions opts = batchOptions();
+
+    const auto plain = driver::runBatch(opts);
+    const std::string off = exp::batchJson(opts, plain);
+
+    enableAll();
+    const auto traced = driver::runBatch(opts);
+    const std::string on = exp::batchJson(opts, traced);
+
+    EXPECT_GT(obs::traceEventCount(), 0u);  // instrumentation fired
+    EXPECT_EQ(off, on);
+}
+
+TEST_F(ObsTest, SweepArtifactByteIdenticalWithObsEnabled)
+{
+    exp::SweepSpec spec;
+    ASSERT_EQ(exp::applySpecKey(spec, "workload", "pi"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "predictor",
+                                "tournament,tage-sc-l"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "pbs", "off,on"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "scale", "2000"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "mode", "mpki"), "");
+    auto grid = exp::expandSpec(spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+
+    auto sweepOnce = [&] {
+        exp::EngineConfig cfg;  // in-memory memo only, 2 workers
+        cfg.jobs = 2;
+        exp::Engine engine(cfg);
+        engine.runAll(grid.points);
+        return exp::sweepJson(grid.points, engine, exp::specJson(spec));
+    };
+
+    const std::string off = sweepOnce();
+    enableAll();
+    const std::string on = sweepOnce();
+
+    EXPECT_GT(obs::traceEventCount(), 0u);
+    EXPECT_EQ(off, on);
+}
+
+TEST_F(ObsTest, SampledRunByteIdenticalWithObsEnabled)
+{
+    driver::DriverOptions opts = batchOptions();
+    opts.mode = "sampled";
+    opts.scale = 0;
+    opts.divisor = 20;
+    opts.seeds = 1;
+    opts.jobs = 1;
+    opts.sampleInterval = 40000;
+    opts.sampleWarmup = 10000;
+    opts.sampleMeasure = 5000;
+
+    const auto plain = driver::runBatch(opts);
+    const std::string off = exp::batchJson(opts, plain);
+
+    enableAll();
+    const auto traced = driver::runBatch(opts);
+    const std::string on = exp::batchJson(opts, traced);
+
+    EXPECT_GT(obs::traceEventCount(), 0u);
+    EXPECT_EQ(off, on);
+}
+
+}  // namespace
