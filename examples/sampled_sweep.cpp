@@ -22,6 +22,7 @@
 #include "cpu/core.hh"
 #include "sampling/functional.hh"
 #include "sampling/sampled.hh"
+#include "util/task_pool.hh"
 #include "workloads/common.hh"
 
 namespace {
@@ -90,7 +91,7 @@ main()
             cpu::CoreConfig cfg;
             cfg.predictor = "tage-sc-l";
             cfg.execMode = cpu::ExecMode::Sampled;
-            cfg.sample.jobs = 4;
+            pool::TaskPool::instance().configure(4);
             auto t0 = std::chrono::steady_clock::now();
             sampling::SampledRun s = sampling::runSampled(prog, cfg);
             double ms = msSince(t0);

@@ -35,6 +35,7 @@ from pathlib import Path
 PHASES = {
     "ff", "capture", "interval", "restore", "warmup", "measure",
     "aggregate", "cache_io", "store_io", "point", "sweep", "artifact",
+    "task", "steal",
 }
 
 # metrics counter name -> pbs-exp-summary-v1 field. exp.requested has

@@ -1,11 +1,9 @@
 #include "bench/bench.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 
 #include "cpu/core.hh"
 #include "driver/options.hh"
@@ -13,6 +11,7 @@
 #include "obs/obs.hh"
 #include "sampling/functional.hh"
 #include "sampling/sampled.hh"
+#include "util/task_pool.hh"
 #include "workloads/common.hh"
 
 namespace pbs::bench {
@@ -56,7 +55,6 @@ configFor(const BenchPoint &p, const BenchConfig &bench)
     } else if (p.mode == "sampled") {
         cfg.execMode = cpu::ExecMode::Sampled;
         cfg.sample = bench.sample;
-        cfg.sample.jobs = 1;  // sequential: MIPS comparable across jobs
     } else if (p.mode == "mpki") {
         cfg.mode = cpu::SimMode::Functional;
     }
@@ -223,12 +221,18 @@ expandModes(const std::vector<BenchPoint> &points,
 std::vector<BenchResult>
 runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
 {
-    std::vector<BenchResult> results(points.size());
-    std::atomic<unsigned> next{0};
+    // Bench points and any sampled point's nested interval fan-out
+    // share the scheduler. Note the consequence for timing: a sampled
+    // point's wall_ms measures the whole sampled run, which can now
+    // borrow idle workers — simulated MIPS for sampled mode is a
+    // throughput figure for the *scheduled* run, not a single-thread
+    // figure (the statistics fields stay byte-identical regardless).
+    pool::TaskPool::instance().configure(std::max(1u, cfg.jobs));
 
-    auto worker = [&]() {
-        for (unsigned i = next.fetch_add(1); i < points.size();
-             i = next.fetch_add(1)) {
+    std::vector<BenchResult> results(points.size());
+    pool::TaskPool::instance().parallelFor(
+        points.size(),
+        [&](size_t i) {
             const BenchPoint &pt = points[i];
             const auto &b = workloads::benchmarkByName(pt.workload);
             workloads::WorkloadParams wp;
@@ -302,25 +306,8 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
                 ? double(r.metrics.instructions) / r.wallMs / 1000.0
                 : 0.0;
             results[i] = r;
-        }
-    };
-
-    const unsigned jobs = std::max(
-        1u, std::min<unsigned>(cfg.jobs,
-                               static_cast<unsigned>(points.size())));
-    if (jobs == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back([&worker, t]() {
-                obs::newTrack("bench worker " + std::to_string(t));
-                worker();
-            });
-        for (auto &th : pool)
-            th.join();
-    }
+        },
+        "bench");
     return results;
 }
 

@@ -33,6 +33,7 @@
 #include "driver/options.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "util/task_pool.hh"
 
 namespace {
 
@@ -217,6 +218,7 @@ main(int argc, char **argv)
 
     const auto results = bench::runBench(points, cfg);
 
+    pool::recordPoolMetrics();
     if (!traceFile.empty() && !obs::writeTrace(traceFile)) {
         std::fprintf(stderr, "pbs_bench: warning: cannot write trace "
                      "%s\n", traceFile.c_str());

@@ -87,8 +87,6 @@ struct SampleParams
     uint64_t measure = 60'000;
     /** Cap on measured intervals (0 = every interval). */
     uint64_t maxSamples = 0;
-    /** Worker threads for the checkpoint fan-out. */
-    unsigned jobs = 1;
 
     bool operator==(const SampleParams &) const = default;
 };

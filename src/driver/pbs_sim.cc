@@ -18,6 +18,7 @@
 #include "exp/merge.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "util/task_pool.hh"
 
 namespace {
 
@@ -27,6 +28,7 @@ using namespace pbs;
 void
 writeObsArtifacts(const driver::DriverOptions &opts)
 {
+    pool::recordPoolMetrics();
     if (!opts.traceFile.empty() && !obs::writeTrace(opts.traceFile))
         std::fprintf(stderr, "pbs_sim: warning: cannot write trace %s\n",
                      opts.traceFile.c_str());

@@ -1,11 +1,11 @@
 #include "driver/runner.hh"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
 
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "sampling/functional.hh"
+#include "util/task_pool.hh"
 
 namespace pbs::driver {
 
@@ -120,10 +120,9 @@ runBatch(const DriverOptions &opts)
     cpu::CoreConfig cfg = coreConfig(opts);
     const unsigned n = opts.seeds;
 
-    // A single sampled seed parallelizes its checkpoint fan-out;
-    // multi-seed batches parallelize over seeds instead.
-    if (cfg.execMode == cpu::ExecMode::Sampled && n == 1)
-        cfg.sample.jobs = opts.jobs;
+    // Seed tasks and each seed's nested checkpoint fan-out share one
+    // scheduler: no more choosing which level gets the threads.
+    pool::TaskPool::instance().configure(std::max(1u, opts.jobs));
 
     if (!opts.saveCheckpoints.empty() || !opts.loadCheckpoints.empty()) {
         // Parse-time validation pins mode == sampled and seeds == 1.
@@ -134,11 +133,9 @@ runBatch(const DriverOptions &opts)
     }
 
     std::vector<SeedResult> results(n);
-    std::atomic<unsigned> next{0};
-
-    auto worker = [&]() {
-        for (unsigned i = next.fetch_add(1); i < n;
-             i = next.fetch_add(1)) {
+    pool::TaskPool::instance().parallelFor(
+        n,
+        [&](size_t i) {
             const uint64_t seed = opts.seed + i;
             results[i].seed = seed;
             obs::Span span("point",
@@ -146,23 +143,8 @@ runBatch(const DriverOptions &opts)
                                std::to_string(seed));
             results[i].run =
                 runSim(b, workloadParams(opts, seed), cfg, opts.variant);
-        }
-    };
-
-    const unsigned jobs = std::max(1u, std::min(opts.jobs, n));
-    if (jobs == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back([&worker, t]() {
-                obs::newTrack("batch worker " + std::to_string(t));
-                worker();
-            });
-        for (auto &th : pool)
-            th.join();
-    }
+        },
+        "batch");
     return results;
 }
 

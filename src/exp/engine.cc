@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdio>
 #include <map>
-#include <thread>
 
 #include "driver/runner.hh"
 #include "obs/metrics.hh"
@@ -12,6 +11,7 @@
 #include "obs/sink.hh"
 #include "randtest/battery.hh"
 #include "sampling/store.hh"
+#include "util/task_pool.hh"
 
 namespace pbs::exp {
 
@@ -199,6 +199,11 @@ Engine::measure(const ExpPoint &pt)
 void
 Engine::runAll(const std::vector<ExpPoint> &points)
 {
+    // All fan-out below this point — sweep points, campaign interval
+    // tasks, and the nested per-interval fan-out inside each sampled
+    // point — shares one scheduler, sized here.
+    pool::TaskPool::instance().configure(std::max(1u, cfg_.jobs));
+
     // Pre-pass (serial): resolve memo/disk hits and deduplicate, so the
     // pool only ever simulates.
     std::vector<PendingPoint> jobs;
@@ -243,18 +248,20 @@ Engine::runPool(std::vector<PendingPoint> jobs)
     if (jobs.empty())
         return;
 
-    // Cost-aware ordering: big points first (stable for determinism of
-    // the *schedule*; results are order-independent anyway).
+    // Cost-aware ordering: big points first. With the stealing
+    // scheduler this is only a placement hint — the caller starts at
+    // index 0 and thieves take the largest remaining range — but it
+    // still front-loads the expensive points (results are
+    // order-independent either way).
     std::stable_sort(jobs.begin(), jobs.end(),
                      [](const PendingPoint &a, const PendingPoint &b) {
                          return a.cost > b.cost;
                      });
 
-    std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    auto worker = [&]() {
-        for (size_t i = next.fetch_add(1); i < jobs.size();
-             i = next.fetch_add(1)) {
+    pool::TaskPool::instance().parallelFor(
+        jobs.size(),
+        [&](size_t i) {
             const PendingPoint &job = jobs[i];
             {
                 obs::Span span("point", pointLabel(job.pt));
@@ -270,24 +277,8 @@ Engine::runPool(std::vector<PendingPoint> jobs)
                               (unsigned long long)job.pt.scale,
                               (unsigned long long)job.pt.seed);
             }
-        }
-    };
-
-    const unsigned n =
-        std::max(1u, std::min<unsigned>(cfg_.jobs, jobs.size()));
-    if (n == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n);
-        for (unsigned t = 0; t < n; t++)
-            pool.emplace_back([&worker, t]() {
-                obs::newTrack("sweep worker " + std::to_string(t));
-                worker();
-            });
-        for (auto &th : pool)
-            th.join();
-    }
+        },
+        "sweep");
 }
 
 void
@@ -396,10 +387,11 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
 
         // Fan out the gaps: one task per missing (config, interval),
         // all against the shared, never-released checkpoint set.
-        std::atomic<size_t> next{0};
-        auto worker = [&]() {
-            for (size_t t = next.fetch_add(1); t < tasks.size();
-                 t = next.fetch_add(1)) {
+        // Results land in the pre-sized samples slots, so steal order
+        // cannot change a byte of the aggregate.
+        pool::TaskPool::instance().parallelFor(
+            tasks.size(),
+            [&](size_t t) {
                 ConfigWork &cw = works[tasks[t].config];
                 const size_t i = tasks[t].interval;
                 const sampling::IntervalSample s =
@@ -412,7 +404,7 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
                     counters_.partialComputed++;
                 }
                 if (!cache_.enabled())
-                    continue;
+                    return;
                 if (cache_.storePartial(partialKey(cw.job->pt, i),
                                         cw.job->pt, i, s)) {
                     std::lock_guard<std::mutex> lock(mutex_);
@@ -420,24 +412,8 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
                 } else {
                     noteStoreFailure("partial");
                 }
-            }
-        };
-        const unsigned n = std::max(
-            1u, std::min<unsigned>(cfg_.jobs, unsigned(tasks.size())));
-        if (n <= 1) {
-            worker();
-        } else {
-            std::vector<std::thread> pool;
-            pool.reserve(n);
-            for (unsigned t = 0; t < n; t++)
-                pool.emplace_back([&worker, t]() {
-                    obs::newTrack("campaign worker " +
-                                  std::to_string(t));
-                    worker();
-                });
-            for (auto &th : pool)
-                th.join();
-        }
+            },
+            "campaign");
 
         // Aggregate each configuration — bit-identical to the
         // per-point runSampled() path, including the exact-detailed

@@ -1,11 +1,13 @@
 #include "exp/merge.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "driver/runner.hh"
 #include "exp/artifact.hh"
 #include "exp/point.hh"
 #include "sampling/store.hh"
+#include "util/task_pool.hh"
 
 namespace pbs::exp {
 
@@ -184,7 +186,7 @@ runShard(const driver::DriverOptions &opts)
 {
     const auto &b = workloads::benchmarkByName(opts.workload);
     cpu::CoreConfig cfg = driver::coreConfig(opts);
-    cfg.sample.jobs = opts.jobs;
+    pool::TaskPool::instance().configure(std::max(1u, opts.jobs));
 
     // The sliced load reads only this shard's checkpoint files (plus
     // the final state), so N processes pay O(set/N) I/O each.

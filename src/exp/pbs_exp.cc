@@ -33,6 +33,7 @@
 #include "exp/spec.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "util/task_pool.hh"
 
 namespace {
 
@@ -354,6 +355,7 @@ writeObsArtifacts(const ExpCliOptions &o, const exp::Engine *engine)
 {
     if (engine)
         exp::recordEngineMetrics(engine->counters());
+    pool::recordPoolMetrics();
     if (!o.traceFile.empty() && !obs::writeTrace(o.traceFile))
         std::fprintf(stderr, "pbs_exp: warning: cannot write trace %s\n",
                      o.traceFile.c_str());

@@ -28,6 +28,7 @@ struct Registry
     std::map<std::string, uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, uint64_t> timings;  ///< ns accumulators
+    std::map<std::string, uint64_t> pool;     ///< scheduler stats
     std::map<std::string, Histogram> histograms;
 };
 
@@ -70,6 +71,16 @@ timingAdd(const std::string &name, uint64_t ns)
     r.timings[name] += ns;
 }
 
+void
+poolStatSet(const std::string &name, uint64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.pool[name] = value;
+}
+
 unsigned
 histogramBucket(uint64_t value)
 {
@@ -97,6 +108,7 @@ resetMetricsForTest()
     r.counters.clear();
     r.gauges.clear();
     r.timings.clear();
+    r.pool.clear();
     r.histograms.clear();
 }
 
@@ -130,6 +142,13 @@ metricsJson()
     w.key("timings").beginObject();
     for (const auto &[name, ns] : r.timings)
         w.key(name).value(ns);
+    w.endObject();
+
+    // Scheduler stats are schedule-dependent (steal order, worker
+    // count), hence volatile like the worker tracks below.
+    w.key("pool").beginObject();
+    for (const auto &[name, v] : r.pool)
+        w.key(name).value(v);
     w.endObject();
 
     w.key("workers").beginObject();

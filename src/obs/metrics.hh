@@ -35,6 +35,14 @@ void gaugeSet(const std::string &name, double value);
 void timingAdd(const std::string &name, uint64_t ns);
 
 /**
+ * Set scheduler stat @p name (steals, splits, ...) in the snapshot's
+ * volatile `pool` section. Schedule-dependent by nature, so these
+ * live beside `workers`/`timings`, never in the deterministic
+ * `counters` section (last write wins, like a gauge).
+ */
+void poolStatSet(const std::string &name, uint64_t value);
+
+/**
  * Record @p value into histogram @p name. Buckets are fixed log2:
  * value v lands in bucket std::bit_width(v) (0 for v == 0), i.e.
  * bucket i >= 1 spans [2^(i-1), 2^i - 1].

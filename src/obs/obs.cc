@@ -96,6 +96,17 @@ currentTrack()
     return tTrack;
 }
 
+uint32_t
+setTrack(uint32_t id)
+{
+    uint32_t prev = tTrack;
+    if (!enabled())
+        return prev;
+    tTrack = id;
+    tDepth = 0;
+    return prev;
+}
+
 std::map<uint32_t, TrackStats>
 trackStats()
 {

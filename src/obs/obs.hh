@@ -96,6 +96,15 @@ uint32_t newTrack(const std::string &name);
 /** The calling thread's current track id (0 = main). */
 uint32_t currentTrack();
 
+/**
+ * Re-bind the calling thread to an existing track id (from an earlier
+ * newTrack on this thread). Lets a persistent pool worker resume the
+ * track it opened for a root region after interleaved work for other
+ * regions, instead of churning out a fresh track per task. No-op when
+ * disabled. @return the previous binding.
+ */
+uint32_t setTrack(uint32_t id);
+
 /** Per-track aggregates, for metrics export and tests. */
 struct TrackStats
 {

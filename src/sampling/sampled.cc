@@ -1,9 +1,7 @@
 #include "sampling/sampled.hh"
 
-#include <atomic>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -11,6 +9,7 @@
 #include "obs/obs.hh"
 #include "sampling/functional.hh"
 #include "stats/stats.hh"
+#include "util/task_pool.hh"
 
 namespace pbs::sampling {
 
@@ -142,35 +141,22 @@ measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,
     validateParams(sp);
     const cpu::CoreConfig detCfg = detailedMeasureConfig(cfg);
 
+    // One task per interval on the shared scheduler: a huge sampled
+    // point at the tail of a sweep decomposes into these and fills
+    // otherwise-idle workers. Samples land in index-keyed slots, so
+    // worker count and steal order cannot change a byte.
     std::vector<IntervalSample> samples(indices.size());
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        for (size_t i = next.fetch_add(1); i < indices.size();
-             i = next.fetch_add(1)) {
+    pool::TaskPool::instance().parallelFor(
+        indices.size(),
+        [&](size_t i) {
             cpu::ArchState &chk = set.checkpoints.at(indices[i]);
             samples[i] = measureInterval(prog, detCfg, chk, sp.warmup,
                                          sp.measure);
             // Each checkpoint feeds exactly one sample: release its
             // memory pages as soon as it is consumed.
             chk.mem = mem::SparseMemory{};
-        }
-    };
-    const unsigned jobs = std::max(
-        1u,
-        std::min<unsigned>(sp.jobs, unsigned(indices.size())));
-    if (jobs <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(jobs);
-        for (unsigned t = 0; t < jobs; t++)
-            pool.emplace_back([&worker, t]() {
-                obs::newTrack("sample worker " + std::to_string(t));
-                worker();
-            });
-        for (auto &th : pool)
-            th.join();
-    }
+        },
+        "sample");
     return samples;
 }
 

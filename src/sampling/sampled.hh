@@ -174,10 +174,11 @@ IntervalSample measureInterval(const isa::Program &prog,
                                uint64_t warmup, uint64_t measure);
 
 /**
- * Phase 2 for a slice: measure the checkpoints named by @p indices on
- * a cfg.sample.jobs-thread pool, returning one sample per index (in
- * @p indices order). Consumed checkpoints have their memory pages
- * released. @p indices must be valid positions in set.checkpoints.
+ * Phase 2 for a slice: measure the checkpoints named by @p indices as
+ * tasks on the shared scheduler (pool::TaskPool), returning one sample
+ * per index (in @p indices order). Consumed checkpoints have their
+ * memory pages released. @p indices must be valid positions in
+ * set.checkpoints.
  */
 std::vector<IntervalSample>
 measureIntervals(const isa::Program &prog, const cpu::CoreConfig &cfg,

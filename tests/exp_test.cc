@@ -23,6 +23,7 @@
 #include "exp/merge.hh"
 #include "exp/pareto.hh"
 #include "exp/spec.hh"
+#include "util/task_pool.hh"
 
 namespace fs = std::filesystem;
 
@@ -675,6 +676,78 @@ TEST_F(CampaignTest, ResumesInterruptedRunWithZeroResimulation)
     EXPECT_EQ(c.partialHits, kept) << "100% reuse of kept partials";
     EXPECT_EQ(c.partialComputed, dropped);
     EXPECT_EQ(c.computed, 4u);
+}
+
+TEST_F(CampaignTest, InvariantsHoldUnderStealingAndJitter)
+{
+    // pointCost is now only a placement hint for the work-stealing
+    // scheduler — under heavy steal-order perturbation at --jobs 8
+    // the campaign contract must hold unchanged: byte-identical
+    // artifact, one capture per distinct StoreKey, every partial
+    // stored.
+    const auto points = grid();
+    std::unordered_set<std::string> storeKeys;
+    for (const auto &pt : points)
+        storeKeys.insert(sampling::storeSetHash(
+            exp::checkpointStoreKey(pt, exp::versionSalt())));
+
+    const auto [reference, refC] = run(points, true, cacheDir(), 1);
+
+    pool::TaskPool::instance().setStealJitter(99, 100);
+    fs::remove_all(cacheDir());
+    const auto [jittered, c] = run(points, true, cacheDir(), 8);
+    pool::TaskPool::instance().setStealJitter(0, 0);
+    pool::TaskPool::instance().configure(1);
+
+    EXPECT_EQ(jittered, reference);
+    EXPECT_EQ(c.captures, storeKeys.size())
+        << "capture-once must survive steal scheduling";
+    EXPECT_EQ(c.campaignGroups, storeKeys.size());
+    EXPECT_EQ(c.computed, refC.computed);
+    EXPECT_EQ(c.partialComputed, refC.partialComputed);
+    EXPECT_EQ(c.partialStored, c.partialComputed);
+}
+
+TEST_F(CampaignTest, ResumeSurvivesStealJitter)
+{
+    // The interrupted-resume path, re-run with the steal order
+    // perturbed: surviving partials must still be reused 1:1 and the
+    // resumed document must reproduce the cold one byte-for-byte.
+    const auto points = grid();
+    const auto [reference, cold] = run(points, true, cacheDir(), 8);
+    ASSERT_GT(cold.partialStored, 4u);
+
+    for (const auto &e : fs::directory_iterator(cacheDir()))
+        if (e.is_regular_file())
+            fs::remove(e.path());
+    size_t kept = 0, dropped = 0;
+    {
+        std::vector<fs::path> partials;
+        for (const auto &e :
+             fs::directory_iterator(fs::path(cacheDir()) / "partials"))
+            partials.push_back(e.path());
+        std::sort(partials.begin(), partials.end());
+        for (size_t i = 0; i < partials.size(); i++) {
+            if (i % 2) {
+                fs::remove(partials[i]);
+                dropped++;
+            } else {
+                kept++;
+            }
+        }
+    }
+    ASSERT_GT(kept, 0u);
+    ASSERT_GT(dropped, 0u);
+
+    pool::TaskPool::instance().setStealJitter(7, 150);
+    const auto [resumed, c] = run(points, true, cacheDir(), 8);
+    pool::TaskPool::instance().setStealJitter(0, 0);
+    pool::TaskPool::instance().configure(1);
+
+    EXPECT_EQ(resumed, reference);
+    EXPECT_EQ(c.captures, 0u);
+    EXPECT_EQ(c.partialHits, kept);
+    EXPECT_EQ(c.partialComputed, dropped);
 }
 
 TEST_F(ExpCacheTest, PointCostReflectsSampleParameters)

@@ -9,6 +9,8 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -25,6 +27,7 @@
 #include "obs/obs.hh"
 #include "obs/sink.hh"
 #include "util/json.hh"
+#include "util/task_pool.hh"
 
 namespace {
 
@@ -278,6 +281,83 @@ TEST_F(ObsTest, SinkNeverTearsLinesUnderContention)
     }
     EXPECT_EQ(lines, size_t(kThreads) * kLines);
     std::fclose(tmp);
+}
+
+// --- work-stealing scheduler integration -----------------------------
+
+TEST_F(ObsTest, StolenSpanLandsOnThiefTrackAndBusyStaysUnderWall)
+{
+    enableAll();
+    pool::TaskPool &p = pool::TaskPool::instance();
+    p.configure(2);  // caller + one worker
+
+    // Leaf 0 blocks the caller until leaf 1 has started, so leaf 1
+    // can only execute as a steal on the worker thread.
+    std::atomic<bool> started0{false}, started1{false};
+    auto await = [](const std::atomic<bool> &f) {
+        for (int i = 0; i < 100000 && !f.load(); i++)
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+    };
+    p.parallelFor(
+        2,
+        [&](size_t i) {
+            if (i == 0) {
+                started0.store(true);
+                await(started1);
+            } else {
+                await(started0);
+                started1.store(true);
+            }
+        },
+        "obs-steal");
+    p.configure(1);
+
+    // The root "task" span sits on the caller's track 0; the stolen
+    // range's "steal" span sits on the thief's own named track.
+    const util::JsonValue v = parseOrDie(obs::traceJson());
+    bool taskOnMain = false, stealOnWorker = false;
+    for (const auto &e : v.find("traceEvents")->items) {
+        if (e.find("ph")->asString() != "X")
+            continue;
+        const std::string cat = e.find("cat")->asString();
+        const uint64_t tid = e.find("tid")->asU64();
+        if (cat == "task" && tid == 0)
+            taskOnMain = true;
+        if (cat == "steal" && tid != 0)
+            stealOnWorker = true;
+    }
+    EXPECT_TRUE(taskOnMain);
+    EXPECT_TRUE(stealOnWorker);
+
+    // Depth-0 busy accounting holds per track under stealing.
+    for (const auto &[tid, t] : obs::trackStats())
+        EXPECT_LE(t.busyNs, t.wallNs()) << t.name;
+}
+
+TEST_F(ObsTest, PoolStatsGoToVolatileSectionNotCounters)
+{
+    obs::Options o;
+    o.metrics = true;
+    obs::enable(o);
+
+    pool::TaskPool &p = pool::TaskPool::instance();
+    p.configure(2);
+    p.resetCounters();
+    std::atomic<int> sum{0};
+    p.parallelFor(
+        64, [&](size_t) { sum.fetch_add(1); }, "obs-pool");
+    p.configure(1);
+    pool::recordPoolMetrics();
+
+    const util::JsonValue v = parseOrDie(obs::metricsJson());
+    const util::JsonValue *pool = v.find("pool");
+    ASSERT_NE(pool, nullptr);
+    EXPECT_GE(pool->find("regions")->asU64(), 1u);
+    EXPECT_GE(pool->find("tasks")->asU64(), 64u);
+    // Steal totals are schedule-dependent and must never leak into
+    // the deterministic counters section.
+    EXPECT_EQ(v.find("counters")->find("pool.steals"), nullptr);
+    EXPECT_EQ(v.find("counters")->members.size(), 0u);
 }
 
 // --- the hard invariant: artifacts unchanged under instrumentation ---

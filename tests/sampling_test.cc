@@ -19,6 +19,7 @@
 #include "sampling/functional.hh"
 #include "sampling/sampled.hh"
 #include "sampling/store.hh"
+#include "util/task_pool.hh"
 #include "workloads/common.hh"
 
 namespace fs = std::filesystem;
@@ -179,8 +180,9 @@ TEST(Sampled, EstimatesTrackDetailedRunsWithinTolerance)
         cfg.sample.interval = 50000;
         cfg.sample.warmup = 20000;
         cfg.sample.measure = 10000;
-        cfg.sample.jobs = 2;
+        pool::TaskPool::instance().configure(2);
         sampling::SampledRun s = sampling::runSampled(prog, cfg);
+        pool::TaskPool::instance().configure(1);
 
         EXPECT_FALSE(s.est.exact) << name;
         EXPECT_GE(s.est.intervals, 5u) << name;
@@ -209,10 +211,11 @@ TEST(Sampled, DeterministicAcrossFanOutThreadCounts)
     cfg.sample.warmup = 10000;
     cfg.sample.measure = 5000;
 
-    cfg.sample.jobs = 1;
+    pool::TaskPool::instance().configure(1);
     sampling::SampledRun serial = sampling::runSampled(prog, cfg);
-    cfg.sample.jobs = 4;
+    pool::TaskPool::instance().configure(4);
     sampling::SampledRun parallel = sampling::runSampled(prog, cfg);
+    pool::TaskPool::instance().configure(1);
 
     EXPECT_TRUE(serial.stats == parallel.stats);
     EXPECT_TRUE(serial.est == parallel.est);
