@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validate pbs-trace-v1 / pbs-metrics-v1 observability artifacts.
+"""Validate pbs observability artifacts (trace, metrics, manifest,
+telemetry time series).
 
 Usage:
-    scripts/check_trace_schema.py TRACE.json [--metrics METRICS.json]
+    scripts/check_trace_schema.py [TRACE.json] [--metrics METRICS.json]
         [--min-coverage F] [--summary SUMMARY.json]
+        [--manifest MANIFEST.json] [--timeseries TELEMETRY.jsonl]
 
 Checks, in order:
 
@@ -23,8 +25,19 @@ Checks, in order:
   5. With --summary (a pbs-exp-summary-v1 JSON file): the exp.* metrics
      counters must equal the summary's cache counters field-for-field —
      the reconciliation gate between the two reporting paths.
+  6. With --manifest (a pbs-run-v1 file): structural checks, then every
+     listed artifact is re-read from disk and its FNV-1a-128 hash and
+     byte count must match the manifest entry — the "what produced
+     what" integrity gate. Relative artifact paths are tried against
+     the working directory first, then the manifest's own directory.
+  7. With --timeseries (a pbs-timeseries-v1 JSON-lines file): the
+     header declares the schema and a positive interval; across sample
+     lines t_ms is monotone non-decreasing and every counter is
+     monotone non-decreasing (counters only ever accumulate).
 
-Exit status: 0 when everything holds, 1 with a message otherwise.
+The positional trace argument is optional, so manifest/telemetry files
+can be checked on their own. Exit status: 0 when everything holds,
+1 with a message otherwise.
 """
 
 import argparse
@@ -163,6 +176,110 @@ def check_metrics(doc: dict) -> dict:
     return doc
 
 
+def fnv1a64(data: bytes, h: int = 0xCBF29CE484222325) -> int:
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def fnv1a128_hex(data: bytes) -> str:
+    """Python twin of pbs::util::fnv1a128Hex (src/util/hash.hh)."""
+    a = fnv1a64(data)
+    b = fnv1a64(data, 0xCBF29CE484222325 ^ 0x9E3779B97F4A7C15)
+    return f"{a:016x}{b:016x}"
+
+
+def check_manifest(doc: dict, manifest_path: str) -> None:
+    if doc.get("schema") != "pbs-run-v1":
+        fail(f"manifest schema is {doc.get('schema')!r}, want pbs-run-v1")
+    if not isinstance(doc.get("binary"), str) or not doc["binary"]:
+        fail("manifest: missing binary name")
+    argv = doc.get("argv")
+    if not isinstance(argv, list) or not all(
+            isinstance(a, str) for a in argv):
+        fail("manifest: argv must be a list of strings")
+    wall = doc.get("wall_ms")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        fail(f"manifest: bad wall_ms {wall!r}")
+    if not isinstance(doc.get("jobs"), int) or doc["jobs"] < 1:
+        fail(f"manifest: bad jobs {doc.get('jobs')!r}")
+
+    artifacts = doc.get("artifacts")
+    if not isinstance(artifacts, list):
+        fail("manifest: missing artifacts list")
+    base = Path(manifest_path).resolve().parent
+    for i, a in enumerate(artifacts):
+        path = a.get("path")
+        if not isinstance(path, str) or not path:
+            fail(f"manifest artifact {i}: missing path")
+        # The writer recorded the path as passed on the command line;
+        # resolve relative paths against cwd, then the manifest's dir.
+        cand = Path(path)
+        if not cand.is_file() and not cand.is_absolute():
+            cand = base / path
+        if not cand.is_file():
+            fail(f"manifest artifact {path}: file not found")
+        data = cand.read_bytes()
+        if len(data) != a.get("bytes"):
+            fail(f"manifest artifact {path}: {len(data)} bytes on disk, "
+                 f"manifest says {a.get('bytes')}")
+        got = fnv1a128_hex(data)
+        if got != a.get("fnv128"):
+            fail(f"manifest artifact {path}: hash {got} != manifest "
+                 f"{a.get('fnv128')} — file changed after the run?")
+    print(f"check_trace_schema: manifest OK ({doc['binary']}, "
+          f"{len(artifacts)} artifact(s) reconciled)")
+
+
+def check_timeseries(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: empty telemetry file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(f"{path} header: {e}")
+    if header.get("schema") != "pbs-timeseries-v1":
+        fail(f"telemetry schema is {header.get('schema')!r}, "
+             "want pbs-timeseries-v1")
+    if not isinstance(header.get("interval_ms"), int) or \
+            header["interval_ms"] < 1:
+        fail(f"telemetry: bad interval_ms {header.get('interval_ms')!r}")
+
+    last_t = float("-inf")
+    last_counters = {}
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            s = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path} line {i}: {e}")
+        t = s.get("t_ms")
+        if not isinstance(t, (int, float)) or t < 0:
+            fail(f"telemetry line {i}: bad t_ms {t!r}")
+        if t < last_t:
+            fail(f"telemetry line {i}: t_ms {t} went backwards "
+                 f"(previous {last_t})")
+        last_t = t
+        for key in ("rss_kb", "peak_rss_kb"):
+            if not isinstance(s.get(key), int) or s[key] < 0:
+                fail(f"telemetry line {i}: bad {key} {s.get(key)!r}")
+        counters = s.get("counters")
+        if not isinstance(counters, dict):
+            fail(f"telemetry line {i}: missing counters object")
+        for name, v in counters.items():
+            if v < last_counters.get(name, 0):
+                fail(f"telemetry line {i}: counter {name} decreased "
+                     f"({last_counters.get(name)} -> {v})")
+        last_counters.update(counters)
+    print(f"check_trace_schema: telemetry OK "
+          f"({len(lines) - 1} sample(s), "
+          f"{header['interval_ms']} ms interval)")
+
+
 def check_summary(metrics: dict, summary: dict) -> None:
     counters = metrics.get("counters", {})
     cache = summary.get("cache", summary)
@@ -195,15 +312,25 @@ def check_summary(metrics: dict, summary: dict) -> None:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="pbs-trace-v1 JSON file")
+    ap.add_argument("trace", nargs="?",
+                    help="pbs-trace-v1 JSON file")
     ap.add_argument("--metrics", help="pbs-metrics-v1 JSON file")
     ap.add_argument("--min-coverage", type=float, default=0.0,
                     help="required per-track span coverage fraction")
     ap.add_argument("--summary",
                     help="pbs-exp-summary-v1 JSON to reconcile against")
+    ap.add_argument("--manifest",
+                    help="pbs-run-v1 manifest to verify against disk")
+    ap.add_argument("--timeseries",
+                    help="pbs-timeseries-v1 telemetry file to validate")
     args = ap.parse_args()
 
-    check_trace(load(args.trace), args.min_coverage)
+    if not (args.trace or args.manifest or args.timeseries):
+        ap.error("nothing to check: give a trace, --manifest, "
+                 "or --timeseries")
+
+    if args.trace:
+        check_trace(load(args.trace), args.min_coverage)
     metrics = None
     if args.metrics:
         metrics = check_metrics(load(args.metrics))
@@ -211,6 +338,10 @@ def main() -> None:
         if metrics is None:
             fail("--summary requires --metrics")
         check_summary(metrics, load(args.summary))
+    if args.manifest:
+        check_manifest(load(args.manifest), args.manifest)
+    if args.timeseries:
+        check_timeseries(args.timeseries)
 
 
 if __name__ == "__main__":

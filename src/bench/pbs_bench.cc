@@ -31,8 +31,11 @@
 
 #include "bench/bench.hh"
 #include "driver/options.hh"
+#include "exp/cache.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "obs/telemetry.hh"
 #include "util/task_pool.hh"
 
 namespace {
@@ -51,7 +54,9 @@ usage(const char *msg = nullptr)
         "                 [--sample-warmup N] [--sample-measure N]\n"
         "                 [--seed S] [--out FILE] [--baseline FILE]\n"
         "                 [--max-regress F] [--write-baseline FILE]\n"
-        "                 [--trace FILE] [--metrics FILE] [--list]\n"
+        "                 [--trace FILE] [--metrics FILE]\n"
+        "                 [--manifest FILE] [--telemetry FILE]\n"
+        "                 [--telemetry-interval MS] [--list]\n"
         "modes: detailed (default), legacy, functional, sampled, mpki\n");
     return msg ? 2 : 0;
 }
@@ -69,9 +74,12 @@ writeFile(const std::string &path, const std::string &content)
 int
 main(int argc, char **argv)
 {
+    obs::manifestBegin("pbs_bench", argc, argv);
     bench::BenchConfig cfg;
     std::string out, baseline, writeBaseline;
     std::string traceFile, metricsFile;
+    std::string manifestFile, telemetryFile;
+    uint64_t telemetryIntervalMs = 1000;
     std::string workloads, predictors, modes;
     double maxRegress = 0.20;
     bool list = false;
@@ -151,6 +159,22 @@ main(int argc, char **argv)
             if (r < 0 || v.empty())
                 return usage("bad --metrics (needs an output file)");
             metricsFile = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--manifest",
+                                                v))) {
+            if (r < 0 || v.empty())
+                return usage("bad --manifest (needs an output file)");
+            manifestFile = v;
+        } else if ((r = driver::takeOptionValue(args, i, "--telemetry",
+                                                v))) {
+            if (r < 0 || v.empty())
+                return usage("bad --telemetry (needs an output file)");
+            telemetryFile = v;
+        } else if ((r = driver::takeOptionValue(args, i,
+                                                "--telemetry-interval",
+                                                v))) {
+            if (r < 0 || !driver::parseU64Arg(v, telemetryIntervalMs) ||
+                telemetryIntervalMs == 0)
+                return usage("bad --telemetry-interval (ms, >= 1)");
         } else if ((r = driver::takeOptionValue(args, i, "--baseline",
                                                 v))) {
             if (r < 0)
@@ -210,6 +234,14 @@ main(int argc, char **argv)
     obsOpts.metrics = !metricsFile.empty();
     if (obsOpts.trace || obsOpts.metrics)
         obs::enable(obsOpts);
+    if (!manifestFile.empty())
+        obs::manifestEnable();
+    if (!telemetryFile.empty() &&
+        !obs::telemetryStart(telemetryFile, telemetryIntervalMs)) {
+        std::fprintf(stderr,
+                     "pbs_bench: warning: cannot write telemetry %s\n",
+                     telemetryFile.c_str());
+    }
 
     std::fprintf(stderr,
                  "pbs_bench: %zu points, div %u, %u job(s), %u repeat(s)\n",
@@ -219,6 +251,7 @@ main(int argc, char **argv)
     const auto results = bench::runBench(points, cfg);
 
     pool::recordPoolMetrics();
+    obs::telemetryStop();
     if (!traceFile.empty() && !obs::writeTrace(traceFile)) {
         std::fprintf(stderr, "pbs_bench: warning: cannot write trace "
                      "%s\n", traceFile.c_str());
@@ -243,15 +276,34 @@ main(int argc, char **argv)
     std::printf("geomean: %.2f MIPS\n", bench::geomeanMips(results));
 
     const std::string artifact = bench::benchJson(results, cfg);
-    if (!out.empty() && !writeFile(out, artifact)) {
-        std::fprintf(stderr, "pbs_bench: cannot write %s\n",
-                     out.c_str());
-        return 1;
+    if (!out.empty()) {
+        if (!writeFile(out, artifact)) {
+            std::fprintf(stderr, "pbs_bench: cannot write %s\n",
+                         out.c_str());
+            return 1;
+        }
+        obs::manifestAddArtifact(out, artifact, "pbs-bench-v2");
     }
-    if (!writeBaseline.empty() && !writeFile(writeBaseline, artifact)) {
-        std::fprintf(stderr, "pbs_bench: cannot write %s\n",
-                     writeBaseline.c_str());
-        return 1;
+    if (!writeBaseline.empty()) {
+        if (!writeFile(writeBaseline, artifact)) {
+            std::fprintf(stderr, "pbs_bench: cannot write %s\n",
+                         writeBaseline.c_str());
+            return 1;
+        }
+        obs::manifestAddArtifact(writeBaseline, artifact,
+                                 "pbs-bench-v2");
+    }
+    if (!manifestFile.empty()) {
+        obs::manifestSetSalt(exp::versionSalt());
+        obs::manifestSetJobs(pool::TaskPool::instance().jobs());
+        obs::manifestSetPolicy(pool::TaskPool::instance().policy() ==
+                                       pool::Policy::Static
+                                   ? "static"
+                                   : "steal");
+        if (!obs::writeManifest(manifestFile))
+            std::fprintf(stderr,
+                         "pbs_bench: warning: cannot write manifest "
+                         "%s\n", manifestFile.c_str());
     }
 
     if (!baseline.empty()) {

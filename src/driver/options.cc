@@ -151,6 +151,19 @@ parseArgs(const std::vector<std::string> &args)
             if (m < 0 || v.empty())
                 return fail(arg + " needs an output file");
             o.metricsFile = v;
+        } else if ((m = takeValue(arg, "--manifest")) != 0) {
+            if (m < 0 || v.empty())
+                return fail(arg + " needs an output file");
+            o.manifestFile = v;
+        } else if ((m = takeValue(arg, "--telemetry")) != 0) {
+            if (m < 0 || v.empty())
+                return fail(arg + " needs an output file");
+            o.telemetryFile = v;
+        } else if ((m = takeValue(arg, "--telemetry-interval")) != 0) {
+            if (m < 0 || !parseU64Arg(v, o.telemetryIntervalMs) ||
+                o.telemetryIntervalMs == 0) {
+                return fail("bad --telemetry-interval value (ms, >= 1)");
+            }
         } else if ((m = takeValue(arg, "--workload")) != 0 ||
                    (m = takeValue(arg, "--benchmark")) != 0) {
             if (m < 0)
@@ -398,6 +411,14 @@ usageText()
         "  --metrics <file>     write a pbs-metrics-v1 snapshot\n"
         "                       (counters, per-phase wall time,\n"
         "                       per-worker utilization)\n"
+        "  --manifest <file>    write a pbs-run-v1 run manifest (argv,\n"
+        "                       code salt, FNV-128 hash of every\n"
+        "                       artifact this run wrote)\n"
+        "  --telemetry <file>   append pbs-timeseries-v1 samples\n"
+        "                       (counters, pool stats, RSS) while the\n"
+        "                       run is in flight\n"
+        "  --telemetry-interval <ms>  sampler tick period\n"
+        "                       (default 1000)\n"
         "\n"
         "Batch options:\n"
         "  --seed <n>           first seed (default 12345)\n"

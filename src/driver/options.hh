@@ -86,6 +86,9 @@ struct DriverOptions
     // Observability artifacts (src/obs; empty = collector disabled).
     std::string traceFile;           ///< pbs-trace-v1 span timeline
     std::string metricsFile;         ///< pbs-metrics-v1 snapshot
+    std::string manifestFile;        ///< pbs-run-v1 run manifest
+    std::string telemetryFile;       ///< pbs-timeseries-v1 sampler
+    uint64_t telemetryIntervalMs = 1000;  ///< sampler tick period
 };
 
 /** Outcome of parsing an argv vector. */

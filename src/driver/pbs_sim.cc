@@ -16,8 +16,10 @@
 #include "exp/artifact.hh"
 #include "exp/cache.hh"
 #include "exp/merge.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "obs/telemetry.hh"
 #include "util/task_pool.hh"
 
 namespace {
@@ -29,6 +31,10 @@ void
 writeObsArtifacts(const driver::DriverOptions &opts)
 {
     pool::recordPoolMetrics();
+    // Stop the sampler before the manifest goes out: its final sample
+    // must be on disk (and registered) for the artifact list to be
+    // complete.
+    obs::telemetryStop();
     if (!opts.traceFile.empty() && !obs::writeTrace(opts.traceFile))
         std::fprintf(stderr, "pbs_sim: warning: cannot write trace %s\n",
                      opts.traceFile.c_str());
@@ -37,6 +43,18 @@ writeObsArtifacts(const driver::DriverOptions &opts)
         std::fprintf(stderr,
                      "pbs_sim: warning: cannot write metrics %s\n",
                      opts.metricsFile.c_str());
+    }
+    if (!opts.manifestFile.empty()) {
+        obs::manifestSetSalt(opts.storeSalt);
+        obs::manifestSetJobs(pool::TaskPool::instance().jobs());
+        obs::manifestSetPolicy(pool::TaskPool::instance().policy() ==
+                                       pool::Policy::Static
+                                   ? "static"
+                                   : "steal");
+        if (!obs::writeManifest(opts.manifestFile))
+            std::fprintf(stderr,
+                         "pbs_sim: warning: cannot write manifest %s\n",
+                         opts.manifestFile.c_str());
     }
 }
 
@@ -61,6 +79,7 @@ printLists()
 int
 main(int argc, char **argv)
 {
+    obs::manifestBegin("pbs_sim", argc, argv);
     auto parsed = driver::parseArgs(argc, argv);
     if (!parsed.ok) {
         std::fprintf(stderr, "pbs_sim: %s\n%s", parsed.error.c_str(),
@@ -86,6 +105,15 @@ main(int argc, char **argv)
     obsOpts.metrics = !opts.metricsFile.empty();
     if (obsOpts.trace || obsOpts.metrics)
         obs::enable(obsOpts);
+    if (!opts.manifestFile.empty())
+        obs::manifestEnable();
+    if (!opts.telemetryFile.empty() &&
+        !obs::telemetryStart(opts.telemetryFile,
+                             opts.telemetryIntervalMs)) {
+        std::fprintf(stderr,
+                     "pbs_sim: warning: cannot write telemetry %s\n",
+                     opts.telemetryFile.c_str());
+    }
 
     try {
         int rc;
@@ -104,6 +132,9 @@ main(int argc, char **argv)
         writeObsArtifacts(opts);
         return rc;
     } catch (const std::exception &e) {
+        // Join the sampler before static destruction tears down its
+        // state under a live thread.
+        obs::telemetryStop();
         std::fprintf(stderr, "pbs_sim: %s\n", e.what());
         return 1;
     }

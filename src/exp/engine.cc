@@ -11,6 +11,7 @@
 #include "obs/sink.hh"
 #include "randtest/battery.hh"
 #include "sampling/store.hh"
+#include "util/clock.hh"
 #include "util/task_pool.hh"
 
 namespace pbs::exp {
@@ -181,10 +182,55 @@ Engine::noteStoreFailure(const char *what)
     if (storeWarned_)
         return;
     storeWarned_ = true;
-    obs::logLinef("pbs_exp: warning: failed to write %s entry under %s "
+    obs::logWarnf("pbs_exp: warning: failed to write %s entry under %s "
                   "(disk full or unwritable?); results will be "
                   "recomputed on the next run",
                   what, cache_.dir().c_str());
+}
+
+void
+Engine::armHeartbeat(const std::vector<PendingPoint> &jobs)
+{
+    if (!cfg_.heartbeat)
+        return;
+    hbTotal_ = jobs.size();
+    hbTotalCost_ = 0;
+    for (const PendingPoint &job : jobs)
+        hbTotalCost_ += job.cost;
+    hbDone_.store(0, std::memory_order_relaxed);
+    hbDoneCost_.store(0, std::memory_order_relaxed);
+    hbStartNs_ = util::monotonicNowNs();
+    hbLastNs_.store(hbStartNs_, std::memory_order_relaxed);
+    obs::logLinef("pbs_exp: progress 0/%zu points", jobs.size());
+}
+
+void
+Engine::noteHeartbeat(uint64_t cost)
+{
+    if (!cfg_.heartbeat || hbTotal_ == 0)
+        return;
+    const uint64_t doneCost =
+        hbDoneCost_.fetch_add(cost, std::memory_order_relaxed) + cost;
+    const size_t done = hbDone_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t now = util::monotonicNowNs();
+    uint64_t last = hbLastNs_.load(std::memory_order_relaxed);
+    const bool final = done == hbTotal_;
+    // ~1 Hz: one winner per window emits; the final point always does.
+    if (!final && (now - last < 1000000000ull ||
+                   !hbLastNs_.compare_exchange_strong(last, now)))
+        return;
+    const double elapsedS = double(now - hbStartNs_) / 1e9;
+    if (final) {
+        obs::logLinef("pbs_exp: progress %zu/%zu points, done in %.1fs",
+                      done, hbTotal_, elapsedS);
+        return;
+    }
+    const double etaS =
+        doneCost > 0
+            ? elapsedS * double(hbTotalCost_ - doneCost) / double(doneCost)
+            : 0.0;
+    obs::logLinef("pbs_exp: progress %zu/%zu points, eta ~%.0fs", done,
+                  hbTotal_, etaS);
 }
 
 const Measurement &
@@ -221,6 +267,7 @@ Engine::runAll(const std::vector<ExpPoint> &points)
     }
     if (jobs.empty())
         return;
+    armHeartbeat(jobs);
 
     if (cfg_.campaign) {
         // Sampled Sim points reschedule around their shared checkpoint
@@ -277,6 +324,7 @@ Engine::runPool(std::vector<PendingPoint> jobs)
                               (unsigned long long)job.pt.scale,
                               (unsigned long long)job.pt.seed);
             }
+            noteHeartbeat(job.cost);
         },
         "sweep");
 }
@@ -444,6 +492,7 @@ Engine::runCampaign(std::vector<PendingPoint> jobs)
                               (unsigned long long)cw.job->pt.scale,
                               (unsigned long long)cw.job->pt.seed);
             }
+            noteHeartbeat(cw.job->cost);
         }
     }
 }

@@ -24,6 +24,7 @@
 #ifndef PBS_EXP_ENGINE_HH
 #define PBS_EXP_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -42,6 +43,7 @@ struct EngineConfig
     unsigned jobs = 1;        ///< worker threads for runAll()
     bool progress = false;    ///< per-point progress lines on stderr
     bool campaign = false;    ///< group sampled points by ckpt set
+    bool heartbeat = false;   ///< ~1 Hz done/total + ETA summary line
 };
 
 /** Cache/compute counters for one engine lifetime. */
@@ -112,12 +114,30 @@ class Engine
     /** Count a failed cache write; warn on stderr the first time. */
     void noteStoreFailure(const char *what);
 
+    /**
+     * --progress heartbeat bookkeeping: runAll() seeds the totals from
+     * the pending job list; every point completion calls
+     * noteHeartbeat(cost), which emits a rate-limited (~1 Hz, plus the
+     * final point) done/total + ETA line through the log sink. The ETA
+     * extrapolates elapsed wall time over the remaining pointCost()
+     * mass, so one huge tail point does not read as "almost done".
+     */
+    void armHeartbeat(const std::vector<PendingPoint> &jobs);
+    void noteHeartbeat(uint64_t cost);
+
     EngineConfig cfg_;
     ResultCache cache_;
     EngineCounters counters_;
     std::mutex mutex_;
     std::unordered_map<std::string, Measurement> memo_;
     bool storeWarned_ = false;
+
+    size_t hbTotal_ = 0;
+    uint64_t hbTotalCost_ = 0;
+    uint64_t hbStartNs_ = 0;
+    std::atomic<size_t> hbDone_{0};
+    std::atomic<uint64_t> hbDoneCost_{0};
+    std::atomic<uint64_t> hbLastNs_{0};
 };
 
 /** Relative cost estimate used for scheduling (big first). */

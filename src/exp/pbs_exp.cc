@@ -31,8 +31,11 @@
 #include "exp/merge.hh"
 #include "exp/pareto.hh"
 #include "exp/spec.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "obs/sink.hh"
+#include "obs/telemetry.hh"
 #include "util/task_pool.hh"
 
 namespace {
@@ -68,6 +71,11 @@ struct ExpCliOptions
 
     std::string traceFile;                ///< pbs-trace-v1 output
     std::string metricsFile;              ///< pbs-metrics-v1 output
+    std::string manifestFile;             ///< pbs-run-v1 output
+    std::string telemetryFile;            ///< pbs-timeseries-v1 output
+    uint64_t telemetryIntervalMs = 1000;  ///< sampler tick period
+    bool progress = false;                ///< heartbeat done/total + ETA
+    bool logTimestamps = false;           ///< timestamp every sink line
 };
 
 const char *kUsage =
@@ -111,12 +119,23 @@ const char *kUsage =
     "                       over the shared set, and resume from\n"
     "                       per-interval cache partials\n"
     "  --quiet              suppress per-point progress on stderr\n"
+    "  --progress           ~1 Hz heartbeat line on stderr (points\n"
+    "                       done/total + cost-model ETA; composes with\n"
+    "                       --quiet to get only the heartbeat)\n"
+    "  --log-timestamps     prefix every progress/warning line with a\n"
+    "                       UTC ISO-8601 timestamp and severity\n"
     "  --trace <file>       write a pbs-trace-v1 span timeline (Chrome\n"
     "                       trace-event JSON; load in Perfetto) — one\n"
     "                       track per pool worker\n"
     "  --metrics <file>     write a pbs-metrics-v1 snapshot (cache and\n"
     "                       phase counters, per-worker utilization;\n"
     "                       see docs/observability.md)\n"
+    "  --manifest <file>    write a pbs-run-v1 run manifest (argv, code\n"
+    "                       salt, FNV-128 hash of every artifact this\n"
+    "                       run wrote)\n"
+    "  --telemetry <file>   append pbs-timeseries-v1 samples (counters,\n"
+    "                       pool stats, RSS) while the run is in flight\n"
+    "  --telemetry-interval <ms>  sampler tick period (default 1000)\n"
     "\n"
     "Sampling fan-out and Pareto:\n"
     "  --merge <files...>   merge pbs-shard-v1 partial results (from\n"
@@ -144,8 +163,10 @@ fail(const std::string &msg)
     return 2;
 }
 
+/** @p schema tags the file in the run manifest ("" = schema-less CSV). */
 bool
-writeFileOrComplain(const std::string &path, const std::string &text)
+writeFileOrComplain(const std::string &path, const std::string &text,
+                    const char *schema = "")
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -159,6 +180,7 @@ writeFileOrComplain(const std::string &path, const std::string &text)
                      path.c_str());
         return false;
     }
+    obs::manifestAddArtifact(path, text, schema);
     return true;
 }
 
@@ -248,6 +270,14 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
             o.quiet = true;
             continue;
         }
+        if (arg == "--progress") {
+            o.progress = true;
+            continue;
+        }
+        if (arg == "--log-timestamps") {
+            o.logTimestamps = true;
+            continue;
+        }
         if ((m = takeValue(arg, "--trace")) != 0) {
             if (m < 0 || v.empty())
                 return fail("--trace needs an output file");
@@ -258,6 +288,24 @@ parseCli(int argc, char **argv, ExpCliOptions &o)
             if (m < 0 || v.empty())
                 return fail("--metrics needs an output file");
             o.metricsFile = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--manifest")) != 0) {
+            if (m < 0 || v.empty())
+                return fail("--manifest needs an output file");
+            o.manifestFile = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--telemetry")) != 0) {
+            if (m < 0 || v.empty())
+                return fail("--telemetry needs an output file");
+            o.telemetryFile = v;
+            continue;
+        }
+        if ((m = takeValue(arg, "--telemetry-interval")) != 0) {
+            if (m < 0 || !driver::parseU64Arg(v, o.telemetryIntervalMs) ||
+                o.telemetryIntervalMs == 0)
+                return fail("bad --telemetry-interval value (ms, >= 1)");
             continue;
         }
         if ((m = takeValue(arg, "--spec")) != 0) {
@@ -356,6 +404,9 @@ writeObsArtifacts(const ExpCliOptions &o, const exp::Engine *engine)
     if (engine)
         exp::recordEngineMetrics(engine->counters());
     pool::recordPoolMetrics();
+    // The sampler's final sample must be registered before the
+    // manifest hashes the artifact list, so stop it first.
+    obs::telemetryStop();
     if (!o.traceFile.empty() && !obs::writeTrace(o.traceFile))
         std::fprintf(stderr, "pbs_exp: warning: cannot write trace %s\n",
                      o.traceFile.c_str());
@@ -363,6 +414,18 @@ writeObsArtifacts(const ExpCliOptions &o, const exp::Engine *engine)
         std::fprintf(stderr,
                      "pbs_exp: warning: cannot write metrics %s\n",
                      o.metricsFile.c_str());
+    }
+    if (!o.manifestFile.empty()) {
+        obs::manifestSetSalt(exp::versionSalt());
+        obs::manifestSetJobs(pool::TaskPool::instance().jobs());
+        obs::manifestSetPolicy(pool::TaskPool::instance().policy() ==
+                                       pool::Policy::Static
+                                   ? "static"
+                                   : "steal");
+        if (!obs::writeManifest(o.manifestFile))
+            std::fprintf(stderr,
+                         "pbs_exp: warning: cannot write manifest %s\n",
+                         o.manifestFile.c_str());
     }
 }
 
@@ -385,6 +448,7 @@ readFileOrComplain(const std::string &path, std::string &out)
 int
 main(int argc, char **argv)
 {
+    obs::manifestBegin("pbs_exp", argc, argv);
     ExpCliOptions o;
     if (int rc = parseCli(argc, argv, o))
         return rc;
@@ -405,6 +469,16 @@ main(int argc, char **argv)
     obsOpts.metrics = !o.metricsFile.empty();
     if (obsOpts.trace || obsOpts.metrics)
         obs::enable(obsOpts);
+    if (!o.manifestFile.empty())
+        obs::manifestEnable();
+    if (o.logTimestamps)
+        obs::setSinkTimestamps(true);
+    if (!o.telemetryFile.empty() &&
+        !obs::telemetryStart(o.telemetryFile, o.telemetryIntervalMs)) {
+        std::fprintf(stderr,
+                     "pbs_exp: warning: cannot write telemetry %s\n",
+                     o.telemetryFile.c_str());
+    }
 
     if (o.gc) {
         if (!o.specFile.empty() || !o.axes.empty() || !o.out.empty() ||
@@ -440,7 +514,7 @@ main(int argc, char **argv)
             const exp::ResultCache cache(cacheDir);
             const std::string merged = exp::mergeShards(docs, &cache);
             if (!o.out.empty()) {
-                if (!writeFileOrComplain(o.out, merged))
+                if (!writeFileOrComplain(o.out, merged, "pbs-batch-v2"))
                     return 1;
             } else {
                 std::printf("%s", merged.c_str());
@@ -458,6 +532,7 @@ main(int argc, char **argv)
     ecfg.jobs = o.jobs;
     ecfg.progress = !o.quiet;
     ecfg.campaign = o.campaign;
+    ecfg.heartbeat = o.progress;
     exp::Engine engine(ecfg);
 
     try {
@@ -537,7 +612,7 @@ main(int argc, char **argv)
             if (!o.out.empty()) {
                 auto text = exp::sweepJson(expanded.points, engine,
                                            exp::specJson(spec));
-                if (!writeFileOrComplain(o.out, text))
+                if (!writeFileOrComplain(o.out, text, "pbs-sweep-v1"))
                     return 1;
             }
             if (!o.csv.empty()) {
@@ -556,6 +631,9 @@ main(int argc, char **argv)
         writeObsArtifacts(o, &engine);
         return 0;
     } catch (const std::exception &e) {
+        // Join the sampler before static destruction tears down its
+        // state under a live thread.
+        obs::telemetryStop();
         std::fprintf(stderr, "pbs_exp: %s\n", e.what());
         return 1;
     }

@@ -6,7 +6,12 @@
 #include <map>
 #include <mutex>
 
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "obs/manifest.hh"
 #include "obs/obs.hh"
+#include "util/clock.hh"
 #include "util/json.hh"
 
 namespace pbs::obs {
@@ -100,6 +105,42 @@ histogramAdd(const std::string &name, uint64_t value)
     h.buckets[histogramBucket(value)]++;
 }
 
+uint64_t
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss > 0 ? uint64_t(ru.ru_maxrss) : 0;
+}
+
+uint64_t
+currentRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long size = 0, resident = 0;
+    int n = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    long page = sysconf(_SC_PAGESIZE);
+    return uint64_t(resident) * uint64_t(page > 0 ? page : 4096) / 1024;
+}
+
+MetricsSample
+sampleMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    MetricsSample s;
+    s.counters = r.counters;
+    s.gauges = r.gauges;
+    s.pool = r.pool;
+    return s;
+}
+
 void
 resetMetricsForTest()
 {
@@ -150,6 +191,19 @@ metricsJson()
     for (const auto &[name, v] : r.pool)
         w.key(name).value(v);
     w.endObject();
+
+    // Process footprint: host facts sampled at snapshot time. Volatile
+    // by definition (memory layout and wall time vary run to run), so
+    // they live here and never in counters/gauges.
+    {
+        uint64_t epoch = epochNs();
+        uint64_t wallNs = epoch ? util::monotonicNowNs() - epoch : 0;
+        w.key("process").beginObject();
+        w.key("peak_rss_kb").value(peakRssKb());
+        w.key("rss_kb").value(currentRssKb());
+        w.key("wall_ms").value(wallNs / 1000000u);
+        w.endObject();
+    }
 
     w.key("workers").beginObject();
     for (const auto &[id, t] : tracks) {
@@ -220,6 +274,8 @@ writeMetrics(const std::string &path)
     bool ok = (n == doc.size());
     if (std::fclose(f) != 0)
         ok = false;
+    if (ok)
+        manifestAddArtifact(path, doc, "pbs-metrics-v1");
     return ok;
 }
 

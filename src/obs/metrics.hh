@@ -7,8 +7,8 @@
  * The snapshot separates deterministic sections from volatile ones:
  * `counters` and `gauges` hold only simulation-derived values (same
  * run → same bytes; obs_test pins this), while `timings`,
- * `histograms`, `workers`, and `derived` carry wall-time data that
- * varies run to run. Per-phase simulated MIPS is derived at snapshot
+ * `process`, `histograms`, `workers`, and `derived` carry wall-time
+ * and host data that varies run to run. Per-phase simulated MIPS is derived at snapshot
  * time from `insts.<phase>` counters paired with `phase_ns.<phase>`
  * timings.
  *
@@ -21,6 +21,7 @@
 #define PBS_OBS_METRICS_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace pbs::obs {
@@ -60,6 +61,33 @@ std::string metricsJson();
 
 /** Write metricsJson() to @p path. @return false on I/O failure. */
 bool writeMetrics(const std::string &path);
+
+/**
+ * A cheap scalar snapshot of the registry for the periodic telemetry
+ * sampler: counters, gauges, and pool stats under one lock hold (no
+ * histograms, no track walk — samplers run every few milliseconds).
+ */
+struct MetricsSample
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, uint64_t> pool;
+};
+
+/** Take a MetricsSample of the live registry. */
+MetricsSample sampleMetrics();
+
+/**
+ * Peak resident-set size of this process in KiB (getrusage ru_maxrss;
+ * 0 where unsupported). Monotone over the process lifetime.
+ */
+uint64_t peakRssKb();
+
+/**
+ * Current resident-set size in KiB from /proc/self/statm, or 0 where
+ * that interface does not exist.
+ */
+uint64_t currentRssKb();
 
 /** Tests only: drop all registered values (called by resetForTest). */
 void resetMetricsForTest();

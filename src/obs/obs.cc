@@ -4,7 +4,10 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "obs/sink.hh"
+#include "obs/telemetry.hh"
 #include "util/clock.hh"
 #include "util/json.hh"
 
@@ -64,16 +67,31 @@ enable(const Options &opts)
 void
 resetForTest()
 {
+    // Join the sampler thread before tearing registry state down (the
+    // thread reads the registry; never clear it under a live sampler).
+    resetTelemetryForTest();
+    State &s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        detail::mode.store(0, std::memory_order_relaxed);
+        s.epochNs = 0;
+        s.nextTrack = 1;
+        s.events.clear();
+        s.tracks.clear();
+        tTrack = 0;
+        tDepth = 0;
+        resetMetricsForTest();
+    }
+    resetManifestForTest();
+    setSinkTimestamps(false);
+}
+
+uint64_t
+epochNs()
+{
     State &s = state();
     std::lock_guard<std::mutex> lk(s.mu);
-    detail::mode.store(0, std::memory_order_relaxed);
-    s.epochNs = 0;
-    s.nextTrack = 1;
-    s.events.clear();
-    s.tracks.clear();
-    tTrack = 0;
-    tDepth = 0;
-    resetMetricsForTest();
+    return s.epochNs;
 }
 
 uint32_t
@@ -252,6 +270,8 @@ writeTrace(const std::string &path)
     bool ok = (n == doc.size());
     if (std::fclose(f) != 0)
         ok = false;
+    if (ok)
+        manifestAddArtifact(path, doc, "pbs-trace-v1");
     return ok;
 }
 

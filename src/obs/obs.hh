@@ -57,6 +57,13 @@ void enable(const Options &opts);
 /** Tests only: disable everything and drop all collected state. */
 void resetForTest();
 
+/**
+ * The monotonic-clock value captured at the first enable() (trace
+ * timestamps are relative to it), or 0 when never enabled. Snapshot
+ * consumers use it for process wall time.
+ */
+uint64_t epochNs();
+
 namespace detail {
 extern std::atomic<uint32_t> mode;  ///< bit 0: trace, bit 1: metrics
 }

@@ -1,8 +1,12 @@
 #include "obs/sink.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdarg>
+#include <ctime>
 #include <mutex>
+
+#include <sys/time.h>
 
 namespace pbs::obs {
 
@@ -10,11 +14,28 @@ namespace {
 
 std::mutex gSinkMu;
 std::FILE *gSink = nullptr;  ///< nullptr means stderr
+std::atomic<bool> gTimestamps{false};
 
 std::FILE *
 stream()
 {
     return gSink ? gSink : stderr;
+}
+
+/** `2026-08-08T12:34:56.789Z I ` — fixed 27-char prefix. */
+size_t
+formatPrefix(char *buf, size_t cap, Severity sev)
+{
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    struct tm tm;
+    gmtime_r(&tv.tv_sec, &tm);
+    int n = std::snprintf(buf, cap, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %c ",
+                          tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                          tm.tm_hour, tm.tm_min, tm.tm_sec,
+                          int(tv.tv_usec / 1000),
+                          sev == Severity::Warn ? 'W' : 'I');
+    return n > 0 ? std::min(size_t(n), cap - 1) : 0;
 }
 
 }  // namespace
@@ -27,10 +48,22 @@ setSinkStream(std::FILE *s)
 }
 
 void
-logLine(const std::string &line)
+setSinkTimestamps(bool on)
 {
+    gTimestamps.store(on, std::memory_order_relaxed);
+}
+
+void
+logLine(const std::string &line, Severity sev)
+{
+    char prefix[40];
+    size_t plen = 0;
+    if (gTimestamps.load(std::memory_order_relaxed))
+        plen = formatPrefix(prefix, sizeof prefix, sev);
     std::lock_guard<std::mutex> lk(gSinkMu);
     std::FILE *f = stream();
+    if (plen)
+        std::fwrite(prefix, 1, plen, f);
     std::fwrite(line.data(), 1, line.size(), f);
     std::fputc('\n', f);
     std::fflush(f);
@@ -45,18 +78,37 @@ logText(const std::string &text)
     std::fflush(f);
 }
 
+namespace {
+
 void
-logLinef(const char *fmt, ...)
+vlogLine(const char *fmt, va_list ap, Severity sev)
 {
     char buf[1024];
-    va_list ap;
-    va_start(ap, fmt);
     int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
-    va_end(ap);
     if (n < 0)
         return;
     // Truncation just clips the line; it still emits atomically.
-    logLine(std::string(buf, std::min(size_t(n), sizeof buf - 1)));
+    logLine(std::string(buf, std::min(size_t(n), sizeof buf - 1)), sev);
+}
+
+}  // namespace
+
+void
+logLinef(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogLine(fmt, ap, Severity::Info);
+    va_end(ap);
+}
+
+void
+logWarnf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogLine(fmt, ap, Severity::Warn);
+    va_end(ap);
 }
 
 }  // namespace pbs::obs

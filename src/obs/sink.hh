@@ -10,6 +10,12 @@
  * Unlike the tracer/metrics, the sink is always on: it replaces
  * existing stderr output rather than adding new instrumentation, so
  * it has no enable gate.
+ *
+ * setSinkTimestamps(true) prefixes every line with a UTC ISO-8601
+ * timestamp and a one-letter severity (`2026-08-08T12:34:56.789Z I `),
+ * so campaign logs can be correlated with trace timestamps. Off by
+ * default: the prefix is wall-clock data, and the default output must
+ * stay byte-stable for tests that scrape progress lines.
  */
 
 #ifndef PBS_OBS_SINK_HH
@@ -20,11 +26,17 @@
 
 namespace pbs::obs {
 
+/** Line severity, rendered as one letter in the timestamp prefix. */
+enum class Severity { Info, Warn };
+
 /** Write @p line plus a trailing newline, atomically. */
-void logLine(const std::string &line);
+void logLine(const std::string &line, Severity sev = Severity::Info);
 
 /** printf-style logLine (the trailing newline is appended). */
 void logLinef(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style logLine at Severity::Warn. */
+void logWarnf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Write @p text exactly as given (caller controls newlines), atomically. */
 void logText(const std::string &text);
@@ -34,6 +46,12 @@ void logText(const std::string &text);
  * assert lines never tear; pass nullptr to restore stderr.
  */
 void setSinkStream(std::FILE *stream);
+
+/**
+ * Prefix every logged line with `<ISO-8601 UTC> <I|W> `. Off by
+ * default; logText() is never prefixed (raw passthrough).
+ */
+void setSinkTimestamps(bool on);
 
 }  // namespace pbs::obs
 

@@ -1,0 +1,230 @@
+#include "obs/telemetry.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "util/clock.hh"
+#include "util/json.hh"
+
+namespace pbs::obs {
+
+namespace {
+
+struct TelemetryState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::thread thread;
+    std::FILE *file = nullptr;
+    std::string path;
+    std::string written;  ///< full file content, for the manifest hash
+    uint64_t intervalMs = 0;
+    uint64_t startNs = 0;
+    size_t samples = 0;
+    bool active = false;   ///< thread running
+    bool stopping = false; ///< cv predicate
+
+    /**
+     * Defensive teardown: a CLI path that exits without calling
+     * telemetryStop() (early error return) must never reach
+     * std::thread::~thread with a joinable sampler.
+     */
+    ~TelemetryState()
+    {
+        if (thread.joinable()) {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                stopping = true;
+            }
+            cv.notify_all();
+            thread.join();
+        }
+        if (file)
+            std::fclose(file);
+    }
+};
+
+TelemetryState &
+telemetry()
+{
+    static TelemetryState t;
+    return t;
+}
+
+/** Render one sample line (no trailing newline). */
+std::string
+sampleLine(uint64_t startNs)
+{
+    MetricsSample s = sampleMetrics();
+    uint64_t nowNs = util::monotonicNowNs();
+
+    util::JsonWriter w;
+    w.beginObject();
+    w.key("t_ms").value(double(nowNs - startNs) / 1e6);
+    w.key("rss_kb").value(currentRssKb());
+    w.key("peak_rss_kb").value(peakRssKb());
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : s.counters)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : s.gauges)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("pool").beginObject();
+    for (const auto &[name, v] : s.pool)
+        w.key(name).value(v);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+/** Caller holds t.mu. Appends one line and flushes. */
+void
+writeLineLocked(TelemetryState &t, const std::string &line)
+{
+    std::fwrite(line.data(), 1, line.size(), t.file);
+    std::fputc('\n', t.file);
+    std::fflush(t.file);
+    t.written += line;
+    t.written += '\n';
+}
+
+void
+samplerMain()
+{
+    TelemetryState &t = telemetry();
+    std::unique_lock<std::mutex> lk(t.mu);
+    while (!t.stopping) {
+        uint64_t startNs = t.startNs;
+        uint64_t intervalMs = t.intervalMs;
+        // Sample outside the lock: sampleMetrics takes the registry
+        // lock and simulation threads feed it concurrently.
+        lk.unlock();
+        std::string line = sampleLine(startNs);
+        lk.lock();
+        if (t.stopping || !t.file)
+            break;
+        writeLineLocked(t, line);
+        t.samples++;
+        t.cv.wait_for(lk, std::chrono::milliseconds(intervalMs),
+                      [&t] { return t.stopping; });
+    }
+}
+
+/** Join the sampler and close the file. @return true if it was live. */
+bool
+shutdown(bool finalSample)
+{
+    TelemetryState &t = telemetry();
+    std::unique_lock<std::mutex> lk(t.mu);
+    if (!t.active)
+        return false;
+    t.stopping = true;
+    t.cv.notify_all();
+    lk.unlock();
+    t.thread.join();
+    lk.lock();
+    if (finalSample && t.file) {
+        std::string line = sampleLine(t.startNs);
+        writeLineLocked(t, line);
+        t.samples++;
+    }
+    if (t.file) {
+        std::fclose(t.file);
+        t.file = nullptr;
+    }
+    t.active = false;
+    t.stopping = false;
+    return true;
+}
+
+}  // namespace
+
+bool
+telemetryStart(const std::string &path, uint64_t intervalMs)
+{
+    TelemetryState &t = telemetry();
+    std::unique_lock<std::mutex> lk(t.mu);
+    if (t.active)
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    t.file = f;
+    t.path = path;
+    t.written.clear();
+    t.intervalMs = intervalMs > 0 ? intervalMs : 1;
+    t.samples = 0;
+    t.stopping = false;
+    lk.unlock();
+
+    // The sampler reads the metrics registry; make sure it is live.
+    // Timestamps are relative to the obs epoch when one exists, so
+    // telemetry t_ms lines up with trace span timestamps.
+    enable({.trace = false, .metrics = true});
+
+    lk.lock();
+    t.startNs = epochNs();
+    if (t.startNs == 0)
+        t.startNs = util::monotonicNowNs();
+
+    util::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("pbs-timeseries-v1");
+    w.key("interval_ms").value(t.intervalMs);
+    w.endObject();
+    writeLineLocked(t, w.str());
+
+    t.active = true;
+    t.thread = std::thread(samplerMain);
+    return true;
+}
+
+void
+telemetryStop()
+{
+    TelemetryState &t = telemetry();
+    if (!shutdown(/*finalSample=*/true))
+        return;
+    std::lock_guard<std::mutex> lk(t.mu);
+    manifestAddArtifact(t.path, t.written, "pbs-timeseries-v1");
+    t.written.clear();
+}
+
+bool
+telemetryActive()
+{
+    TelemetryState &t = telemetry();
+    std::lock_guard<std::mutex> lk(t.mu);
+    return t.active;
+}
+
+size_t
+telemetrySampleCount()
+{
+    TelemetryState &t = telemetry();
+    std::lock_guard<std::mutex> lk(t.mu);
+    return t.samples;
+}
+
+void
+resetTelemetryForTest()
+{
+    shutdown(/*finalSample=*/false);
+    TelemetryState &t = telemetry();
+    std::lock_guard<std::mutex> lk(t.mu);
+    t.path.clear();
+    t.written.clear();
+    t.intervalMs = 0;
+    t.startNs = 0;
+    t.samples = 0;
+}
+
+}  // namespace pbs::obs

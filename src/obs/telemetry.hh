@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Periodic telemetry (`--telemetry FILE`): a background thread that
+ * snapshots the metrics registry (counters, gauges, pool stats) plus
+ * process RSS every `--telemetry-interval` milliseconds and appends
+ * one JSON line per sample to a `pbs-timeseries-v1` file — so a
+ * multi-hour campaign shows forward progress while in flight instead
+ * of only after the final metrics snapshot.
+ *
+ * Format: line 1 is a header object
+ * `{"schema":"pbs-timeseries-v1","interval_ms":N}`; every subsequent
+ * line is one sample `{"t_ms":..,"rss_kb":..,"peak_rss_kb":..,
+ * "counters":{..},"gauges":{..},"pool":{..}}` with t_ms monotone
+ * non-decreasing and every counter monotone non-decreasing across
+ * samples (counters only ever accumulate). Lines are flushed
+ * individually so the file is valid mid-run.
+ *
+ * The sampler only *reads* observability state — starting it enables
+ * the metrics collector but, per the PR 7 invariant, simulation
+ * artifacts stay byte-identical with the sampler on or off
+ * (tests/obs_test.cc pins this).
+ */
+
+#ifndef PBS_OBS_TELEMETRY_HH
+#define PBS_OBS_TELEMETRY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pbs::obs {
+
+/**
+ * Open @p path, write the header line, enable the metrics collector,
+ * and start the sampler thread ticking every @p intervalMs (clamped
+ * to >= 1). One sampler per process; a second call while active
+ * fails. @return false if the file cannot be opened.
+ */
+bool telemetryStart(const std::string &path, uint64_t intervalMs);
+
+/**
+ * Take one final sample, join the thread, close the file, and
+ * register the artifact with the run manifest. Safe to call when the
+ * sampler never started (no-op).
+ */
+void telemetryStop();
+
+/** Whether the sampler thread is running. */
+bool telemetryActive();
+
+/** Samples written so far, header excluded (tests/diagnostics). */
+size_t telemetrySampleCount();
+
+/** Tests only: join the thread if live and drop all state. */
+void resetTelemetryForTest();
+
+}  // namespace pbs::obs
+
+#endif  // PBS_OBS_TELEMETRY_HH

@@ -1,0 +1,563 @@
+#include "prof/prof.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "util/json.hh"
+
+namespace pbs::prof {
+
+namespace {
+
+/**
+ * Containment slack when re-nesting spans, in trace µs. Real nesting
+ * is exact in nanoseconds (a child's clock reads happen inside the
+ * parent's), but endUs = startUs + durUs re-rounds once; half a
+ * nanosecond absorbs that without ever swallowing a genuine 1 ns gap.
+ */
+constexpr double kNestEps = 5e-4;
+
+std::string
+fmtLine(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string
+fmtLine(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (n < 0)
+        return "";
+    return std::string(buf, std::min(size_t(n), sizeof buf - 1));
+}
+
+[[noreturn]] void
+malformed(const char *what, const std::string &detail)
+{
+    throw std::runtime_error(std::string(what) +
+                             (detail.empty() ? "" : ": " + detail));
+}
+
+util::JsonValue
+parseDoc(const std::string &json, const char *schema, const char *what)
+{
+    util::JsonValue doc;
+    std::string err;
+    if (!util::parseJson(json, doc, err))
+        malformed(what, err);
+    const util::JsonValue *s = doc.find("schema");
+    if (!s || s->asString() != schema)
+        malformed(what, std::string("expected schema \"") + schema + "\"");
+    return doc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Trace parsing and tree reconstruction.
+// ---------------------------------------------------------------------
+
+std::string
+Trace::trackName(uint32_t track) const
+{
+    auto it = trackNames.find(track);
+    if (it != trackNames.end())
+        return it->second;
+    return "track" + std::to_string(track);
+}
+
+double
+Trace::endUs() const
+{
+    double end = 0;
+    for (int r : roots)
+        end = std::max(end, spans[r].endUs());
+    return end;
+}
+
+Trace
+parseTrace(const std::string &json)
+{
+    util::JsonValue doc = parseDoc(json, "pbs-trace-v1", "trace");
+    const util::JsonValue *evs = doc.find("traceEvents");
+    if (!evs || evs->type != util::JsonValue::Type::Array)
+        malformed("trace", "missing traceEvents array");
+
+    Trace t;
+    for (const util::JsonValue &ev : evs->items) {
+        const util::JsonValue *ph = ev.find("ph");
+        if (!ph)
+            continue;
+        std::string kind = ph->asString();
+        const util::JsonValue *tid = ev.find("tid");
+        if (kind == "M") {
+            const util::JsonValue *name = ev.find("name");
+            const util::JsonValue *args = ev.find("args");
+            if (name && args && name->asString() == "thread_name")
+                if (const util::JsonValue *n = args->find("name"))
+                    t.trackNames[uint32_t(tid ? tid->asU64() : 0)] =
+                        n->asString();
+            continue;
+        }
+        if (kind != "X")
+            continue;
+        Span s;
+        s.track = uint32_t(tid ? tid->asU64() : 0);
+        if (const util::JsonValue *cat = ev.find("cat"))
+            s.phase = cat->asString();
+        if (const util::JsonValue *name = ev.find("name"))
+            s.name = name->asString();
+        if (const util::JsonValue *ts = ev.find("ts"))
+            s.startUs = ts->asDouble();
+        if (const util::JsonValue *dur = ev.find("dur"))
+            s.durUs = dur->asDouble();
+        if (s.phase.empty())
+            malformed("trace", "X event without cat (phase)");
+        t.spans.push_back(std::move(s));
+    }
+
+    // Recover nesting per track: in (start asc, dur desc) order, every
+    // span's parent is the nearest enclosing interval on the stack.
+    std::map<uint32_t, std::vector<int>> byTrack;
+    for (size_t i = 0; i < t.spans.size(); i++)
+        byTrack[t.spans[i].track].push_back(int(i));
+    for (auto &[track, idxs] : byTrack) {
+        (void)track;
+        std::sort(idxs.begin(), idxs.end(), [&](int a, int b) {
+            const Span &sa = t.spans[a], &sb = t.spans[b];
+            if (sa.startUs != sb.startUs)
+                return sa.startUs < sb.startUs;
+            if (sa.durUs != sb.durUs)
+                return sa.durUs > sb.durUs;
+            return a < b;
+        });
+        std::vector<int> stack;
+        for (int idx : idxs) {
+            Span &s = t.spans[idx];
+            while (!stack.empty()) {
+                const Span &p = t.spans[stack.back()];
+                if (s.startUs >= p.startUs - kNestEps &&
+                    s.endUs() <= p.endUs() + kNestEps)
+                    break;
+                stack.pop_back();
+            }
+            if (stack.empty()) {
+                s.parent = -1;
+                t.roots.push_back(idx);
+            } else {
+                s.parent = stack.back();
+                Span &p = t.spans[stack.back()];
+                p.children.push_back(idx);
+                p.childUs += s.durUs;
+            }
+            stack.push_back(idx);
+        }
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Aggregations.
+// ---------------------------------------------------------------------
+
+std::vector<PhaseAgg>
+phaseAggregate(const Trace &t)
+{
+    std::map<std::string, PhaseAgg> byPhase;
+    for (const Span &s : t.spans) {
+        PhaseAgg &a = byPhase[s.phase];
+        a.phase = s.phase;
+        a.count++;
+        a.totalUs += s.durUs;
+        a.selfUs += s.selfUs();
+    }
+    std::vector<PhaseAgg> out;
+    for (auto &[phase, a] : byPhase) {
+        (void)phase;
+        out.push_back(std::move(a));
+    }
+    std::sort(out.begin(), out.end(), [](const PhaseAgg &a, const PhaseAgg &b) {
+        if (a.totalUs != b.totalUs)
+            return a.totalUs > b.totalUs;
+        return a.phase < b.phase;
+    });
+    return out;
+}
+
+std::vector<TrackUtil>
+workerUtilization(const Trace &t, unsigned buckets)
+{
+    double traceEnd = t.endUs();
+    // Root spans per track, in start order (stable because roots were
+    // appended in sorted order per track).
+    std::map<uint32_t, std::vector<const Span *>> rootsByTrack;
+    for (int r : t.roots)
+        rootsByTrack[t.spans[r].track].push_back(&t.spans[r]);
+
+    std::vector<TrackUtil> out;
+    for (const auto &[track, roots] : rootsByTrack) {
+        TrackUtil u;
+        u.track = track;
+        u.name = t.trackName(track);
+        u.firstUs = roots.front()->startUs;
+        // Merge the (already start-sorted) root intervals into a busy
+        // union; a thread's top-level spans rarely overlap, but setTrack
+        // reuse makes it possible in principle.
+        std::vector<std::pair<double, double>> busy;
+        for (const Span *s : roots) {
+            double b = s->startUs, e = s->endUs();
+            u.lastUs = std::max(u.lastUs, e);
+            if (!busy.empty() && b <= busy.back().second)
+                busy.back().second = std::max(busy.back().second, e);
+            else
+                busy.emplace_back(b, e);
+        }
+        for (const auto &[b, e] : busy)
+            u.busyUs += e - b;
+        double extent = u.lastUs - u.firstUs;
+        u.util = extent > 0 ? u.busyUs / extent : 0;
+
+        u.timeline.assign(buckets, ' ');
+        if (traceEnd > 0 && buckets > 0) {
+            double width = traceEnd / buckets;
+            size_t iv = 0;
+            for (unsigned i = 0; i < buckets; i++) {
+                double lo = i * width, hi = lo + width;
+                double covered = 0;
+                while (iv < busy.size() && busy[iv].second <= lo)
+                    iv++;
+                for (size_t j = iv; j < busy.size() && busy[j].first < hi;
+                     j++)
+                    covered += std::min(hi, busy[j].second) -
+                               std::max(lo, busy[j].first);
+                double frac = covered / width;
+                u.timeline[i] = frac <= 0      ? ' '
+                                : frac <= 0.25 ? '.'
+                                : frac <= 0.50 ? ':'
+                                : frac <= 0.75 ? '='
+                                               : '#';
+            }
+        }
+        out.push_back(std::move(u));
+    }
+    return out;
+}
+
+std::vector<CritStep>
+criticalPath(const Trace &t)
+{
+    std::vector<CritStep> path;
+    int cur = -1;
+    double bestDur = -1;
+    for (int r : t.roots) {
+        if (t.spans[r].durUs > bestDur) {
+            bestDur = t.spans[r].durUs;
+            cur = r;
+        }
+    }
+    while (cur != -1) {
+        const Span &s = t.spans[cur];
+        path.push_back({s.phase, s.name.empty() ? s.phase : s.name,
+                        s.durUs, s.selfUs()});
+        int next = -1;
+        bestDur = -1;
+        for (int c : s.children) {
+            if (t.spans[c].durUs > bestDur) {
+                bestDur = t.spans[c].durUs;
+                next = c;
+            }
+        }
+        cur = next;
+    }
+    return path;
+}
+
+namespace {
+
+std::string
+foldedFrame(const Span &s)
+{
+    if (s.name.empty() || s.name == s.phase)
+        return s.phase;
+    std::string frame = s.phase + ":" + s.name;
+    for (char &c : frame)
+        if (c == ' ' || c == ';')
+            c = '_';
+    return frame;
+}
+
+}  // namespace
+
+std::string
+foldedStacks(const Trace &t)
+{
+    std::map<std::string, uint64_t> folded;
+    std::vector<const Span *> chain;
+    for (const Span &s : t.spans) {
+        auto weightNs = uint64_t(std::llround(s.selfUs() * 1000.0));
+        if (weightNs == 0)
+            continue;
+        chain.clear();
+        for (int i = s.parent; i != -1; i = t.spans[i].parent)
+            chain.push_back(&t.spans[i]);
+        std::string stack = t.trackName(s.track);
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+            stack += ";" + foldedFrame(**it);
+        stack += ";" + foldedFrame(s);
+        folded[stack] += weightNs;
+    }
+    std::string out;
+    for (const auto &[stack, w] : folded)
+        out += stack + " " + std::to_string(w) + "\n";
+    return out;
+}
+
+std::string
+reportText(const Trace &t, const std::string &metricsJson, unsigned top)
+{
+    std::string out;
+    out += fmtLine("pbs_prof report: %zu spans on %zu tracks, extent %.3f ms\n",
+                   t.spans.size(), t.trackNames.size(),
+                   t.endUs() / 1000.0);
+
+    out += "\nper-phase time (self excludes child spans):\n";
+    out += fmtLine("  %-12s %8s %12s %12s %12s %6s\n", "phase", "count",
+                   "total_ms", "self_ms", "child_ms", "self%");
+    std::vector<PhaseAgg> phases = phaseAggregate(t);
+    unsigned shown = 0;
+    for (const PhaseAgg &a : phases) {
+        if (shown++ >= top) {
+            out += fmtLine("  ... %zu more phase(s)\n",
+                           phases.size() - size_t(top));
+            break;
+        }
+        out += fmtLine("  %-12s %8llu %12.3f %12.3f %12.3f %5.1f%%\n",
+                       a.phase.c_str(), (unsigned long long)a.count,
+                       a.totalUs / 1000.0, a.selfUs / 1000.0,
+                       a.childUs() / 1000.0,
+                       a.totalUs > 0 ? 100.0 * a.selfUs / a.totalUs : 0.0);
+    }
+
+    out += "\nworkers (timeline spans the whole trace; '#' >75% busy):\n";
+    for (const TrackUtil &u : workerUtilization(t)) {
+        out += fmtLine("  %3u %-16s busy %10.3f ms  util %5.1f%%  |%s|\n",
+                       u.track, u.name.c_str(), u.busyUs / 1000.0,
+                       100.0 * u.util, u.timeline.c_str());
+    }
+
+    out += "\ncritical path (longest root, max-duration descent):\n";
+    unsigned depth = 0;
+    for (const CritStep &c : criticalPath(t)) {
+        if (depth >= top) {
+            out += "  ...\n";
+            break;
+        }
+        out += fmtLine("  %*s%s [%s] %.3f ms (self %.3f ms)\n",
+                       int(depth * 2), "", c.name.c_str(), c.phase.c_str(),
+                       c.durUs / 1000.0, c.selfUs / 1000.0);
+        depth++;
+    }
+
+    if (!metricsJson.empty()) {
+        util::JsonValue doc =
+            parseDoc(metricsJson, "pbs-metrics-v1", "metrics");
+        out += "\nmetrics snapshot:\n";
+        if (const util::JsonValue *c = doc.find("counters"))
+            out += fmtLine("  deterministic counters: %zu\n",
+                           c->members.size());
+        if (const util::JsonValue *p = doc.find("process"))
+            out += fmtLine(
+                "  process: peak_rss %llu KiB, wall %llu ms\n",
+                (unsigned long long)(p->find("peak_rss_kb")
+                                         ? p->find("peak_rss_kb")->asU64()
+                                         : 0),
+                (unsigned long long)(p->find("wall_ms")
+                                         ? p->find("wall_ms")->asU64()
+                                         : 0));
+        if (const util::JsonValue *d = doc.find("derived"))
+            if (const util::JsonValue *mips = d->find("mips"))
+                for (const auto &[phase, v] : mips->members)
+                    out += fmtLine("  mips.%s: %.1f\n", phase.c_str(),
+                                   v.asDouble());
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Metrics diff.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::map<std::string, uint64_t>
+u64Section(const util::JsonValue &doc, const char *section)
+{
+    std::map<std::string, uint64_t> out;
+    if (const util::JsonValue *s = doc.find(section))
+        for (const auto &[k, v] : s->members)
+            out[k] = v.asU64();
+    return out;
+}
+
+std::map<std::string, double>
+doubleSection(const util::JsonValue &doc, const char *section)
+{
+    std::map<std::string, double> out;
+    if (const util::JsonValue *s = doc.find(section))
+        for (const auto &[k, v] : s->members)
+            out[k] = v.asDouble();
+    return out;
+}
+
+template <typename M, typename Fn>
+void
+forUnion(const M &a, const M &b, Fn fn)
+{
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+        if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+            fn(ia->first, ia->second, typename M::mapped_type{});
+            ++ia;
+        } else if (ia == a.end() || ib->first < ia->first) {
+            fn(ib->first, typename M::mapped_type{}, ib->second);
+            ++ib;
+        } else {
+            fn(ia->first, ia->second, ib->second);
+            ++ia;
+            ++ib;
+        }
+    }
+}
+
+/** Regression-gate noise floor: ignore phases under 1 ms either way. */
+constexpr uint64_t kGateFloorNs = 1000000;
+
+}  // namespace
+
+MetricsDiff
+diffMetrics(const std::string &baseJson, const std::string &curJson)
+{
+    util::JsonValue base = parseDoc(baseJson, "pbs-metrics-v1", "base metrics");
+    util::JsonValue cur = parseDoc(curJson, "pbs-metrics-v1", "cur metrics");
+
+    MetricsDiff d;
+
+    forUnion(u64Section(base, "counters"), u64Section(cur, "counters"),
+             [&](const std::string &k, uint64_t a, uint64_t b) {
+                 if (a != b)
+                     d.deterministic.push_back(
+                         {"counter:" + k, double(a), double(b)});
+             });
+    forUnion(doubleSection(base, "gauges"), doubleSection(cur, "gauges"),
+             [&](const std::string &k, double a, double b) {
+                 if (a != b)
+                     d.deterministic.push_back({"gauge:" + k, a, b});
+             });
+
+    constexpr const char *kPhasePrefix = "phase_ns.";
+    forUnion(u64Section(base, "timings"), u64Section(cur, "timings"),
+             [&](const std::string &k, uint64_t a, uint64_t b) {
+                 if (k.rfind(kPhasePrefix, 0) != 0)
+                     return;
+                 PhaseDelta pd;
+                 pd.phase = k.substr(9);
+                 pd.baseNs = a;
+                 pd.curNs = b;
+                 pd.deltaNs = int64_t(b) - int64_t(a);
+                 pd.pct = a > 0 ? double(pd.deltaNs) / double(a)
+                          : b > 0
+                              ? std::numeric_limits<double>::infinity()
+                              : 0.0;
+                 d.phases.push_back(std::move(pd));
+             });
+    std::sort(d.phases.begin(), d.phases.end(),
+              [](const PhaseDelta &a, const PhaseDelta &b) {
+                  uint64_t da = a.deltaNs < 0 ? -a.deltaNs : a.deltaNs;
+                  uint64_t db = b.deltaNs < 0 ? -b.deltaNs : b.deltaNs;
+                  if (da != db)
+                      return da > db;
+                  return a.phase < b.phase;
+              });
+
+    forUnion(u64Section(base, "pool"), u64Section(cur, "pool"),
+             [&](const std::string &k, uint64_t a, uint64_t b) {
+                 if (a != b)
+                     d.pool.push_back({k, double(a), double(b)});
+             });
+    return d;
+}
+
+unsigned
+regressionCount(const MetricsDiff &d, double threshold)
+{
+    unsigned n = 0;
+    for (const PhaseDelta &p : d.phases)
+        if (p.baseNs >= kGateFloorNs && p.deltaNs >= int64_t(kGateFloorNs) &&
+            p.pct > threshold)
+            n++;
+    return n;
+}
+
+std::string
+diffText(const MetricsDiff &d, const std::string &baseLabel,
+         const std::string &curLabel, double threshold)
+{
+    std::string out;
+    out += fmtLine("pbs_prof diff: base=%s cur=%s\n", baseLabel.c_str(),
+                   curLabel.c_str());
+
+    out += "\ncorrectness drift (deterministic counters/gauges):\n";
+    if (d.deterministic.empty()) {
+        out += "  none — the runs did identical work\n";
+    } else {
+        for (const ScalarDelta &s : d.deterministic)
+            out += fmtLine("  %-32s %g -> %g (%+g)\n", s.name.c_str(),
+                           s.base, s.cur, s.delta());
+    }
+
+    out += "\nperf drift (phase wall time, ranked by |delta|):\n";
+    if (d.phases.empty()) {
+        out += "  no phase timings recorded\n";
+    } else {
+        out += fmtLine("  %-12s %12s %12s %12s %9s\n", "phase", "base_ms",
+                       "cur_ms", "delta_ms", "pct");
+        for (const PhaseDelta &p : d.phases) {
+            std::string flag;
+            if (p.baseNs == 0)
+                flag = "  NEW";
+            else if (p.curNs == 0)
+                flag = "  GONE";
+            else if (p.baseNs >= kGateFloorNs &&
+                     p.deltaNs >= int64_t(kGateFloorNs) &&
+                     p.pct > threshold)
+                flag = "  REGRESSED";
+            else if (p.baseNs >= kGateFloorNs &&
+                     -p.deltaNs >= int64_t(kGateFloorNs) &&
+                     p.pct < -threshold)
+                flag = "  IMPROVED";
+            std::string pct =
+                p.baseNs == 0 ? "n/a" : fmtLine("%+.1f%%", 100.0 * p.pct);
+            out += fmtLine("  %-12s %12.3f %12.3f %+12.3f %9s%s\n",
+                           p.phase.c_str(), double(p.baseNs) / 1e6,
+                           double(p.curNs) / 1e6, double(p.deltaNs) / 1e6,
+                           pct.c_str(), flag.c_str());
+        }
+    }
+
+    if (!d.pool.empty()) {
+        out += "\npool stats:\n";
+        for (const ScalarDelta &s : d.pool)
+            out += fmtLine("  %-32s %g -> %g (%+g)\n", s.name.c_str(),
+                           s.base, s.cur, s.delta());
+    }
+    return out;
+}
+
+}  // namespace pbs::prof

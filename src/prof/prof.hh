@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The analysis half of the observability subsystem: everything
+ * `pbs_prof` does to a finished run's artifacts lives here, as a
+ * library (tests drive it directly; the CLI is a thin shell).
+ *
+ * Two entry families:
+ *
+ *  - **report** — rebuild the span tree from a `pbs-trace-v1` file
+ *    (events arrive flat; nesting is recovered per track by interval
+ *    containment, which is exact because a child span's lifetime is
+ *    lexically inside its parent's), then aggregate: per-phase
+ *    self-vs-child time over the fixed phase vocabulary, per-worker
+ *    utilization timelines, the critical path (max-duration descent
+ *    from the longest root), and folded stacks in the standard
+ *    flamegraph collapsed format (`frame;frame;frame <weight>`).
+ *
+ *  - **diff** — attribute a regression between two `pbs-metrics-v1`
+ *    snapshots. Deltas in the deterministic sections (counters,
+ *    gauges) mean the two runs did different *work* — correctness
+ *    drift. Deltas in the volatile per-phase timings mean the same
+ *    work took different *time* — perf drift, ranked by |delta| so
+ *    the phase that moved is named first.
+ *
+ * Parsers throw std::runtime_error with a position message on
+ * malformed input; callers (CLI, tests) catch and report.
+ */
+
+#ifndef PBS_PROF_PROF_HH
+#define PBS_PROF_PROF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pbs::prof {
+
+// ---------------------------------------------------------------------
+// Trace model.
+// ---------------------------------------------------------------------
+
+/** One span, re-nested into the per-track tree. Times in trace µs. */
+struct Span
+{
+    uint32_t track = 0;
+    std::string phase;  ///< fixed vocabulary ("measure", "point", ...)
+    std::string name;   ///< display label (often == phase)
+    double startUs = 0;
+    double durUs = 0;
+    int parent = -1;               ///< index into Trace::spans, -1 = root
+    std::vector<int> children;     ///< direct children, start order
+    double childUs = 0;            ///< Σ direct children durUs
+
+    double endUs() const { return startUs + durUs; }
+    /** Time inside this span not covered by a child span. */
+    double selfUs() const { return durUs > childUs ? durUs - childUs : 0; }
+};
+
+struct Trace
+{
+    std::map<uint32_t, std::string> trackNames;
+    std::vector<Span> spans;
+    std::vector<int> roots;  ///< depth-0 spans across all tracks
+
+    /** Display name for @p track ("track<N>" when unnamed). */
+    std::string trackName(uint32_t track) const;
+    /** Extent of the whole trace: last root end, µs. */
+    double endUs() const;
+};
+
+/** Parse a `pbs-trace-v1` document and rebuild the span tree. */
+Trace parseTrace(const std::string &json);
+
+// ---------------------------------------------------------------------
+// Report aggregations.
+// ---------------------------------------------------------------------
+
+/** Per-phase totals over every span of that phase. */
+struct PhaseAgg
+{
+    std::string phase;
+    uint64_t count = 0;
+    double totalUs = 0;  ///< Σ durations (nested spans count fully)
+    double selfUs = 0;   ///< Σ self time — sums to total busy time
+    double childUs() const { return totalUs - selfUs; }
+};
+
+/** Aggregate by phase, sorted by total time descending. */
+std::vector<PhaseAgg> phaseAggregate(const Trace &t);
+
+/** One worker track's activity over the run. */
+struct TrackUtil
+{
+    uint32_t track = 0;
+    std::string name;
+    double firstUs = 0;  ///< first root-span start
+    double lastUs = 0;   ///< last root-span end
+    double busyUs = 0;   ///< union of root spans
+    double util = 0;     ///< busy / trace extent
+    std::string timeline;  ///< per-bucket busy-fraction bar
+};
+
+/**
+ * Per-track utilization with a @p buckets-wide timeline bar spanning
+ * the whole trace (' ' idle, '.' ≤25% busy, ':' ≤50%, '=' ≤75%,
+ * '#' above). Sorted by track id.
+ */
+std::vector<TrackUtil> workerUtilization(const Trace &t,
+                                         unsigned buckets = 48);
+
+/** One step of the critical path. */
+struct CritStep
+{
+    std::string phase;
+    std::string name;
+    double durUs = 0;
+    double selfUs = 0;
+};
+
+/**
+ * The critical path: start from the longest root span, descend into
+ * the longest child at every level. The top entry dominates the run's
+ * wall clock; the deepest entry is where that time actually went.
+ */
+std::vector<CritStep> criticalPath(const Trace &t);
+
+/**
+ * Folded-stack output (flamegraph "collapsed" format): one line per
+ * distinct stack `track;frame;...;frame <self-ns>`, lexicographically
+ * sorted. Frames are `phase` or `phase:label` with spaces/semicolons
+ * sanitized; weights are span self time in nanoseconds, so the lines
+ * sum to total busy time. Feed directly to flamegraph.pl or speedscope.
+ */
+std::string foldedStacks(const Trace &t);
+
+/**
+ * The full human-readable report: phase table, worker timelines,
+ * critical path, and (when @p metricsJson is non-empty) the metrics
+ * snapshot's deterministic counter count, process footprint, and
+ * derived MIPS. @p top caps the phase-table and critical-path rows.
+ */
+std::string reportText(const Trace &t, const std::string &metricsJson,
+                       unsigned top = 12);
+
+// ---------------------------------------------------------------------
+// Metrics diff.
+// ---------------------------------------------------------------------
+
+/** One deterministic-section delta (correctness drift). */
+struct ScalarDelta
+{
+    std::string name;  ///< "counter:exp.computed" / "gauge:..."
+    double base = 0;
+    double cur = 0;
+    double delta() const { return cur - base; }
+};
+
+/** One per-phase wall-time delta (perf drift). */
+struct PhaseDelta
+{
+    std::string phase;
+    uint64_t baseNs = 0;
+    uint64_t curNs = 0;
+    int64_t deltaNs = 0;
+    /**
+     * Fractional change vs base; +INFINITY when the phase is new
+     * (baseNs == 0), -1 when it vanished.
+     */
+    double pct = 0;
+};
+
+struct MetricsDiff
+{
+    /** Non-zero counter/gauge deltas. Empty ⇔ the runs did the same work. */
+    std::vector<ScalarDelta> deterministic;
+    /** Every phase present in either run, ranked by |deltaNs| desc. */
+    std::vector<PhaseDelta> phases;
+    /** Non-zero scheduler-stat deltas (informational). */
+    std::vector<ScalarDelta> pool;
+};
+
+/** Diff two `pbs-metrics-v1` documents (base vs current). */
+MetricsDiff diffMetrics(const std::string &baseJson,
+                        const std::string &curJson);
+
+/**
+ * Phases that regressed more than @p threshold (fraction, e.g. 0.2)
+ * with at least 1 ms of both base time and delta — the noise floor
+ * keeps µs-scale phases and newly-added phases from tripping gates.
+ */
+unsigned regressionCount(const MetricsDiff &d, double threshold);
+
+/**
+ * Render the diff: correctness drift first (or "none"), then the
+ * ranked phase table with rows beyond @p threshold marked REGRESSED /
+ * IMPROVED, then pool-stat deltas. @p baseLabel/@p curLabel name the
+ * two runs in the header.
+ */
+std::string diffText(const MetricsDiff &d, const std::string &baseLabel,
+                     const std::string &curLabel, double threshold = 0.2);
+
+}  // namespace pbs::prof
+
+#endif  // PBS_PROF_PROF_HH

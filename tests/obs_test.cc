@@ -23,9 +23,13 @@
 #include "exp/artifact.hh"
 #include "exp/engine.hh"
 #include "exp/spec.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/sink.hh"
+#include "obs/telemetry.hh"
+#include "prof/prof.hh"
+#include "util/hash.hh"
 #include "util/json.hh"
 #include "util/task_pool.hh"
 
@@ -440,6 +444,257 @@ TEST_F(ObsTest, SampledRunByteIdenticalWithObsEnabled)
 
     EXPECT_GT(obs::traceEventCount(), 0u);
     EXPECT_EQ(off, on);
+}
+
+// --- process footprint (volatile section) ----------------------------
+
+TEST_F(ObsTest, ProcessFootprintIsVolatileNotDeterministic)
+{
+    obs::Options o;
+    o.metrics = true;
+    obs::enable(o);
+
+    const util::JsonValue v = parseOrDie(obs::metricsJson());
+    const util::JsonValue *p = v.find("process");
+    ASSERT_NE(p, nullptr);
+    // A live process always has a resident set and a max RSS.
+    EXPECT_GT(p->find("peak_rss_kb")->asU64(), 0u);
+    EXPECT_GT(p->find("rss_kb")->asU64(), 0u);
+    ASSERT_NE(p->find("wall_ms"), nullptr);
+    // Wall-clock data must never leak into the deterministic sections.
+    EXPECT_EQ(v.find("counters")->members.size(), 0u);
+    EXPECT_EQ(v.find("gauges")->members.size(), 0u);
+}
+
+// --- sink timestamps -------------------------------------------------
+
+TEST_F(ObsTest, SinkTimestampPrefixHasIsoFormatAndSeverity)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    obs::setSinkStream(tmp);
+    obs::setSinkTimestamps(true);
+    obs::logLine("plain info line");
+    obs::logWarnf("warn %d", 7);
+    obs::logText("raw text line\n");  // logText is never prefixed
+    obs::setSinkTimestamps(false);
+    obs::setSinkStream(nullptr);
+
+    std::rewind(tmp);
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+    int y, mo, d, h, mi, s, ms;
+    char sev;
+    char rest[128] = {0};
+    ASSERT_EQ(std::sscanf(buf, "%4d-%2d-%2dT%2d:%2d:%2d.%3dZ %c %127[^\n]",
+                          &y, &mo, &d, &h, &mi, &s, &ms, &sev, rest),
+              9)
+        << "bad prefix: " << buf;
+    EXPECT_GE(y, 2026);
+    EXPECT_EQ(sev, 'I');
+    EXPECT_STREQ(rest, "plain info line");
+
+    ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+    ASSERT_EQ(std::sscanf(buf, "%4d-%2d-%2dT%2d:%2d:%2d.%3dZ %c %127[^\n]",
+                          &y, &mo, &d, &h, &mi, &s, &ms, &sev, rest),
+              9);
+    EXPECT_EQ(sev, 'W');
+    EXPECT_STREQ(rest, "warn 7");
+
+    ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+    EXPECT_STREQ(buf, "raw text line\n");
+    std::fclose(tmp);
+}
+
+// --- run manifests ---------------------------------------------------
+
+TEST_F(ObsTest, ManifestHashesReconcileWithArtifactBytes)
+{
+    const char *argvIn[] = {"./obs_test", "--scale", "2000"};
+    obs::manifestBegin("obs_test", 3, argvIn);
+
+    // The gate: nothing is recorded before manifestEnable().
+    obs::manifestAddArtifact("ignored.json", "{}", "pbs-sweep-v1");
+    EXPECT_EQ(obs::manifestArtifactCount(), 0u);
+
+    obs::manifestEnable();
+    ASSERT_TRUE(obs::manifestEnabled());
+    obs::manifestSetSalt("test-salt");
+    obs::manifestSetJobs(2);
+    obs::manifestSetPolicy("steal");
+
+    const std::string bytesA = "{\"schema\":\"pbs-sweep-v1\"}\n";
+    const std::string bytesB = "seed,ipc\n1,0.5\n";
+    obs::manifestAddArtifact("out/sweep.json", bytesA, "pbs-sweep-v1");
+    obs::manifestAddArtifact("out/table.csv", bytesB, "");
+    EXPECT_EQ(obs::manifestArtifactCount(), 2u);
+
+    const util::JsonValue v = parseOrDie(obs::manifestJson());
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-run-v1");
+    EXPECT_EQ(v.find("binary")->asString(), "obs_test");
+    EXPECT_EQ(v.find("code_salt")->asString(), "test-salt");
+    EXPECT_EQ(v.find("jobs")->asU64(), 2u);
+    EXPECT_EQ(v.find("pool_policy")->asString(), "steal");
+    ASSERT_NE(v.find("wall_ms"), nullptr);
+
+    // argv[0] is skipped; the rest is recorded verbatim.
+    const auto &argv = v.find("argv")->items;
+    ASSERT_EQ(argv.size(), 2u);
+    EXPECT_EQ(argv[0].asString(), "--scale");
+    EXPECT_EQ(argv[1].asString(), "2000");
+
+    // Every artifact entry's hash must match an independent FNV-128
+    // of the exact bytes the writer produced.
+    const auto &arts = v.find("artifacts")->items;
+    ASSERT_EQ(arts.size(), 2u);
+    EXPECT_EQ(arts[0].find("path")->asString(), "out/sweep.json");
+    EXPECT_EQ(arts[0].find("schema")->asString(), "pbs-sweep-v1");
+    EXPECT_EQ(arts[0].find("bytes")->asU64(), bytesA.size());
+    EXPECT_EQ(arts[0].find("fnv128")->asString(), util::fnv1a128Hex(bytesA));
+    EXPECT_EQ(arts[1].find("fnv128")->asString(), util::fnv1a128Hex(bytesB));
+}
+
+TEST_F(ObsTest, WrittenManifestDoesNotListItself)
+{
+    const char *argvIn[] = {"./obs_test"};
+    obs::manifestBegin("obs_test", 1, argvIn);
+    obs::manifestEnable();
+    obs::manifestAddArtifact("a.json", "{}", "pbs-sweep-v1");
+
+    const std::string path = ::testing::TempDir() + "obs_test_manifest.json";
+    ASSERT_TRUE(obs::writeManifest(path));
+
+    std::string text;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    const util::JsonValue v = parseOrDie(text);
+    EXPECT_EQ(v.find("schema")->asString(), "pbs-run-v1");
+    for (const auto &a : v.find("artifacts")->items)
+        EXPECT_NE(a.find("path")->asString(), path);
+}
+
+// --- periodic telemetry ----------------------------------------------
+
+TEST_F(ObsTest, TelemetrySamplerKeepsArtifactsByteIdentical)
+{
+    const driver::DriverOptions opts = batchOptions();
+
+    const auto plain = driver::runBatch(opts);
+    const std::string off = exp::batchJson(opts, plain);
+
+    const std::string path = ::testing::TempDir() + "obs_test_telem.jsonl";
+    ASSERT_TRUE(obs::telemetryStart(path, 2));
+    ASSERT_TRUE(obs::telemetryActive());
+    const auto traced = driver::runBatch(opts);
+    const std::string on = exp::batchJson(opts, traced);
+    obs::telemetryStop();
+    EXPECT_FALSE(obs::telemetryActive());
+
+    // The sampler only reads obs state: artifact bytes are unchanged.
+    EXPECT_EQ(off, on);
+    // At least the final flush sample landed.
+    EXPECT_GE(obs::telemetrySampleCount(), 1u);
+
+    // The file is header + one JSON object per line, t_ms monotone.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char line[1 << 16];
+    ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+    const util::JsonValue header = parseOrDie(line);
+    EXPECT_EQ(header.find("schema")->asString(), "pbs-timeseries-v1");
+    EXPECT_EQ(header.find("interval_ms")->asU64(), 2u);
+    double lastT = -1;
+    size_t samples = 0;
+    while (std::fgets(line, sizeof line, f)) {
+        const util::JsonValue s = parseOrDie(line);
+        const double t = s.find("t_ms")->asDouble();
+        EXPECT_GE(t, lastT);
+        lastT = t;
+        EXPECT_GT(s.find("rss_kb")->asU64(), 0u);
+        ASSERT_NE(s.find("counters"), nullptr);
+        samples++;
+    }
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(samples, obs::telemetrySampleCount());
+
+    // A second sampler while one is active must be refused.
+    ASSERT_TRUE(obs::telemetryStart(path, 50));
+    EXPECT_FALSE(obs::telemetryStart(path, 50));
+    obs::telemetryStop();
+    std::remove(path.c_str());
+}
+
+// --- identical-spec runs diff clean ----------------------------------
+
+TEST_F(ObsTest, IdenticalSpecRunsShowZeroDeterministicDeltas)
+{
+    const driver::DriverOptions opts = batchOptions();
+    auto snapshotOnce = [&] {
+        obs::resetForTest();
+        obs::Options o;
+        o.metrics = true;
+        obs::enable(o);
+        (void)driver::runBatch(opts);
+        return obs::metricsJson();
+    };
+
+    const std::string a = snapshotOnce();
+    const std::string b = snapshotOnce();
+
+    // This is exactly what `pbs_prof diff` runs on two snapshots: the
+    // deterministic sections agree (same work), only timings may move.
+    prof::MetricsDiff d = prof::diffMetrics(a, b);
+    EXPECT_TRUE(d.deterministic.empty())
+        << "first drift: "
+        << (d.deterministic.empty() ? "" : d.deterministic.front().name);
+    EXPECT_EQ(prof::regressionCount(d, 1e9), 0u);
+}
+
+// --- engine heartbeat ------------------------------------------------
+
+TEST_F(ObsTest, EngineHeartbeatReportsProgressAndCompletion)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    obs::setSinkStream(tmp);
+
+    exp::SweepSpec spec;
+    ASSERT_EQ(exp::applySpecKey(spec, "workload", "pi"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "predictor",
+                                "tournament,tage-sc-l"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "scale", "2000"), "");
+    ASSERT_EQ(exp::applySpecKey(spec, "mode", "mpki"), "");
+    auto grid = exp::expandSpec(spec);
+    ASSERT_TRUE(grid.ok) << grid.error;
+
+    exp::EngineConfig cfg;
+    cfg.jobs = 1;
+    cfg.heartbeat = true;
+    exp::Engine engine(cfg);
+    engine.runAll(grid.points);
+    obs::setSinkStream(nullptr);
+
+    std::rewind(tmp);
+    char buf[256];
+    bool sawStart = false, sawDone = false;
+    while (std::fgets(buf, sizeof buf, tmp)) {
+        std::string line(buf);
+        if (line.find("pbs_exp: progress 0/2 points") != std::string::npos)
+            sawStart = true;
+        if (line.find("progress 2/2 points, done in") != std::string::npos)
+            sawDone = true;
+    }
+    std::fclose(tmp);
+    EXPECT_TRUE(sawStart);  // armHeartbeat announces the workload size
+    EXPECT_TRUE(sawDone);   // the final point always reports
 }
 
 }  // namespace

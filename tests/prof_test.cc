@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests for the analysis library behind `pbs_prof` (src/prof): span-tree
+ * reconstruction from flat pbs-trace-v1 events, per-phase self/child
+ * aggregation, critical-path extraction, folded-stack output, worker
+ * utilization, and the metrics diff (correctness vs perf drift, the
+ * regression gate's noise floor). Inputs are hand-built JSON documents
+ * with exact timestamps so every expectation is deterministic.
+ */
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prof/prof.hh"
+
+namespace {
+
+using namespace pbs;
+
+/** Build a pbs-trace-v1 document from (tid, cat, name, ts, dur) rows. */
+struct TraceBuilder
+{
+    std::string events;
+
+    TraceBuilder &meta(unsigned tid, const std::string &threadName)
+    {
+        addComma();
+        events += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                  ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+                  threadName + "\"}}";
+        return *this;
+    }
+
+    TraceBuilder &span(unsigned tid, const std::string &cat,
+                       const std::string &name, double ts, double dur)
+    {
+        addComma();
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"cat\":\"%s\","
+                      "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                      tid, cat.c_str(), name.c_str(), ts, dur);
+        events += buf;
+        return *this;
+    }
+
+    std::string str() const
+    {
+        return "{\"schema\":\"pbs-trace-v1\",\"displayTimeUnit\":\"ms\","
+               "\"traceEvents\":[" +
+               events + "]}";
+    }
+
+  private:
+    void addComma()
+    {
+        if (!events.empty())
+            events += ",";
+    }
+};
+
+/** Minimal pbs-metrics-v1 document from pre-rendered section bodies. */
+std::string
+metricsDoc(const std::string &counters, const std::string &gauges,
+           const std::string &timings, const std::string &pool = "")
+{
+    return "{\"schema\":\"pbs-metrics-v1\",\"counters\":{" + counters +
+           "},\"gauges\":{" + gauges + "},\"timings\":{" + timings +
+           "},\"pool\":{" + pool + "}}";
+}
+
+// --- trace parsing and tree reconstruction ---------------------------
+
+TEST(ProfTrace, RebuildsNestingByContainment)
+{
+    // main: sweep[0,100) > point[10,50) > measure[15,20); then a
+    // sibling point[70,20). Worker track has one root span.
+    const std::string json = TraceBuilder()
+                                 .meta(0, "main")
+                                 .meta(1, "sweep worker 1")
+                                 .span(0, "sweep", "sweep", 0, 100)
+                                 .span(0, "point", "pi", 10, 50)
+                                 .span(0, "measure", "measure", 15, 20)
+                                 .span(0, "point", "dop", 70, 20)
+                                 .span(1, "steal", "steal", 5, 40)
+                                 .str();
+
+    prof::Trace t = prof::parseTrace(json);
+    ASSERT_EQ(t.spans.size(), 5u);
+    EXPECT_EQ(t.trackName(0), "main");
+    EXPECT_EQ(t.trackName(1), "sweep worker 1");
+    EXPECT_EQ(t.trackName(7), "track7");  // unnamed fallback
+
+    // Roots: sweep on track 0, steal on track 1.
+    ASSERT_EQ(t.roots.size(), 2u);
+    const prof::Span &sweep = t.spans[t.roots[0]];
+    EXPECT_EQ(sweep.phase, "sweep");
+    EXPECT_EQ(sweep.parent, -1);
+    ASSERT_EQ(sweep.children.size(), 2u);
+
+    const prof::Span &point = t.spans[sweep.children[0]];
+    EXPECT_EQ(point.name, "pi");
+    EXPECT_EQ(&t.spans[point.parent], &sweep);
+    ASSERT_EQ(point.children.size(), 1u);
+    EXPECT_EQ(t.spans[point.children[0]].phase, "measure");
+
+    // childUs / selfUs: sweep holds 50+20 of children; point holds 20.
+    EXPECT_DOUBLE_EQ(sweep.childUs, 70.0);
+    EXPECT_DOUBLE_EQ(sweep.selfUs(), 30.0);
+    EXPECT_DOUBLE_EQ(point.selfUs(), 30.0);
+    EXPECT_DOUBLE_EQ(t.endUs(), 100.0);
+}
+
+TEST(ProfTrace, EqualStartNestsLongerSpanOutside)
+{
+    // Two spans starting at the same instant: the longer one is the
+    // parent (sorted start asc, dur desc).
+    const std::string json = TraceBuilder()
+                                 .span(0, "interval", "interval", 10, 50)
+                                 .span(0, "warmup", "warmup", 10, 20)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    ASSERT_EQ(t.roots.size(), 1u);
+    const prof::Span &outer = t.spans[t.roots[0]];
+    EXPECT_EQ(outer.phase, "interval");
+    ASSERT_EQ(outer.children.size(), 1u);
+    EXPECT_EQ(t.spans[outer.children[0]].phase, "warmup");
+}
+
+TEST(ProfTrace, MalformedInputThrows)
+{
+    EXPECT_THROW(prof::parseTrace("not json"), std::runtime_error);
+    EXPECT_THROW(prof::parseTrace("{\"schema\":\"other-v1\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(prof::parseTrace("{\"schema\":\"pbs-trace-v1\"}"),
+                 std::runtime_error);
+    // X event without a cat (phase) is a schema violation.
+    EXPECT_THROW(
+        prof::parseTrace("{\"schema\":\"pbs-trace-v1\",\"traceEvents\":"
+                         "[{\"ph\":\"X\",\"tid\":0,\"name\":\"x\","
+                         "\"ts\":0,\"dur\":1}]}"),
+        std::runtime_error);
+}
+
+// --- aggregations ----------------------------------------------------
+
+TEST(ProfAgg, PhaseAggregateSortsByTotalAndSumsSelf)
+{
+    const std::string json = TraceBuilder()
+                                 .span(0, "sweep", "sweep", 0, 100)
+                                 .span(0, "point", "a", 10, 30)
+                                 .span(0, "point", "b", 50, 40)
+                                 .span(1, "point", "c", 0, 25)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    std::vector<prof::PhaseAgg> phases = prof::phaseAggregate(t);
+
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].phase, "sweep");  // 100 > 95
+    EXPECT_EQ(phases[1].phase, "point");
+    EXPECT_EQ(phases[1].count, 3u);
+    EXPECT_DOUBLE_EQ(phases[1].totalUs, 95.0);
+    // Leaf spans: all time is self time.
+    EXPECT_DOUBLE_EQ(phases[1].selfUs, 95.0);
+    EXPECT_DOUBLE_EQ(phases[0].selfUs, 30.0);
+    EXPECT_DOUBLE_EQ(phases[0].childUs(), 70.0);
+
+    // Σ self over phases == Σ busy (root) time: 100 + 25.
+    double self = 0;
+    for (const prof::PhaseAgg &a : phases)
+        self += a.selfUs;
+    EXPECT_DOUBLE_EQ(self, 125.0);
+}
+
+TEST(ProfAgg, CriticalPathDescendsLongestChild)
+{
+    const std::string json = TraceBuilder()
+                                 .span(0, "sweep", "sweep", 0, 100)
+                                 .span(0, "point", "small", 5, 10)
+                                 .span(0, "point", "big", 20, 60)
+                                 .span(0, "measure", "measure", 30, 40)
+                                 .span(1, "task", "short-root", 0, 50)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    std::vector<prof::CritStep> path = prof::criticalPath(t);
+
+    ASSERT_EQ(path.size(), 3u);  // sweep -> big point -> measure
+    EXPECT_EQ(path[0].phase, "sweep");
+    EXPECT_EQ(path[1].name, "big");
+    EXPECT_EQ(path[2].phase, "measure");
+    EXPECT_DOUBLE_EQ(path[2].durUs, 40.0);
+    EXPECT_DOUBLE_EQ(path[2].selfUs, 40.0);
+}
+
+TEST(ProfAgg, FoldedStacksWeightsAreSelfNanoseconds)
+{
+    const std::string json = TraceBuilder()
+                                 .meta(0, "main")
+                                 .span(0, "sweep", "sweep", 0, 100)
+                                 .span(0, "point", "pi scale 2", 10, 40)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    const std::string folded = prof::foldedStacks(t);
+
+    // Lexicographically sorted; labels sanitized (spaces -> '_');
+    // weights in ns (µs * 1000) and equal to self time.
+    EXPECT_EQ(folded,
+              "main;sweep 60000\n"
+              "main;sweep;point:pi_scale_2 40000\n");
+}
+
+TEST(ProfAgg, FoldedStacksOmitZeroSelfFrames)
+{
+    // Parent fully covered by its child: no line for the parent.
+    const std::string json = TraceBuilder()
+                                 .span(0, "interval", "interval", 0, 50)
+                                 .span(0, "measure", "measure", 0, 50)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    EXPECT_EQ(prof::foldedStacks(t), "track0;interval;measure 50000\n");
+}
+
+TEST(ProfAgg, WorkerUtilizationMergesOverlappingRoots)
+{
+    // Track 0 busy [0,40)∪[30,60) = [0,60); track 1 busy [50,100).
+    const std::string json = TraceBuilder()
+                                 .meta(1, "worker")
+                                 .span(0, "task", "a", 0, 40)
+                                 .span(0, "task", "b", 30, 30)
+                                 .span(1, "task", "c", 50, 50)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    std::vector<prof::TrackUtil> util = prof::workerUtilization(t, 10);
+
+    ASSERT_EQ(util.size(), 2u);
+    EXPECT_EQ(util[0].track, 0u);
+    EXPECT_DOUBLE_EQ(util[0].busyUs, 60.0);
+    EXPECT_DOUBLE_EQ(util[0].firstUs, 0.0);
+    EXPECT_DOUBLE_EQ(util[0].lastUs, 60.0);
+    EXPECT_DOUBLE_EQ(util[0].util, 1.0);
+
+    // Timeline spans the trace [0,100): first 6 buckets solid, rest idle.
+    ASSERT_EQ(util[0].timeline.size(), 10u);
+    EXPECT_EQ(util[0].timeline, "######    ");
+    EXPECT_EQ(util[1].name, "worker");
+    EXPECT_EQ(util[1].timeline, "     #####");
+    EXPECT_DOUBLE_EQ(util[1].busyUs, 50.0);
+}
+
+TEST(ProfAgg, ReportTextNamesEverySection)
+{
+    const std::string json = TraceBuilder()
+                                 .meta(0, "main")
+                                 .span(0, "sweep", "sweep", 0, 100)
+                                 .span(0, "point", "pi", 10, 40)
+                                 .str();
+    prof::Trace t = prof::parseTrace(json);
+    const std::string metrics = metricsDoc(
+        "\"exp.computed\":4", "", "\"phase_ns.point\":40000000");
+    const std::string report = prof::reportText(t, metrics, 12);
+
+    EXPECT_NE(report.find("per-phase time"), std::string::npos);
+    EXPECT_NE(report.find("workers"), std::string::npos);
+    EXPECT_NE(report.find("critical path"), std::string::npos);
+    EXPECT_NE(report.find("deterministic counters: 1"), std::string::npos);
+    EXPECT_NE(report.find("sweep"), std::string::npos);
+}
+
+// --- metrics diff ----------------------------------------------------
+
+TEST(ProfDiff, IdenticalRunsShowNoDrift)
+{
+    const std::string doc =
+        metricsDoc("\"exp.computed\":7,\"insts.measure\":123",
+                   "\"jobs\":4", "\"phase_ns.measure\":5000000",
+                   "\"steals\":3");
+    prof::MetricsDiff d = prof::diffMetrics(doc, doc);
+    EXPECT_TRUE(d.deterministic.empty());
+    EXPECT_TRUE(d.pool.empty());
+    ASSERT_EQ(d.phases.size(), 1u);
+    EXPECT_EQ(d.phases[0].deltaNs, 0);
+    EXPECT_EQ(prof::regressionCount(d, 0.2), 0u);
+}
+
+TEST(ProfDiff, CounterAndGaugeDeltasAreCorrectnessDrift)
+{
+    const std::string base = metricsDoc(
+        "\"exp.computed\":7,\"exp.memo_hits\":2", "\"jobs\":4", "");
+    const std::string cur = metricsDoc(
+        "\"exp.computed\":9,\"exp.reused\":1", "\"jobs\":4", "");
+    prof::MetricsDiff d = prof::diffMetrics(base, cur);
+
+    // memo_hits vanished, computed moved, reused appeared; jobs equal.
+    ASSERT_EQ(d.deterministic.size(), 3u);
+    EXPECT_EQ(d.deterministic[0].name, "counter:exp.computed");
+    EXPECT_DOUBLE_EQ(d.deterministic[0].delta(), 2.0);
+    EXPECT_EQ(d.deterministic[1].name, "counter:exp.memo_hits");
+    EXPECT_DOUBLE_EQ(d.deterministic[1].cur, 0.0);
+    EXPECT_EQ(d.deterministic[2].name, "counter:exp.reused");
+}
+
+TEST(ProfDiff, PhasesRankedByAbsoluteDelta)
+{
+    const std::string base = metricsDoc(
+        "", "",
+        "\"phase_ns.ff\":10000000,\"phase_ns.measure\":50000000,"
+        "\"phase_ns.warmup\":20000000");
+    const std::string cur = metricsDoc(
+        "", "",
+        "\"phase_ns.ff\":11000000,\"phase_ns.measure\":80000000,"
+        "\"phase_ns.warmup\":15000000");
+    prof::MetricsDiff d = prof::diffMetrics(base, cur);
+
+    ASSERT_EQ(d.phases.size(), 3u);
+    EXPECT_EQ(d.phases[0].phase, "measure");  // |+30 ms|
+    EXPECT_EQ(d.phases[1].phase, "warmup");   // |-5 ms|
+    EXPECT_EQ(d.phases[2].phase, "ff");       // |+1 ms|
+    EXPECT_EQ(d.phases[0].deltaNs, 30000000);
+    EXPECT_NEAR(d.phases[0].pct, 0.6, 1e-12);
+    EXPECT_EQ(d.phases[1].deltaNs, -5000000);
+
+    // measure regressed 60% and warmup improved: one gated regression.
+    EXPECT_EQ(prof::regressionCount(d, 0.2), 1u);
+    EXPECT_EQ(prof::regressionCount(d, 0.7), 0u);
+}
+
+TEST(ProfDiff, GateNoiseFloorIgnoresTinyAndNewPhases)
+{
+    // ff: huge relative regression but only 0.5 ms of base -> exempt.
+    // cache_io: new phase (base 0) -> pct is +inf but exempt.
+    // measure: big base, delta under 1 ms -> exempt.
+    const std::string base = metricsDoc(
+        "", "", "\"phase_ns.ff\":500000,\"phase_ns.measure\":100000000");
+    const std::string cur = metricsDoc(
+        "", "",
+        "\"phase_ns.ff\":2000000,\"phase_ns.measure\":100900000,"
+        "\"phase_ns.cache_io\":50000000");
+    prof::MetricsDiff d = prof::diffMetrics(base, cur);
+
+    EXPECT_EQ(prof::regressionCount(d, 0.2), 0u);
+    // The new phase is still reported (ranked first by |delta|)...
+    EXPECT_EQ(d.phases[0].phase, "cache_io");
+    EXPECT_TRUE(std::isinf(d.phases[0].pct));
+    // ...and diffText marks it NEW, not REGRESSED.
+    const std::string text = prof::diffText(d, "base", "cur", 0.2);
+    EXPECT_NE(text.find("NEW"), std::string::npos);
+    EXPECT_EQ(text.find("REGRESSED"), std::string::npos);
+}
+
+TEST(ProfDiff, DiffTextFlagsRegressionAndDrift)
+{
+    const std::string base = metricsDoc(
+        "\"exp.computed\":7", "", "\"phase_ns.measure\":50000000");
+    const std::string cur = metricsDoc(
+        "\"exp.computed\":8", "", "\"phase_ns.measure\":80000000");
+    prof::MetricsDiff d = prof::diffMetrics(base, cur);
+    const std::string text = prof::diffText(d, "a.json", "b.json", 0.2);
+
+    EXPECT_NE(text.find("counter:exp.computed"), std::string::npos);
+    EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(text.find("a.json"), std::string::npos);
+
+    // Identical-work diff renders the "none" marker instead.
+    prof::MetricsDiff same = prof::diffMetrics(base, base);
+    EXPECT_NE(prof::diffText(same, "a", "a", 0.2).find("none"),
+              std::string::npos);
+}
+
+TEST(ProfDiff, MalformedMetricsThrow)
+{
+    const std::string good = metricsDoc("", "", "");
+    EXPECT_THROW(prof::diffMetrics("nope", good), std::runtime_error);
+    EXPECT_THROW(prof::diffMetrics(good, "{\"schema\":\"pbs-trace-v1\"}"),
+                 std::runtime_error);
+}
+
+}  // namespace
