@@ -52,6 +52,11 @@ configFor(const BenchPoint &p, const BenchConfig &bench)
         cfg.execPath = cpu::ExecPath::LegacyProgram;
     } else if (p.mode == "functional") {
         cfg.execMode = cpu::ExecMode::Functional;
+    } else if (p.mode == "functional-switch") {
+        // Same engine forced onto the reference opcode-switch dispatch
+        // (the PBS_FUNC_DISPATCH=switch escape hatch): keeping both as
+        // bench points makes the superblock speedup a tracked number.
+        cfg.execMode = cpu::ExecMode::Functional;
     } else if (p.mode == "sampled") {
         cfg.execMode = cpu::ExecMode::Sampled;
         cfg.sample = bench.sample;
@@ -62,7 +67,7 @@ configFor(const BenchPoint &p, const BenchConfig &bench)
 }
 
 const char *const kBenchModes[] = {"detailed", "legacy", "functional",
-                                   "sampled", "mpki"};
+                                   "functional-switch", "sampled", "mpki"};
 
 bool
 knownMode(const std::string &m)
@@ -262,7 +267,11 @@ runBench(const std::vector<BenchPoint> &points, const BenchConfig &cfg)
                 double ms;
                 cpu::CoreStats s;
                 if (coreCfg.execMode == cpu::ExecMode::Functional) {
-                    sampling::FunctionalEngine engine(prog);
+                    const sampling::FuncDispatch fd =
+                        pt.mode == "functional-switch"
+                            ? sampling::FuncDispatch::Switch
+                            : sampling::defaultFuncDispatch();
+                    sampling::FunctionalEngine engine(prog, 0, fd);
                     auto t0 = Clock::now();
                     engine.run();
                     ms = elapsedMs(t0, Clock::now());

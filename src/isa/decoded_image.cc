@@ -185,6 +185,23 @@ DecodedImage::decode(const Program &prog)
             img.maxProbId_ = inst.probId;
     }
 
+    // Mark basic-block leaders: the entry point, every branch target,
+    // and the instruction after any control or probabilistic opcode.
+    // PROB_CMP falls through, but a prob group is a scheduling unit for
+    // the PBS engine, so group boundaries end blocks too.
+    auto markLeader = [&](uint64_t pc) {
+        if (pc < static_cast<uint64_t>(n))
+            img.ops_[pc].flags |= DecodedOp::kIsLeader;
+    };
+    markLeader(img.entry_);
+    for (int64_t pc = 0; pc < n; pc++) {
+        const DecodedOp &d = img.ops_[pc];
+        if (d.flags & DecodedOp::kHasTarget)
+            markLeader(d.target);
+        if (d.isControl() || d.isProb() || d.op == Opcode::HALT)
+            markLeader(static_cast<uint64_t>(pc) + 1);
+    }
+
     // Link each PROB_CMP to its closing (branching) PROB_JMP. validate()
     // guarantees the close lands within the 8-instruction group window.
     for (int64_t pc = 0; pc < n; pc++) {

@@ -69,6 +69,17 @@ struct DecodedOp
     static constexpr uint16_t kHasTarget = 1u << 7;  ///< target is valid
     static constexpr uint16_t kUnpipelined = 1u << 8;
 
+    /**
+     * Block leader: the first instruction of a basic block. Set on the
+     * entry point, on every resolved branch target, and on the
+     * instruction after any control or probabilistic opcode (prob-group
+     * boundaries end blocks even though PROB_CMP itself falls through).
+     * Consumers that stitch straight-line runs (the superblock builder,
+     * src/sampling/superblock.cc) must never fuse across a leader: a
+     * branch may enter the stream there.
+     */
+    static constexpr uint16_t kIsLeader = 1u << 9;
+
     uint16_t flags = 0;
 
     /** Resolved absolute branch target (valid when kHasTarget). */
@@ -98,6 +109,7 @@ struct DecodedOp
     bool isProb() const { return flags & kIsProb; }
     bool isCarrierProbJmp() const { return flags & kIsCarrier; }
     bool unpipelined() const { return flags & kUnpipelined; }
+    bool isLeader() const { return flags & kIsLeader; }
 };
 
 /** A fully predecoded program. */

@@ -1,6 +1,8 @@
 #include "sampling/functional.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -13,15 +15,45 @@ using isa::CmpOp;
 using isa::DecodedOp;
 using isa::Opcode;
 
+FuncDispatch
+defaultFuncDispatch()
+{
+    // Mirrors PBS_TASK_POOL=static: an env escape hatch back to the
+    // reference implementation, re-read on every construction so tests
+    // can flip it without relinking.
+    const char *env = std::getenv("PBS_FUNC_DISPATCH");
+    if (env && std::strcmp(env, "switch") == 0)
+        return FuncDispatch::Switch;
+    if (env && std::strcmp(env, "superblock-portable") == 0)
+        return FuncDispatch::SuperblockPortable;
+    return FuncDispatch::Superblock;
+}
+
+const char *
+funcDispatchName(FuncDispatch d)
+{
+    switch (d) {
+      case FuncDispatch::Superblock: return "superblock";
+      case FuncDispatch::SuperblockPortable: return "superblock-portable";
+      case FuncDispatch::Switch: return "switch";
+    }
+    return "?";
+}
+
 FunctionalEngine::FunctionalEngine(const isa::Program &prog,
-                                   uint64_t maxInstructions)
+                                   uint64_t maxInstructions,
+                                   FuncDispatch dispatch)
     : image_(isa::DecodedImage::decode(prog)),
-      maxInstructions_(maxInstructions)
+      maxInstructions_(maxInstructions),
+      dispatch_(dispatch)
 {
     pc_ = prog.entry;
     for (const auto &[addr, bytes] : prog.dataInit)
         mem_.writeBlock(addr, bytes);
     probSeq_.assign(size_t(image_.maxProbId()) + 1, 0);
+    if (dispatch_ != FuncDispatch::Switch)
+        sb_ = std::make_unique<SuperblockImage>(
+            SuperblockImage::build(image_));
 }
 
 void
@@ -42,6 +74,13 @@ FunctionalEngine::run()
 uint64_t
 FunctionalEngine::step(uint64_t n)
 {
+    return dispatch_ == FuncDispatch::Switch ? stepSwitch(n)
+                                             : stepSuper(n);
+}
+
+uint64_t
+FunctionalEngine::stepSwitch(uint64_t n)
+{
     const isa::DecodedOp *ops = image_.ops().data();
     const uint64_t size = image_.size();
     uint64_t pc = pc_;
@@ -55,6 +94,51 @@ FunctionalEngine::step(uint64_t n)
         }
         pc = stepOne(ops[pc], pc);
         executed++;
+    }
+    pc_ = pc;
+    stats_.instructions += executed;
+    return executed;
+}
+
+uint64_t
+FunctionalEngine::stepSuper(uint64_t n)
+{
+    const isa::DecodedOp *ops = image_.ops().data();
+    const uint64_t size = image_.size();
+    const SuperblockImage &sb = *sb_;
+    const bool portable = dispatch_ == FuncDispatch::SuperblockPortable;
+    SbCtx ctx;
+    ctx.regs = regs_.data();
+    ctx.mem = &mem_;
+    ctx.probSeq = probSeq_.data();
+    ctx.stats = &stats_;
+    ctx.halted = &halted_;
+
+    uint64_t pc = pc_;
+    uint64_t executed = 0;
+    while (!halted_ && executed < n) {
+        if (pc >= size) {
+            pc_ = pc;
+            stats_.instructions += executed;
+            throw std::out_of_range("PC out of range: " +
+                                    std::to_string(pc));
+        }
+        const uint32_t bi = sb.blockAt(pc);
+        if (bi != SuperblockImage::kNoBlock &&
+            sb.blocks()[bi].instCount <= n - executed) {
+            // The dispatcher chains whole blocks while they fit the
+            // remaining budget and stops at the first PC it cannot
+            // handle; ctx.next is where execution stopped.
+            executed += portable ? sbExecPortable(sb, pc, n - executed, ctx)
+                                 : sbExecThreaded(sb, pc, n - executed, ctx);
+            pc = ctx.next;
+        } else {
+            // Epilogue / mid-block entry: retire one instruction at a
+            // time through the reference switch so step(n) stops at
+            // the exact instruction count.
+            pc = stepOne(ops[pc], pc);
+            executed++;
+        }
     }
     pc_ = pc;
     stats_.instructions += executed;
@@ -83,6 +167,11 @@ FunctionalEngine::restoreArch(const cpu::ArchState &state)
             "(probSeq size mismatch)");
     }
     regs_ = state.regs;
+    // Pin the REG_ZERO invariant (regs_[0] == 0): every writer guards
+    // it, and the superblock handlers read the register file unguarded
+    // on the strength of it. No engine- or core-captured state can
+    // violate it; this normalizes hand-crafted ArchStates too.
+    regs_[isa::REG_ZERO] = 0;
     pc_ = state.pc;
     halted_ = state.halted;
     mem_ = state.mem;

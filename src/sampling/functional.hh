@@ -17,6 +17,15 @@
  * so a checkpoint restored into a detailed core continues the PBS
  * engine's sequence bookkeeping.
  *
+ * Dispatch: by default the engine executes through superinstruction
+ * blocks (src/sampling/superblock.hh) — straight-line runs stitched
+ * into fused handlers with threaded-code dispatch — and falls back to
+ * single-stepping the reference opcode switch whenever the PC is not a
+ * block leader or a whole block would overshoot the step budget, so
+ * step(n) still stops at exact instruction counts. The reference
+ * switch is kept as an always-available escape hatch / differential
+ * oracle (`PBS_FUNC_DISPATCH=switch`, tests/dispatch_equiv_test.cc).
+ *
  * This is the engine behind `--mode functional` and the fast-forward
  * phase of `--mode sampled` (src/sampling/sampled.hh).
  */
@@ -26,6 +35,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cpu/arch_state.hh"
@@ -33,8 +43,27 @@
 #include "isa/decoded_image.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
+#include "sampling/superblock.hh"
 
 namespace pbs::sampling {
+
+/** How FunctionalEngine::step executes instructions. */
+enum class FuncDispatch : uint8_t {
+    Superblock,          ///< stitched blocks, compiled-in threaded backend
+    SuperblockPortable,  ///< stitched blocks, function-pointer trampoline
+    Switch,              ///< reference per-instruction opcode switch
+};
+
+/**
+ * Dispatch mode selected by the `PBS_FUNC_DISPATCH` environment
+ * variable: "switch" and "superblock-portable" force those modes, any
+ * other value (or unset) selects Superblock. Read on every call so
+ * tests can flip it between engine constructions.
+ */
+FuncDispatch defaultFuncDispatch();
+
+/** Stable name of @p d ("superblock", "superblock-portable", "switch"). */
+const char *funcDispatchName(FuncDispatch d);
 
 /** Architectural-only execution of a decoded program. */
 class FunctionalEngine
@@ -45,9 +74,12 @@ class FunctionalEngine
      * segments written, PC at the entry point).
      * @param maxInstructions stop run() after this many instructions
      *        (0 = unlimited); step() is never limited.
+     * @param dispatch execution strategy; the default consults
+     *        `PBS_FUNC_DISPATCH` (see defaultFuncDispatch()).
      */
     explicit FunctionalEngine(const isa::Program &prog,
-                              uint64_t maxInstructions = 0);
+                              uint64_t maxInstructions = 0,
+                              FuncDispatch dispatch = defaultFuncDispatch());
 
     /** Run until HALT (or the instruction limit). */
     void run();
@@ -71,6 +103,12 @@ class FunctionalEngine
     /** The predecoded image the engine executes from. */
     const isa::DecodedImage &image() const { return image_; }
 
+    /** The dispatch mode this engine was constructed with. */
+    FuncDispatch dispatch() const { return dispatch_; }
+
+    /** Stitched blocks, or nullptr in Switch mode. */
+    const SuperblockImage *superblocks() const { return sb_.get(); }
+
     /** Snapshot the architectural state (checkpoint capture). */
     cpu::ArchState saveArch() const;
 
@@ -88,6 +126,12 @@ class FunctionalEngine
     /** Execute one instruction at @p pc. @return the next PC. */
     uint64_t stepOne(const isa::DecodedOp &inst, uint64_t pc);
 
+    /** step(n) through the reference opcode switch. */
+    uint64_t stepSwitch(uint64_t n);
+
+    /** step(n) through superblocks, single-stepping at the edges. */
+    uint64_t stepSuper(uint64_t n);
+
     isa::DecodedImage image_;
     std::array<uint64_t, isa::kNumRegs> regs_{};
     mem::SparseMemory mem_;
@@ -97,6 +141,9 @@ class FunctionalEngine
 
     cpu::CoreStats stats_;
     std::vector<uint64_t> probSeq_;  ///< dynamic instances per probId
+
+    FuncDispatch dispatch_ = FuncDispatch::Superblock;
+    std::unique_ptr<SuperblockImage> sb_;  ///< null in Switch mode
 };
 
 }  // namespace pbs::sampling

@@ -1,0 +1,525 @@
+#include "sampling/superblock.hh"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "isa/arith.hh"
+
+namespace pbs::sampling {
+
+using isa::DecodedOp;
+using isa::Opcode;
+
+namespace {
+
+constexpr uint16_t
+H(SbHandler h)
+{
+    return static_cast<uint16_t>(h);
+}
+
+/**
+ * A block ends at any PC-changing op, at HALT, and at prob-group
+ * boundaries: PROB_CMP / PROB_JMP never fuse and always close a block,
+ * so the PBS-relevant structure stays visible at block granularity.
+ */
+bool
+terminatesBlock(const DecodedOp &d)
+{
+    return d.isControl() || d.isProb();
+}
+
+SbHandler
+singleHandlerFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:   return SbHandler::NOP;
+      case Opcode::ADD:   return SbHandler::ADD;
+      case Opcode::SUB:   return SbHandler::SUB;
+      case Opcode::MUL:   return SbHandler::MUL;
+      case Opcode::DIV:   return SbHandler::DIV;
+      case Opcode::REM:   return SbHandler::REM;
+      case Opcode::AND:   return SbHandler::AND;
+      case Opcode::OR:    return SbHandler::OR;
+      case Opcode::XOR:   return SbHandler::XOR;
+      case Opcode::SLL:   return SbHandler::SLL;
+      case Opcode::SRL:   return SbHandler::SRL;
+      case Opcode::SRA:   return SbHandler::SRA;
+      case Opcode::ADDI:  return SbHandler::ADDI;
+      case Opcode::ANDI:  return SbHandler::ANDI;
+      case Opcode::ORI:   return SbHandler::ORI;
+      case Opcode::XORI:  return SbHandler::XORI;
+      case Opcode::SLLI:  return SbHandler::SLLI;
+      case Opcode::SRLI:  return SbHandler::SRLI;
+      case Opcode::SRAI:  return SbHandler::SRAI;
+      case Opcode::MOV:   return SbHandler::MOV;
+      case Opcode::LDI:   return SbHandler::LDI;
+      case Opcode::FADD:  return SbHandler::FADD;
+      case Opcode::FSUB:  return SbHandler::FSUB;
+      case Opcode::FMUL:  return SbHandler::FMUL;
+      case Opcode::FDIV:  return SbHandler::FDIV;
+      case Opcode::FSQRT: return SbHandler::FSQRT;
+      case Opcode::FNEG:  return SbHandler::FNEG;
+      case Opcode::FABS:  return SbHandler::FABS;
+      case Opcode::FMIN:  return SbHandler::FMIN;
+      case Opcode::FMAX:  return SbHandler::FMAX;
+      case Opcode::FEXP:  return SbHandler::FEXP;
+      case Opcode::FLOG:  return SbHandler::FLOG;
+      case Opcode::FSIN:  return SbHandler::FSIN;
+      case Opcode::FCOS:  return SbHandler::FCOS;
+      case Opcode::I2F:   return SbHandler::I2F;
+      case Opcode::F2I:   return SbHandler::F2I;
+      case Opcode::CMP:   return SbHandler::CMP;
+      case Opcode::SEL:   return SbHandler::SEL;
+      case Opcode::LD:    return SbHandler::LD;
+      case Opcode::LDB:   return SbHandler::LDB;
+      case Opcode::ST:    return SbHandler::ST;
+      case Opcode::STB:   return SbHandler::STB;
+      default:
+        throw std::logic_error(
+            "superblock: opcode cannot appear inside a block");
+    }
+}
+
+/** Fusable adjacent pairs: the hot idioms isa_emit.cc and the workload
+ *  kernels produce. @return the handler, or -1 when the pair is not in
+ *  the table. Operand constraints are unnecessary: pair handlers
+ *  re-read the register file between halves. */
+int
+pairHandlerFor(const DecodedOp &a, const DecodedOp &b)
+{
+    switch (a.op) {
+      case Opcode::SRLI:
+        if (b.op == Opcode::XOR) return H(SbHandler::F_SRLI_XOR);
+        break;
+      case Opcode::SLLI:
+        if (b.op == Opcode::XOR) return H(SbHandler::F_SLLI_XOR);
+        break;
+      case Opcode::MUL:
+        if (b.op == Opcode::ADDI) return H(SbHandler::F_MUL_ADDI);
+        if (b.op == Opcode::SRLI) return H(SbHandler::F_MUL_SRLI);
+        break;
+      case Opcode::ORI:
+        if (b.op == Opcode::I2F) return H(SbHandler::F_ORI_I2F);
+        break;
+      case Opcode::ANDI:
+        if (b.op == Opcode::SRLI) return H(SbHandler::F_ANDI_SRLI);
+        if (b.op == Opcode::I2F) return H(SbHandler::F_ANDI_I2F);
+        break;
+      case Opcode::AND:
+        if (b.op == Opcode::I2F) return H(SbHandler::F_AND_I2F);
+        break;
+      case Opcode::I2F:
+        if (b.op == Opcode::FMUL) return H(SbHandler::F_I2F_FMUL);
+        break;
+      case Opcode::FMUL:
+        if (b.op == Opcode::FMUL) return H(SbHandler::F_FMUL_FMUL);
+        if (b.op == Opcode::FADD) return H(SbHandler::F_FMUL_FADD);
+        if (b.op == Opcode::FSUB) return H(SbHandler::F_FMUL_FSUB);
+        break;
+      case Opcode::FADD:
+        if (b.op == Opcode::FMUL) return H(SbHandler::F_FADD_FMUL);
+        if (b.op == Opcode::FADD) return H(SbHandler::F_FADD_FADD);
+        break;
+      case Opcode::FSUB:
+        if (b.op == Opcode::FMUL) return H(SbHandler::F_FSUB_FMUL);
+        break;
+      default:
+        break;
+    }
+    return -1;
+}
+
+/**
+ * Match the xorshift rotation triple at @p o (6 ops):
+ *   SRLI t,s,a; XOR s,s,t; SLLI t,s,b; XOR s,s,t; SRLI t,s,c; XOR s,s,t
+ * F_XORSHIFT carries s/t in locals, so the pattern must be exact and
+ * t, s must be distinct non-zero registers (REG_ZERO writes would be
+ * dropped architecturally but not in the locals).
+ */
+bool
+matchXorshift(const DecodedOp *o)
+{
+    if (o[0].op != Opcode::SRLI)
+        return false;
+    const uint8_t t = o[0].rd, s = o[0].rs1;
+    if (t == isa::REG_ZERO || s == isa::REG_ZERO || t == s)
+        return false;
+    auto sXorT = [&](const DecodedOp &x) {
+        return x.op == Opcode::XOR && x.rd == s && x.rs1 == s && x.rs2 == t;
+    };
+    return sXorT(o[1]) &&
+           o[2].op == Opcode::SLLI && o[2].rd == t && o[2].rs1 == s &&
+           sXorT(o[3]) &&
+           o[4].op == Opcode::SRLI && o[4].rd == t && o[4].rs1 == s &&
+           sXorT(o[5]);
+}
+
+SuperOp
+makeSingle(const DecodedOp &d)
+{
+    SuperOp s;
+    s.handler = H(singleHandlerFor(d.op));
+    s.count = 1;
+    s.rd = d.rd;
+    s.rs1 = d.rs1;
+    s.rs2 = d.rs2;
+    s.rs3 = d.rs3;
+    s.cmp = static_cast<uint8_t>(d.cmp);
+    s.imm = d.imm;
+    return s;
+}
+
+SuperOp
+makePair(int handler, const DecodedOp &a, const DecodedOp &b)
+{
+    SuperOp s;
+    s.handler = static_cast<uint16_t>(handler);
+    s.count = 2;
+    s.rd = a.rd;
+    s.rs1 = a.rs1;
+    s.rs2 = a.rs2;
+    s.cmp = static_cast<uint8_t>(a.cmp);
+    s.imm = a.imm;
+    s.rd2 = b.rd;
+    s.rs4 = b.rs1;
+    s.rs5 = b.rs2;
+    s.imm2 = b.imm;
+    return s;
+}
+
+SuperOp
+makeXorshift(const DecodedOp *o)
+{
+    SuperOp s;
+    s.handler = H(SbHandler::F_XORSHIFT);
+    s.count = 6;
+    s.rd = o[0].rd;   // t
+    s.rd2 = o[0].rs1; // s
+    s.sh1 = static_cast<uint8_t>(o[0].imm & 63);
+    s.sh2 = static_cast<uint8_t>(o[2].imm & 63);
+    s.sh3 = static_cast<uint8_t>(o[4].imm & 63);
+    return s;
+}
+
+SuperOp
+makeTerminator(const DecodedOp &d)
+{
+    SuperOp s;
+    s.count = 1;
+    s.rd = d.rd;
+    s.rs1 = d.rs1;
+    s.rs2 = d.rs2;
+    s.cmp = static_cast<uint8_t>(d.cmp);
+    s.probId = d.probId;
+    s.target = d.target;
+    switch (d.op) {
+      case Opcode::JMP:     s.handler = H(SbHandler::T_JMP); break;
+      case Opcode::JZ:      s.handler = H(SbHandler::T_JZ); break;
+      case Opcode::JNZ:     s.handler = H(SbHandler::T_JNZ); break;
+      case Opcode::CFD_JNZ: s.handler = H(SbHandler::T_CFD_JNZ); break;
+      case Opcode::CALL:    s.handler = H(SbHandler::T_CALL); break;
+      case Opcode::RET:     s.handler = H(SbHandler::T_RET); break;
+      case Opcode::HALT:    s.handler = H(SbHandler::T_HALT); break;
+      case Opcode::PROB_CMP:
+        s.handler = H(SbHandler::T_PROB_CMP);
+        break;
+      case Opcode::PROB_JMP:
+        s.handler = d.isCarrierProbJmp() ? H(SbHandler::T_CARRIER)
+                                         : H(SbHandler::T_PROB_JMP);
+        break;
+      default:
+        throw std::logic_error(
+            "superblock: opcode cannot terminate a block");
+    }
+    return s;
+}
+
+}  // namespace
+
+SuperblockImage
+SuperblockImage::build(const isa::DecodedImage &img)
+{
+    SuperblockImage sbi;
+    const auto &ops = img.ops();
+    const uint64_t n = ops.size();
+    sbi.blockAt_.assign(n, kNoBlock);
+
+    for (uint64_t lead = 0; lead < n; lead++) {
+        if (!ops[lead].isLeader())
+            continue;
+
+        // Extent: [lead, interiorEnd) straight-line ops, then an
+        // optional terminating control/prob op at termPc. The run also
+        // stops before the next leader (a branch may enter there).
+        uint64_t cur = lead;
+        int64_t termPc = -1;
+        while (true) {
+            if (terminatesBlock(ops[cur])) {
+                termPc = static_cast<int64_t>(cur);
+                break;
+            }
+            cur++;
+            if (cur >= n || ops[cur].isLeader())
+                break;
+        }
+        const uint64_t interiorEnd = termPc >= 0
+            ? static_cast<uint64_t>(termPc) : cur;
+
+        Superblock b;
+        b.first = static_cast<uint32_t>(sbi.sops_.size());
+        b.instCount = static_cast<uint32_t>(interiorEnd - lead) +
+                      (termPc >= 0 ? 1 : 0);
+        b.fall = termPc >= 0 ? static_cast<uint64_t>(termPc) + 1 : cur;
+
+        // Reserve the last interior op when it fuses with a JZ/JNZ
+        // terminator (counted-loop back-edge, compare-and-branch).
+        uint64_t fuseEnd = interiorEnd;
+        int fusedTerm = -1;
+        if (termPc >= 0 && interiorEnd > lead) {
+            const DecodedOp &t = ops[termPc];
+            const DecodedOp &p = ops[interiorEnd - 1];
+            if (t.op == Opcode::JZ || t.op == Opcode::JNZ) {
+                const bool nz = t.op == Opcode::JNZ;
+                if (p.op == Opcode::ADDI)
+                    fusedTerm = H(nz ? SbHandler::T_ADDI_JNZ
+                                     : SbHandler::T_ADDI_JZ);
+                else if (p.op == Opcode::CMP)
+                    fusedTerm = H(nz ? SbHandler::T_CMP_JNZ
+                                     : SbHandler::T_CMP_JZ);
+                if (fusedTerm >= 0)
+                    fuseEnd = interiorEnd - 1;
+            }
+        }
+
+        // Interior: greedy left-to-right fusion (triple, pair, single).
+        uint64_t i = lead;
+        while (i < fuseEnd) {
+            if (i + 6 <= fuseEnd && matchXorshift(&ops[i])) {
+                sbi.sops_.push_back(makeXorshift(&ops[i]));
+                i += 6;
+                continue;
+            }
+            if (i + 2 <= fuseEnd) {
+                int h = pairHandlerFor(ops[i], ops[i + 1]);
+                if (h >= 0) {
+                    sbi.sops_.push_back(makePair(h, ops[i], ops[i + 1]));
+                    i += 2;
+                    continue;
+                }
+            }
+            sbi.sops_.push_back(makeSingle(ops[i]));
+            i++;
+        }
+
+        // Terminator superop (always present; T_FALL retires nothing).
+        if (termPc < 0) {
+            SuperOp s;
+            s.handler = H(SbHandler::T_FALL);
+            s.count = 0;
+            sbi.sops_.push_back(s);
+        } else if (fusedTerm >= 0) {
+            const DecodedOp &p = ops[interiorEnd - 1];
+            const DecodedOp &t = ops[termPc];
+            SuperOp s;
+            s.handler = static_cast<uint16_t>(fusedTerm);
+            s.count = 2;
+            s.rd = p.rd;
+            s.rs1 = p.rs1;
+            s.rs2 = p.rs2;
+            s.cmp = static_cast<uint8_t>(p.cmp);
+            s.imm = p.imm;
+            s.rs4 = t.rs1;
+            s.target = t.target;
+            sbi.sops_.push_back(s);
+        } else {
+            sbi.sops_.push_back(makeTerminator(ops[termPc]));
+        }
+
+        b.nSops = static_cast<uint32_t>(sbi.sops_.size()) - b.first;
+        sbi.blockAt_[lead] = static_cast<uint32_t>(sbi.blocks_.size());
+        sbi.blocks_.push_back(b);
+
+        sbi.stats_.blocks++;
+        sbi.stats_.superOps += b.nSops;
+        sbi.stats_.instructions += b.instCount;
+        for (uint32_t k = b.first; k < b.first + b.nSops; k++) {
+            if (sbi.sops_[k].count >= 2) {
+                sbi.stats_.fusedOps++;
+                sbi.stats_.fusedInstructions += sbi.sops_[k].count;
+            }
+        }
+    }
+    return sbi;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch backends. Both expand superblock_ops.inc; handler bodies see
+// `ctx`, `op` and the accessor macros below. Reads index the register
+// file directly: regs[REG_ZERO] is architecturally pinned to 0 (every
+// writer guards it — SB_WR here, wr() in both engines — and restoreArch
+// re-normalizes), so no per-operand guard is needed.
+// ---------------------------------------------------------------------------
+
+#define SB_RR(r) (ctx.regs[r])
+#define SB_WR(r, v)                                                    \
+    do {                                                               \
+        const uint8_t sb_r_ = (r);                                     \
+        const uint64_t sb_v_ = (v);                                    \
+        if (sb_r_ != pbs::isa::REG_ZERO)                               \
+            ctx.regs[sb_r_] = sb_v_;                                   \
+    } while (0)
+#define SB_RD(r) (pbs::isa::bitsToDouble(ctx.regs[r]))
+#define SB_WD(r, v) SB_WR(r, pbs::isa::doubleBits(v))
+
+namespace {
+
+using SbFn = const SuperOp *(*)(SbCtx &, const SuperOp *);
+
+#define SB_OP(name, ...)                                               \
+    const SuperOp *sbh_##name(SbCtx &ctx, const SuperOp *op)           \
+    {                                                                  \
+        (void)ctx;                                                     \
+        (void)op;                                                      \
+        { __VA_ARGS__ }                                                \
+        return op + 1;                                                 \
+    }
+#define SB_TERM(name, ...)                                             \
+    const SuperOp *sbh_##name(SbCtx &ctx, const SuperOp *op)           \
+    {                                                                  \
+        (void)ctx;                                                     \
+        (void)op;                                                      \
+        { __VA_ARGS__ }                                                \
+        return nullptr;                                                \
+    }
+#include "sampling/superblock_ops.inc"
+#undef SB_OP
+#undef SB_TERM
+
+const SbFn kSbTable[] = {
+#define SB_OP(name, ...) sbh_##name,
+#define SB_TERM(name, ...) sbh_##name,
+#include "sampling/superblock_ops.inc"
+#undef SB_OP
+#undef SB_TERM
+};
+
+static_assert(sizeof(kSbTable) / sizeof(kSbTable[0]) ==
+                  static_cast<size_t>(SbHandler::NUM_HANDLERS),
+              "handler table out of sync with SbHandler");
+
+}  // namespace
+
+uint64_t
+sbExecPortable(const SuperblockImage &img, uint64_t pc, uint64_t budget,
+               SbCtx &ctx)
+{
+    const SuperOp *sops = img.sops().data();
+    const Superblock *blocks = img.blocks().data();
+    const uint32_t *blockAt = img.blockAtData();
+    const uint64_t pcLimit = img.pcLimit();
+
+    uint64_t executed = 0;
+    const Superblock *b = &blocks[blockAt[pc]];
+    while (true) {
+        executed += b->instCount;
+        ctx.fall = b->fall;
+        const SuperOp *op = &sops[b->first];
+        while (op)
+            op = kSbTable[op->handler](ctx, op);
+        if (*ctx.halted || ctx.next >= pcLimit)
+            return executed;
+        const uint32_t bi = blockAt[ctx.next];
+        if (bi == SuperblockImage::kNoBlock)
+            return executed;
+        b = &blocks[bi];
+        if (executed + b->instCount > budget)
+            return executed;
+    }
+}
+
+#if defined(PBS_HAVE_COMPUTED_GOTO)
+
+const char *
+sbThreadedKind()
+{
+    return "computed-goto";
+}
+
+uint64_t
+sbExecThreaded(const SuperblockImage &img, uint64_t pc, uint64_t budget,
+               SbCtx &ctx)
+{
+    // One label per handler, in SbHandler order (same .inc expansion
+    // order as the enum). Execution threads label-to-label inside a
+    // block and block-to-block through sb_chain without ever leaving
+    // this frame: the only indirect branches are the goto *s.
+    static const void *kLabels[] = {
+#define SB_OP(name, ...) &&L_##name,
+#define SB_TERM(name, ...) &&L_##name,
+#include "sampling/superblock_ops.inc"
+#undef SB_OP
+#undef SB_TERM
+    };
+
+    const SuperOp *sops = img.sops().data();
+    const Superblock *blocks = img.blocks().data();
+    const uint32_t *blockAt = img.blockAtData();
+    const uint64_t pcLimit = img.pcLimit();
+
+    const Superblock *b = &blocks[blockAt[pc]];
+    uint64_t executed = b->instCount;
+    ctx.fall = b->fall;
+    const SuperOp *op = &sops[b->first];
+    goto *kLabels[op->handler];
+
+#define SB_OP(name, ...)                                               \
+    L_##name: {                                                        \
+        { __VA_ARGS__ }                                                \
+        ++op;                                                          \
+        goto *kLabels[op->handler];                                    \
+    }
+#define SB_TERM(name, ...)                                             \
+    L_##name: {                                                        \
+        { __VA_ARGS__ }                                                \
+        goto sb_chain;                                                 \
+    }
+#include "sampling/superblock_ops.inc"
+#undef SB_OP
+#undef SB_TERM
+
+  sb_chain:
+    if (!*ctx.halted && ctx.next < pcLimit) {
+        const uint32_t bi = blockAt[ctx.next];
+        if (bi != SuperblockImage::kNoBlock) {
+            b = &blocks[bi];
+            if (executed + b->instCount <= budget) {
+                executed += b->instCount;
+                ctx.fall = b->fall;
+                op = &sops[b->first];
+                goto *kLabels[op->handler];
+            }
+        }
+    }
+    return executed;
+}
+
+#else  // !PBS_HAVE_COMPUTED_GOTO
+
+const char *
+sbThreadedKind()
+{
+    return "function-pointer";
+}
+
+uint64_t
+sbExecThreaded(const SuperblockImage &img, uint64_t pc, uint64_t budget,
+               SbCtx &ctx)
+{
+    return sbExecPortable(img, pc, budget, ctx);
+}
+
+#endif  // PBS_HAVE_COMPUTED_GOTO
+
+}  // namespace pbs::sampling

@@ -3,12 +3,16 @@
  * Functional-mode correctness: the sampling subsystem's
  * FunctionalEngine must leave registers, memory, the PC and the
  * program outputs bit-identical to a detailed (timing) run with PBS
- * disabled, on every registered workload across multiple seeds — and
+ * disabled, on every registered workload across multiple seeds — under
+ * both the superblock dispatcher and the reference opcode switch — and
  * both must reproduce the native reference outputs exactly (the RNG
- * ISA twins guarantee bit-equality end to end).
+ * ISA twins guarantee bit-equality end to end). Also covers the
+ * PBS_FUNC_DISPATCH escape hatch that forces the reference dispatch.
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "cpu/core.hh"
 #include "sampling/functional.hh"
@@ -27,7 +31,7 @@ TEST_P(FunctionalEquiv, MatchesDetailedAndNative)
         workloads::WorkloadParams p;
         p.seed = seed;
         p.scale = std::max<uint64_t>(1, b.defaultScale / 100);
-        const std::string what =
+        const std::string base =
             std::string(GetParam()) + " seed " + std::to_string(seed);
 
         cpu::CoreConfig detCfg;  // timing, PBS off
@@ -35,42 +39,89 @@ TEST_P(FunctionalEquiv, MatchesDetailedAndNative)
         cpu::Core detailed(b.build(p, workloads::Variant::Marked),
                            detCfg);
         detailed.run();
-
-        sampling::FunctionalEngine functional(
-            b.build(p, workloads::Variant::Marked));
-        functional.run();
-
-        // Architectural end state, register by register.
-        for (unsigned r = 0; r < isa::kNumRegs; r++)
-            EXPECT_EQ(detailed.reg(r), functional.reg(r))
-                << what << " r" << r;
-        EXPECT_EQ(detailed.pc(), functional.pc()) << what;
-        EXPECT_TRUE(functional.halted()) << what;
-
-        // Memory, byte for byte (zero pages treated as absent).
-        EXPECT_TRUE(
-            detailed.memory().sameContents(functional.memory())) << what;
-
-        // Instruction-stream statistics the engines share.
-        const auto &ds = detailed.stats();
-        const auto &fs = functional.stats();
-        EXPECT_EQ(ds.instructions, fs.instructions) << what;
-        EXPECT_EQ(ds.branches, fs.branches) << what;
-        EXPECT_EQ(ds.probBranches, fs.probBranches) << what;
-        EXPECT_EQ(fs.cycles, 0u) << what;       // no timing model
-        EXPECT_EQ(fs.mispredicts, 0u) << what;  // no predictor
-
-        // Outputs: functional == detailed bit for bit, and both match
-        // the native reference (same tolerance as the golden tests).
-        const auto detOut = b.simOutput(detailed.memory());
-        const auto funOut = b.simOutput(functional.memory());
         const auto native = b.nativeOutput(p);
-        EXPECT_EQ(detOut, funOut) << what;
-        ASSERT_EQ(funOut.size(), native.size()) << what;
-        for (size_t i = 0; i < native.size(); i++)
-            EXPECT_DOUBLE_EQ(funOut[i], native[i])
-                << what << " output[" << i << "]";
+        const auto detOut = b.simOutput(detailed.memory());
+
+        for (auto fd : {sampling::FuncDispatch::Superblock,
+                        sampling::FuncDispatch::Switch}) {
+            const std::string what =
+                base + " [" + sampling::funcDispatchName(fd) + "]";
+            sampling::FunctionalEngine functional(
+                b.build(p, workloads::Variant::Marked), 0, fd);
+            functional.run();
+
+            // Architectural end state, register by register.
+            for (unsigned r = 0; r < isa::kNumRegs; r++)
+                EXPECT_EQ(detailed.reg(r), functional.reg(r))
+                    << what << " r" << r;
+            EXPECT_EQ(detailed.pc(), functional.pc()) << what;
+            EXPECT_TRUE(functional.halted()) << what;
+
+            // Memory, byte for byte (zero pages treated as absent).
+            EXPECT_TRUE(detailed.memory().sameContents(
+                functional.memory())) << what;
+
+            // Instruction-stream statistics the engines share.
+            const auto &ds = detailed.stats();
+            const auto &fs = functional.stats();
+            EXPECT_EQ(ds.instructions, fs.instructions) << what;
+            EXPECT_EQ(ds.branches, fs.branches) << what;
+            EXPECT_EQ(ds.probBranches, fs.probBranches) << what;
+            EXPECT_EQ(fs.cycles, 0u) << what;       // no timing model
+            EXPECT_EQ(fs.mispredicts, 0u) << what;  // no predictor
+
+            // Outputs: functional == detailed bit for bit, and both
+            // match the native reference (same tolerance as the golden
+            // tests).
+            const auto funOut = b.simOutput(functional.memory());
+            EXPECT_EQ(detOut, funOut) << what;
+            ASSERT_EQ(funOut.size(), native.size()) << what;
+            for (size_t i = 0; i < native.size(); i++)
+                EXPECT_DOUBLE_EQ(funOut[i], native[i])
+                    << what << " output[" << i << "]";
+        }
     }
+}
+
+// The PBS_FUNC_DISPATCH environment knob selects the construction-time
+// default: "switch" is the escape hatch back to the reference dispatch,
+// "superblock-portable" forces the function-pointer backend, anything
+// else (including unset) means the full superblock dispatcher.
+TEST(FunctionalDispatchEnv, EscapeHatchSelectsDispatch)
+{
+    struct Case
+    {
+        const char *value;  // nullptr = unset
+        sampling::FuncDispatch expect;
+    };
+    const Case cases[] = {
+        {"switch", sampling::FuncDispatch::Switch},
+        {"superblock-portable", sampling::FuncDispatch::SuperblockPortable},
+        {"superblock", sampling::FuncDispatch::Superblock},
+        {nullptr, sampling::FuncDispatch::Superblock},
+    };
+    const auto &b = workloads::benchmarkByName("pi");
+    workloads::WorkloadParams p;
+    p.scale = std::max<uint64_t>(1, b.defaultScale / 1000);
+    for (const Case &c : cases) {
+        if (c.value)
+            setenv("PBS_FUNC_DISPATCH", c.value, 1);
+        else
+            unsetenv("PBS_FUNC_DISPATCH");
+        EXPECT_EQ(sampling::defaultFuncDispatch(), c.expect)
+            << (c.value ? c.value : "(unset)");
+
+        // A default-constructed engine picks the knob up; the hatch
+        // disables superblock formation entirely.
+        sampling::FunctionalEngine eng(
+            b.build(p, workloads::Variant::Marked));
+        EXPECT_EQ(eng.dispatch(), c.expect)
+            << (c.value ? c.value : "(unset)");
+        EXPECT_EQ(eng.superblocks() == nullptr,
+                  c.expect == sampling::FuncDispatch::Switch)
+            << (c.value ? c.value : "(unset)");
+    }
+    unsetenv("PBS_FUNC_DISPATCH");
 }
 
 INSTANTIATE_TEST_SUITE_P(

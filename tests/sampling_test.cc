@@ -9,6 +9,7 @@
  * measurement for cross-process sharding).
  */
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -160,6 +161,134 @@ TEST(Checkpoint, RestoreRejectsForeignPrograms)
     EXPECT_THROW(b.restoreArch(state), std::invalid_argument);
     cpu::Core core(dop, cpu::CoreConfig{});
     EXPECT_THROW(core.restoreArch(state), std::invalid_argument);
+}
+
+// --- superblock dispatch vs checkpoint boundaries --------------------
+
+/** Scoped PBS_FUNC_DISPATCH override (unset on destruction). */
+class ScopedDispatchEnv
+{
+  public:
+    explicit ScopedDispatchEnv(const char *v)
+    {
+        setenv("PBS_FUNC_DISPATCH", v, 1);
+    }
+    ~ScopedDispatchEnv() { unsetenv("PBS_FUNC_DISPATCH"); }
+};
+
+/**
+ * Capture/restore at adversarial instruction counts: at a superblock
+ * edge, inside a block, and at the +/-1 neighbors of the edge. The
+ * engine must stop at the exact count under superblock dispatch (the
+ * block epilogue decomposes to single steps), the captured checkpoint
+ * must serialize to the same bytes as a reference-switch capture, and
+ * resuming from it — under either dispatch — must reach the same end
+ * state as an uninterrupted run.
+ */
+TEST(Checkpoint, AdversarialCountsMatchAcrossDispatch)
+{
+    isa::Program prog = buildWorkload("pi", 7, 100);
+
+    // Classify instruction counts by where the PC lands: on a block
+    // leader (edge) or mid-block (interior).
+    sampling::FunctionalEngine probe(
+        prog, 0, sampling::FuncDispatch::Superblock);
+    ASSERT_NE(probe.superblocks(), nullptr);
+    const sampling::SuperblockImage &sb = *probe.superblocks();
+    probe.step(10000);
+    uint64_t c = 10000, edge = 0, interior = 0;
+    while ((!edge || !interior) && !probe.halted()) {
+        probe.step(1);
+        c++;
+        const bool leader =
+            sb.blockAt(probe.pc()) != sampling::SuperblockImage::kNoBlock;
+        if (leader && !edge)
+            edge = c;
+        if (!leader && !interior)
+            interior = c;
+    }
+    ASSERT_GT(edge, 0u);
+    ASSERT_GT(interior, 0u);
+
+    sampling::FunctionalEngine full(prog);
+    full.run();
+    const cpu::ArchState fullEnd = full.saveArch();
+
+    for (uint64_t count : {edge - 1, edge, edge + 1, interior - 1,
+                           interior, interior + 1}) {
+        const std::string what = "count " + std::to_string(count);
+
+        sampling::FunctionalEngine super(
+            prog, 0, sampling::FuncDispatch::Superblock);
+        EXPECT_EQ(super.step(count), count) << what;
+        EXPECT_EQ(super.stats().instructions, count) << what;
+        sampling::FunctionalEngine ref(
+            prog, 0, sampling::FuncDispatch::Switch);
+        EXPECT_EQ(ref.step(count), count) << what;
+
+        // Captures are bit-identical down to the serialized bytes.
+        sampling::Checkpoint superChk{super.saveArch()};
+        sampling::Checkpoint refChk{ref.saveArch()};
+        expectSameArch(superChk.state, refChk.state, what);
+        EXPECT_EQ(superChk.serialize(), refChk.serialize()) << what;
+
+        // Round trip: restore under both dispatches, finish, compare
+        // with the uninterrupted run.
+        for (auto mode : {sampling::FuncDispatch::Superblock,
+                          sampling::FuncDispatch::Switch}) {
+            sampling::FunctionalEngine resumed(prog, 0, mode);
+            resumed.restoreArch(
+                sampling::Checkpoint::deserialize(superChk.serialize())
+                    .state);
+            resumed.run();
+            expectSameArch(fullEnd, resumed.saveArch(),
+                           what + " resume " +
+                               sampling::funcDispatchName(mode));
+        }
+    }
+}
+
+/**
+ * The sampled-simulation artifacts must be byte-identical with
+ * superblocks on vs off: capture once under each dispatch, diff every
+ * serialized checkpoint, and diff the sampled results computed from
+ * either set.
+ */
+TEST(Sampled, ArtifactsByteIdenticalAcrossDispatch)
+{
+    isa::Program prog = buildWorkload("pi", 5, 20);
+    cpu::CoreConfig cfg;
+    cfg.execMode = cpu::ExecMode::Sampled;
+    cfg.sample.interval = 40000;
+    cfg.sample.warmup = 10000;
+    cfg.sample.measure = 5000;
+    pool::TaskPool::instance().configure(1);
+
+    sampling::CheckpointSet superSet =
+        sampling::captureCheckpoints(prog, cfg);
+    sampling::CheckpointSet switchSet = [&] {
+        ScopedDispatchEnv env("switch");
+        return sampling::captureCheckpoints(prog, cfg);
+    }();
+
+    ASSERT_EQ(superSet.checkpoints.size(), switchSet.checkpoints.size());
+    for (size_t i = 0; i < superSet.checkpoints.size(); i++) {
+        expectSameArch(superSet.checkpoints[i], switchSet.checkpoints[i],
+                       "checkpoint " + std::to_string(i));
+        EXPECT_EQ(
+            sampling::Checkpoint{superSet.checkpoints[i]}.serialize(),
+            sampling::Checkpoint{switchSet.checkpoints[i]}.serialize())
+            << "checkpoint " << i;
+    }
+    expectSameArch(superSet.finalState, switchSet.finalState, "final");
+
+    sampling::SampledRun a = sampling::runSampledOnSet(prog, cfg,
+                                                       superSet);
+    sampling::SampledRun b = sampling::runSampledOnSet(prog, cfg,
+                                                       switchSet);
+    EXPECT_TRUE(a.stats == b.stats);
+    EXPECT_TRUE(a.est == b.est);
+    expectSameArch(a.finalState, b.finalState, "sampled final");
 }
 
 // --- sampled simulation ----------------------------------------------
